@@ -1,0 +1,268 @@
+//! PPM-like tag-based direction predictor (Michaud, JILP 2005) — the
+//! predictor the paper configures as a "24 Kbyte 3-table PPM direction
+//! predictor".
+//!
+//! Structure: a tagless bimodal base table plus `N` tagged tables indexed by
+//! hashes of increasingly long global-history prefixes.  Prediction comes from
+//! the longest-history table that tags-match; update trains the providing
+//! table and allocates into a longer-history table on a mis-prediction.
+
+use icfp_isa::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the PPM predictor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PpmConfig {
+    /// log2 of the number of entries in the bimodal base table.
+    pub base_bits: u32,
+    /// log2 of the number of entries in each tagged table.
+    pub tagged_bits: u32,
+    /// Global-history lengths used by the tagged tables (shortest first).
+    pub history_lengths: Vec<u32>,
+    /// Tag width in bits.
+    pub tag_bits: u32,
+}
+
+impl PpmConfig {
+    /// A 3-tagged-table configuration totalling roughly 24 KB of state, per
+    /// the paper's Table 1.
+    pub fn paper_default() -> Self {
+        PpmConfig {
+            base_bits: 13,     // 8K 2-bit counters = 2 KB
+            tagged_bits: 12,   // 3 × 4K entries × ~11 bits ≈ 16.5 KB
+            history_lengths: vec![4, 12, 32],
+            tag_bits: 8,
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        PpmConfig {
+            base_bits: 6,
+            tagged_bits: 6,
+            history_lengths: vec![2, 6],
+            tag_bits: 6,
+        }
+    }
+}
+
+impl Default for PpmConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct TaggedEntry {
+    tag: u16,
+    /// 3-bit up/down counter, 0..=7, taken if >= 4.
+    counter: u8,
+    /// Usefulness bit for replacement.
+    useful: bool,
+    valid: bool,
+}
+
+/// The PPM-like direction predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpmPredictor {
+    config: PpmConfig,
+    /// 2-bit counters, taken if >= 2.
+    base: Vec<u8>,
+    tagged: Vec<Vec<TaggedEntry>>,
+    /// Global history register (most recent outcome in bit 0).
+    history: u64,
+}
+
+impl PpmPredictor {
+    /// Creates a predictor with all counters weakly not-taken.
+    pub fn new(config: PpmConfig) -> Self {
+        let base = vec![1u8; 1 << config.base_bits];
+        let tagged = config
+            .history_lengths
+            .iter()
+            .map(|_| vec![TaggedEntry::default(); 1 << config.tagged_bits])
+            .collect();
+        PpmPredictor {
+            config,
+            base,
+            tagged,
+            history: 0,
+        }
+    }
+
+    fn fold_history(&self, length: u32, bits: u32) -> u64 {
+        // Fold `length` bits of history into `bits` bits by xoring chunks.
+        let mut h = self.history & ((1u64 << length.min(63)) - 1).max(1);
+        if length >= 64 {
+            h = self.history;
+        }
+        let mut folded = 0u64;
+        let mask = (1u64 << bits) - 1;
+        while h != 0 {
+            folded ^= h & mask;
+            h >>= bits;
+        }
+        folded
+    }
+
+    fn tagged_index(&self, pc: Addr, table: usize) -> usize {
+        let bits = self.config.tagged_bits;
+        let hist = self.fold_history(self.config.history_lengths[table], bits);
+        let idx = (pc >> 2) ^ hist ^ ((pc >> 2) >> bits) ^ (table as u64).wrapping_mul(0x9E3779B1);
+        (idx as usize) & ((1 << bits) - 1)
+    }
+
+    fn tag_of(&self, pc: Addr, table: usize) -> u16 {
+        let hist = self.fold_history(self.config.history_lengths[table], self.config.tag_bits);
+        let t = (pc >> 2) ^ (hist << 1) ^ ((pc >> 11) as u64);
+        (t as u16) & ((1u16 << self.config.tag_bits) - 1)
+    }
+
+    fn base_index(&self, pc: Addr) -> usize {
+        ((pc >> 2) as usize) & ((1 << self.config.base_bits) - 1)
+    }
+
+    /// Finds the providing table: the longest-history tagged table whose entry
+    /// tag-matches `pc`.  Returns `None` if only the base table applies.
+    fn provider(&self, pc: Addr) -> Option<usize> {
+        (0..self.tagged.len()).rev().find(|&t| {
+            let e = &self.tagged[t][self.tagged_index(pc, t)];
+            e.valid && e.tag == self.tag_of(pc, t)
+        })
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: Addr) -> bool {
+        match self.provider(pc) {
+            Some(t) => self.tagged[t][self.tagged_index(pc, t)].counter >= 4,
+            None => self.base[self.base_index(pc)] >= 2,
+        }
+    }
+
+    /// Updates the predictor with the resolved direction of the branch at `pc`.
+    pub fn update(&mut self, pc: Addr, taken: bool) {
+        let predicted = self.predict(pc);
+        let provider = self.provider(pc);
+
+        match provider {
+            Some(t) => {
+                let idx = self.tagged_index(pc, t);
+                let e = &mut self.tagged[t][idx];
+                e.counter = bump3(e.counter, taken);
+                e.useful = predicted == taken;
+            }
+            None => {
+                let idx = self.base_index(pc);
+                self.base[idx] = bump2(self.base[idx], taken);
+            }
+        }
+
+        // On a mis-prediction, allocate in a table with longer history than
+        // the provider (PPM/TAGE-style allocation).
+        if predicted != taken {
+            let start = provider.map(|t| t + 1).unwrap_or(0);
+            for t in start..self.tagged.len() {
+                let idx = self.tagged_index(pc, t);
+                let tag = self.tag_of(pc, t);
+                let e = &mut self.tagged[t][idx];
+                if !e.valid || !e.useful {
+                    *e = TaggedEntry {
+                        tag,
+                        counter: if taken { 4 } else { 3 },
+                        useful: false,
+                        valid: true,
+                    };
+                    break;
+                }
+            }
+        }
+
+        self.history = (self.history << 1) | u64::from(taken);
+    }
+
+    /// Number of tagged tables.
+    pub fn num_tables(&self) -> usize {
+        self.tagged.len()
+    }
+
+    /// Approximate storage budget of the predictor in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        let base_bits = self.base.len() * 2;
+        let per_entry = 3 + 1 + self.config.tag_bits as usize;
+        let tagged_bits: usize = self.tagged.iter().map(|t| t.len() * per_entry).sum();
+        (base_bits + tagged_bits) / 8
+    }
+}
+
+fn bump2(c: u8, up: bool) -> u8 {
+    if up {
+        (c + 1).min(3)
+    } else {
+        c.saturating_sub(1)
+    }
+}
+
+fn bump3(c: u8, up: bool) -> u8 {
+    if up {
+        (c + 1).min(7)
+    } else {
+        c.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_saturate() {
+        assert_eq!(bump2(3, true), 3);
+        assert_eq!(bump2(0, false), 0);
+        assert_eq!(bump3(7, true), 7);
+        assert_eq!(bump3(0, false), 0);
+    }
+
+    #[test]
+    fn always_taken_is_learned_quickly() {
+        let mut p = PpmPredictor::new(PpmConfig::tiny());
+        for _ in 0..8 {
+            p.update(0x100, true);
+        }
+        assert!(p.predict(0x100));
+    }
+
+    #[test]
+    fn short_period_pattern_is_learned_via_history() {
+        let mut p = PpmPredictor::new(PpmConfig::paper_default());
+        // Pattern with period 4: T T N T
+        let pattern = [true, true, false, true];
+        let mut wrong_late = 0;
+        for i in 0..4000usize {
+            let taken = pattern[i % 4];
+            if i > 2000 && p.predict(0x200) != taken {
+                wrong_late += 1;
+            }
+            p.update(0x200, taken);
+        }
+        assert!(wrong_late < 100, "pattern not learned: {wrong_late} wrong");
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere_much() {
+        let mut p = PpmPredictor::new(PpmConfig::paper_default());
+        for _ in 0..200 {
+            p.update(0x100, true);
+            p.update(0x204, false);
+        }
+        assert!(p.predict(0x100));
+        assert!(!p.predict(0x204));
+    }
+
+    #[test]
+    fn storage_budget_is_near_24_kbytes() {
+        let p = PpmPredictor::new(PpmConfig::paper_default());
+        let kb = p.storage_bytes() as f64 / 1024.0;
+        assert!(kb > 15.0 && kb < 32.0, "storage {kb} KB not near 24 KB");
+        assert_eq!(p.num_tables(), 3);
+    }
+}

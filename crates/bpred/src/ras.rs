@@ -1,0 +1,102 @@
+//! Return address stack.
+
+use icfp_isa::Addr;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-depth circular return-address stack.
+///
+/// Overflow silently overwrites the oldest entry (as real hardware does);
+/// underflow returns `None`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReturnAddressStack {
+    entries: Vec<Addr>,
+    capacity: usize,
+    top: usize,
+    len: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with the given depth.
+    pub fn new(capacity: usize) -> Self {
+        ReturnAddressStack {
+            entries: vec![0; capacity.max(1)],
+            capacity: capacity.max(1),
+            top: 0,
+            len: 0,
+        }
+    }
+
+    /// Pushes a return address (call).
+    pub fn push(&mut self, addr: Addr) {
+        self.top = (self.top + 1) % self.capacity;
+        self.entries[self.top] = addr;
+        self.len = (self.len + 1).min(self.capacity);
+    }
+
+    /// Pops the predicted return address (return).
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.entries[self.top];
+        self.top = (self.top + self.capacity - 1) % self.capacity;
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_keeps_newest() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn empty_is_reported() {
+        let mut r = ReturnAddressStack::new(3);
+        assert!(r.is_empty());
+        r.push(7);
+        assert!(!r.is_empty());
+        r.pop();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_behaves_as_depth_one() {
+        let mut r = ReturnAddressStack::new(0);
+        r.push(9);
+        assert_eq!(r.pop(), Some(9));
+    }
+}

@@ -1,0 +1,216 @@
+//! The baseline 2-way in-order pipeline.
+//!
+//! This is the reference point every figure in the paper normalises to.  It
+//! stalls at the first instruction that needs the result of a pending cache
+//! miss (not at the miss itself), exactly as the paper describes, because
+//! issue is in order: a stalled instruction blocks everything younger.
+
+use crate::common::Engine;
+use crate::config::CoreConfig;
+use crate::Core;
+use icfp_isa::{Cycle, OpClass, Trace};
+use icfp_pipeline::RunResult;
+use std::collections::VecDeque;
+
+/// The vanilla in-order core.
+#[derive(Debug)]
+pub struct InOrderCore {
+    cfg: CoreConfig,
+}
+
+impl InOrderCore {
+    /// Creates a baseline core with the given configuration.
+    pub fn new(cfg: CoreConfig) -> Self {
+        InOrderCore { cfg }
+    }
+}
+
+impl Core for InOrderCore {
+    fn name(&self) -> &'static str {
+        "in-order"
+    }
+
+    fn run(&mut self, trace: &Trace) -> RunResult {
+        let mut eng = Engine::new(&self.cfg);
+        // Outstanding (not yet drained) stores: (drain completion, word addr).
+        let mut store_q: VecDeque<(Cycle, u64)> = VecDeque::new();
+        let sb_capacity = self.cfg.pipeline.baseline_store_buffer;
+        let l1_lat = self.cfg.mem.l1_hit_latency;
+
+        for (idx, inst) in trace.iter().enumerate() {
+            let seq = idx as u64;
+            let fetch_ready = eng.fetch.next_issue_ready();
+            let mut earliest = fetch_ready.max(eng.src_ready(inst));
+
+            // A full store buffer stalls the pipeline until the oldest store
+            // drains.
+            if inst.is_store() {
+                while store_q.len() >= sb_capacity {
+                    let (done, _) = store_q.pop_front().expect("non-empty");
+                    if done > earliest {
+                        eng.stats.resource_stall_cycles += done - earliest;
+                        earliest = done;
+                    }
+                }
+            }
+
+            let issue = eng.issue_at(inst.class(), earliest);
+
+            match inst.class() {
+                OpClass::Load => {
+                    eng.stats.demand_loads += 1;
+                    let addr = inst.addr.expect("load without address");
+                    // Retire drained stores.
+                    while matches!(store_q.front(), Some(&(done, _)) if done <= issue) {
+                        store_q.pop_front();
+                    }
+                    // Forward from an outstanding store if one matches.
+                    let forwarded = store_q.iter().rev().any(|&(_, a)| a == (addr & !7));
+                    let completes = if forwarded {
+                        eng.stats.store_forwards += 1;
+                        issue + l1_lat
+                    } else {
+                        let (completes, _outcome, _) = eng.demand_load(addr, issue);
+                        completes
+                    };
+                    let value = eng.arch_mem.read(addr);
+                    if let Some(dst) = inst.dst {
+                        eng.rf.write(dst, value, completes, seq);
+                    }
+                    eng.note_completion(completes);
+                }
+                OpClass::Store => {
+                    let addr = inst.addr.expect("store without address");
+                    let data = inst
+                        .store_data_reg()
+                        .map(|r| eng.rf.value(r))
+                        .unwrap_or(0);
+                    eng.arch_mem.write(addr, data);
+                    let drain_done = eng.demand_store(addr, issue + 1);
+                    store_q.push_back((drain_done, addr & !7));
+                    eng.note_completion(issue + 1);
+                }
+                OpClass::Branch => {
+                    let resolve = issue + inst.latency();
+                    eng.exec_branch(inst, resolve);
+                    eng.note_completion(resolve);
+                }
+                _ => {
+                    let value = eng.compute(inst);
+                    let completes = issue + inst.latency();
+                    if let (Some(dst), Some(v)) = (inst.dst, value) {
+                        eng.rf.write(dst, v, completes, seq);
+                    }
+                    eng.note_completion(completes);
+                }
+            }
+        }
+        eng.finish(self.name(), trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::golden_final_state;
+    use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+
+    fn run(trace: &Trace) -> RunResult {
+        InOrderCore::new(CoreConfig::paper_default()).run(trace)
+    }
+
+    #[test]
+    fn empty_trace_runs() {
+        let t = TraceBuilder::new("empty").build();
+        let r = run(&t);
+        assert_eq!(r.stats.instructions, 0);
+    }
+
+    #[test]
+    fn alu_chain_matches_golden_model() {
+        let mut b = TraceBuilder::new("alu");
+        for i in 0..50u64 {
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(1), Reg::int(1), i));
+            b.push(DynInst::alu(Op::Xor, Reg::int(2), Reg::int(1), Reg::int(2)));
+        }
+        let t = b.build();
+        let r = run(&t);
+        let (regs, mem) = golden_final_state(&t);
+        assert_eq!(r.final_regs, regs);
+        assert_eq!(r.final_mem, mem);
+    }
+
+    #[test]
+    fn store_load_forwarding_preserves_values() {
+        let mut b = TraceBuilder::new("st-ld");
+        b.push(DynInst::alu_imm(Op::Add, Reg::int(1), Reg::int(1), 7));
+        b.push(DynInst::store(Reg::int(1), Reg::int(2), 0x4000));
+        b.push(DynInst::load(Reg::int(3), Reg::int(2), 0x4000));
+        b.push(DynInst::alu(Op::Add, Reg::int(4), Reg::int(3), Reg::int(3)));
+        let t = b.build();
+        let r = run(&t);
+        let (regs, _) = golden_final_state(&t);
+        assert_eq!(r.final_regs, regs);
+        assert!(r.stats.store_forwards >= 1);
+    }
+
+    #[test]
+    fn cache_miss_stalls_first_dependent_instruction() {
+        // ld (L2 miss) ; dependent add ; independent add
+        let mut b = TraceBuilder::new("stall");
+        b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x80000));
+        b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), 1));
+        b.push(DynInst::alu_imm(Op::Add, Reg::int(4), Reg::int(5), 1));
+        let t = b.build();
+        let r = run(&t);
+        // The dependent add waits for ~420+ cycles of memory latency, and the
+        // independent add is stuck behind it (in-order).
+        assert!(r.stats.cycles > 400, "cycles = {}", r.stats.cycles);
+    }
+
+    #[test]
+    fn independent_misses_serialize_in_order_pipeline() {
+        // Two independent L2 misses, each followed by a dependent use: the
+        // baseline cannot overlap them.
+        let mut b = TraceBuilder::new("serial");
+        b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x100000));
+        b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), 1));
+        b.push(DynInst::load(Reg::int(4), Reg::int(5), 0x200000));
+        b.push(DynInst::alu_imm(Op::Add, Reg::int(6), Reg::int(4), 1));
+        let t = b.build();
+        let r = run(&t);
+        assert!(
+            r.stats.cycles > 800,
+            "two serialized memory accesses should cost two memory latencies, got {}",
+            r.stats.cycles
+        );
+    }
+
+    #[test]
+    fn branch_heavy_code_pays_mispredict_penalties() {
+        let mut b = TraceBuilder::new("branches");
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            b.push(DynInst::branch(Reg::int(1), x & 1 == 0, 0x4000, 0.5).with_pc(0x2000));
+        }
+        let t = b.build();
+        let r = run(&t);
+        assert!(r.stats.branch_mispredicts > 50);
+        assert!(r.stats.cycles > 500);
+    }
+
+    #[test]
+    fn ipc_is_bounded_by_width() {
+        let mut b = TraceBuilder::new("ilp");
+        for i in 0..1000usize {
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(i % 16), Reg::int((i + 1) % 16), 3));
+        }
+        let t = b.build();
+        let r = run(&t);
+        let ipc = r.stats.ipc();
+        assert!(ipc <= 2.01, "2-way core cannot exceed IPC 2, got {ipc}");
+        assert!(ipc > 1.0, "independent ALU code should exceed IPC 1, got {ipc}");
+    }
+}

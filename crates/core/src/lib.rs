@@ -1,0 +1,75 @@
+//! # icfp-core — the iCFP mechanism and the designs it is compared against
+//!
+//! This crate contains cycle-level models of the five back ends evaluated in
+//! the paper, all built on the shared substrate crates (`icfp-mem`,
+//! `icfp-bpred`, `icfp-pipeline`):
+//!
+//! | Model | Module | Paper role |
+//! |---|---|---|
+//! | Vanilla in-order | [`inorder`] | baseline; stalls at the first miss-dependent instruction |
+//! | Runahead execution | [`runahead`] | non-blocking advance, discards and re-executes everything |
+//! | Multipass pipelining | [`multipass`] | Runahead + saved miss-independent results to accelerate re-execution |
+//! | SLTP | [`sltp`] | commits miss-independent work, SRL memory system, single *blocking* rally |
+//! | iCFP | [`icfp`] | commits miss-independent work, chained store buffer, multiple non-blocking multithreaded rallies |
+//!
+//! Supporting structures that the paper introduces or relies on are their own
+//! modules: the address-hash-chained store buffer ([`storebuf`]), the slice
+//! buffer ([`slicebuf`]), the store redo log and runahead cache (also in
+//! [`storebuf`]), and the multiprocessor-safety signature ([`signature`]).
+//!
+//! Every core implements [`Core`]: it consumes a [`icfp_isa::Trace`] and
+//! produces a [`icfp_pipeline::RunResult`] whose final architectural state is
+//! checked against the functional golden model in the integration tests.
+//!
+//! ```
+//! use icfp_core::{Core, CoreConfig, InOrderCore, IcfpCore};
+//! use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new("tiny");
+//! b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x4000));
+//! b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), 1));
+//! let trace = b.build();
+//!
+//! let cfg = CoreConfig::paper_default();
+//! let base = InOrderCore::new(cfg.clone()).run(&trace);
+//! let icfp = IcfpCore::new(cfg).run(&trace);
+//! assert_eq!(base.final_regs, icfp.final_regs);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod config;
+pub mod icfp;
+pub mod inorder;
+pub mod multipass;
+pub mod runahead;
+pub mod signature;
+pub mod slicebuf;
+pub mod sltp;
+pub mod storebuf;
+
+pub use common::Engine;
+pub use config::{AdvancePolicy, CoreConfig, IcfpFeatures, StoreBufferKind};
+pub use icfp::IcfpCore;
+pub use inorder::InOrderCore;
+pub use multipass::MultipassCore;
+pub use runahead::RunaheadCore;
+pub use signature::Signature;
+pub use slicebuf::{SliceBuffer, SliceEntry};
+pub use sltp::SltpCore;
+pub use storebuf::{AssocStoreBuffer, ChainedStoreBuffer, LimitedStoreBuffer, RunaheadCache, StoreRedoLog};
+
+use icfp_isa::Trace;
+use icfp_pipeline::RunResult;
+
+/// A back-end core model that can execute a trace.
+pub trait Core {
+    /// The model's short name (used in reports and figures).
+    fn name(&self) -> &'static str;
+
+    /// Simulates the trace to completion and returns timing statistics plus
+    /// the final architectural state.
+    fn run(&mut self, trace: &Trace) -> RunResult;
+}

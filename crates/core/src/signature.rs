@@ -1,0 +1,149 @@
+//! Multiprocessor-safety signature (paper Section 3.3).
+//!
+//! Because iCFP is checkpoint-based, loads that obtained their value from the
+//! cache are vulnerable to stores from other threads between checkpoint
+//! creation and rally completion.  Instead of a large associative load queue,
+//! iCFP keeps a single local Bloom-filter-style *signature*: vulnerable loads
+//! insert their address, external stores probe it, and a probe hit squashes
+//! execution back to the checkpoint.  The signature is cleared when a rally
+//! completes.  Unlike signatures used for speculative multithreading or
+//! transactional memory, it is never communicated between processors.
+
+use icfp_isa::Addr;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size address signature with two hash functions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    bits: Vec<u64>,
+    num_bits: usize,
+    inserted: u64,
+}
+
+impl Signature {
+    /// Creates a signature with `num_bits` bits (rounded up to a multiple of 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits` is zero.
+    pub fn new(num_bits: usize) -> Self {
+        assert!(num_bits > 0, "signature must have at least one bit");
+        let words = num_bits.div_ceil(64);
+        Signature {
+            bits: vec![0; words],
+            num_bits: words * 64,
+            inserted: 0,
+        }
+    }
+
+    fn hashes(&self, addr: Addr) -> (usize, usize) {
+        // Two independent multiplicative hashes over the line address.
+        let line = addr >> 6;
+        let h1 = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h2 = line.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (line >> 17);
+        (
+            (h1 as usize) % self.num_bits,
+            (h2 as usize) % self.num_bits,
+        )
+    }
+
+    /// Inserts a vulnerable load address.
+    pub fn insert(&mut self, addr: Addr) {
+        let (a, b) = self.hashes(addr);
+        self.bits[a / 64] |= 1 << (a % 64);
+        self.bits[b / 64] |= 1 << (b % 64);
+        self.inserted += 1;
+    }
+
+    /// Probes the signature with an external store address.  A `true` result
+    /// means a conflict *may* exist and execution must squash to the
+    /// checkpoint (false positives are safe, false negatives impossible).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (a, b) = self.hashes(addr);
+        (self.bits[a / 64] >> (a % 64)) & 1 == 1 && (self.bits[b / 64] >> (b % 64)) & 1 == 1
+    }
+
+    /// Clears the signature (rally completed).
+    pub fn clear(&mut self) {
+        for w in &mut self.bits {
+            *w = 0;
+        }
+        self.inserted = 0;
+    }
+
+    /// Number of addresses inserted since the last clear.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Fraction of bits set (occupancy); a rough indicator of the
+    /// false-positive rate.
+    pub fn occupancy(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.num_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_addresses_always_hit() {
+        let mut s = Signature::new(1024);
+        for i in 0..100u64 {
+            s.insert(0x1000 + i * 64);
+        }
+        for i in 0..100u64 {
+            assert!(s.probe(0x1000 + i * 64), "no false negatives allowed");
+        }
+        assert_eq!(s.inserted(), 100);
+    }
+
+    #[test]
+    fn same_line_different_offsets_alias() {
+        let mut s = Signature::new(1024);
+        s.insert(0x2000);
+        assert!(s.probe(0x2038), "addresses in the same line must conflict");
+    }
+
+    #[test]
+    fn empty_signature_never_hits() {
+        let s = Signature::new(256);
+        for i in 0..1000u64 {
+            assert!(!s.probe(i * 64));
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Signature::new(256);
+        s.insert(0x4000);
+        assert!(s.probe(0x4000));
+        s.clear();
+        assert!(!s.probe(0x4000));
+        assert_eq!(s.inserted(), 0);
+        assert_eq!(s.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn false_positive_rate_is_moderate_for_reasonable_occupancy() {
+        let mut s = Signature::new(1024);
+        for i in 0..64u64 {
+            s.insert(0x10_0000 + i * 64);
+        }
+        // Probe disjoint addresses; some false positives are allowed but the
+        // rate should be well below 50%.
+        let fp = (0..1000u64)
+            .filter(|i| s.probe(0x90_0000 + i * 64))
+            .count();
+        assert!(fp < 300, "false-positive count {fp} too high");
+        assert!(s.occupancy() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_panics() {
+        let _ = Signature::new(0);
+    }
+}

@@ -1,0 +1,284 @@
+//! The slice buffer: a FIFO of deferred miss-dependent instructions together
+//! with their miss-independent side inputs (paper Section 3.1).
+//!
+//! iCFP does not compact the buffer: rally passes mark entries un-poisoned
+//! (retired) in place, and successive passes simply skip retired entries;
+//! capacity is reclaimed incrementally from the head (Section 3.4, "Slice
+//! buffer management").  That behaviour is reproduced here because it is what
+//! bounds slice-buffer occupancy and triggers the simple-runahead fallback.
+
+use icfp_isa::{InstSeq, Value};
+use icfp_pipeline::PoisonMask;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A deferred (sliced-out) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceEntry {
+    /// Index of the instruction in the trace.
+    pub trace_idx: usize,
+    /// Sequence number relative to the active checkpoint (the paper's
+    /// dependence-ordering stamp).
+    pub seq_from_ckpt: InstSeq,
+    /// Captured value of the first source operand, if it was available
+    /// (non-poisoned) when the instruction was sliced out.
+    pub src1_value: Option<Value>,
+    /// Captured value of the second source operand, if it was available.
+    pub src2_value: Option<Value>,
+    /// Store colour: SSN of the youngest older store at slice time, used by
+    /// rallying loads to ignore younger stores when forwarding.
+    pub store_color: u64,
+    /// Current poison mask (which outstanding misses this entry waits on).
+    pub poison: PoisonMask,
+    /// Whether the entry still needs to be executed.  Retired entries stay in
+    /// place and are skipped by later passes.
+    pub active: bool,
+}
+
+/// Error returned when the slice buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceBufferFull;
+
+impl std::fmt::Display for SliceBufferFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slice buffer is full")
+    }
+}
+
+impl std::error::Error for SliceBufferFull {}
+
+/// The slice buffer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SliceBuffer {
+    entries: VecDeque<SliceEntry>,
+    capacity: usize,
+    /// Peak occupancy over the run (for diagnostics).
+    peak: usize,
+    /// Total entries ever inserted.
+    inserted: u64,
+}
+
+impl SliceBuffer {
+    /// Creates a slice buffer with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "slice buffer capacity must be positive");
+        SliceBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            peak: 0,
+            inserted: 0,
+        }
+    }
+
+    /// Number of occupied slots (active or not yet reclaimed).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no slots are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries still awaiting execution.
+    pub fn active_len(&self) -> usize {
+        self.entries.iter().filter(|e| e.active).count()
+    }
+
+    /// True if there is no active entry left.
+    pub fn no_active(&self) -> bool {
+        self.entries.iter().all(|e| !e.active)
+    }
+
+    /// True if the buffer cannot accept another entry.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Peak occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total number of entries ever inserted.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Appends an entry at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SliceBufferFull`] if no slot is free (after reclaiming
+    /// retired entries from the head).
+    pub fn push(&mut self, entry: SliceEntry) -> Result<(), SliceBufferFull> {
+        if self.is_full() {
+            self.reclaim_head();
+        }
+        if self.is_full() {
+            return Err(SliceBufferFull);
+        }
+        self.entries.push_back(entry);
+        self.inserted += 1;
+        self.peak = self.peak.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Reclaims retired entries from the head (the only form of compaction
+    /// the paper's design performs).
+    pub fn reclaim_head(&mut self) {
+        while matches!(self.entries.front(), Some(e) if !e.active) {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Iterates over the *active* entries in program order.
+    pub fn active_entries(&self) -> impl Iterator<Item = &SliceEntry> {
+        self.entries.iter().filter(|e| e.active)
+    }
+
+    /// Active entries whose poison mask intersects `returning` — the entries a
+    /// rally pass for that returning miss must process (Section 3.4).
+    pub fn entries_for_rally(&self, returning: PoisonMask) -> Vec<SliceEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.active && e.poison.intersects(returning))
+            .copied()
+            .collect()
+    }
+
+    /// Marks the entry for `trace_idx` as retired (executed successfully).
+    pub fn retire(&mut self, trace_idx: usize) -> bool {
+        for e in self.entries.iter_mut() {
+            if e.trace_idx == trace_idx && e.active {
+                e.active = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Re-poisons the entry for `trace_idx` in place (it depends on a miss
+    /// that is still outstanding); the entry stays active for a later pass.
+    pub fn repoison(&mut self, trace_idx: usize, poison: PoisonMask) -> bool {
+        for e in self.entries.iter_mut() {
+            if e.trace_idx == trace_idx && e.active {
+                e.poison = poison;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Updates a captured source value of an active entry (used when a rally
+    /// resolves a value that a younger slice entry captured as "pending from
+    /// slice").
+    pub fn entry_mut(&mut self, trace_idx: usize) -> Option<&mut SliceEntry> {
+        self.entries.iter_mut().find(|e| e.trace_idx == trace_idx)
+    }
+
+    /// Clears the buffer entirely (squash).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(idx: usize, poison: PoisonMask) -> SliceEntry {
+        SliceEntry {
+            trace_idx: idx,
+            seq_from_ckpt: idx as InstSeq,
+            src1_value: Some(1),
+            src2_value: None,
+            store_color: 0,
+            poison,
+            active: true,
+        }
+    }
+
+    #[test]
+    fn push_and_rally_selection_by_poison_bit() {
+        let mut sb = SliceBuffer::new(8);
+        sb.push(entry(0, PoisonMask::bit(0))).unwrap();
+        sb.push(entry(1, PoisonMask::bit(1))).unwrap();
+        sb.push(entry(2, PoisonMask::bit(0) | PoisonMask::bit(1))).unwrap();
+        let pass0 = sb.entries_for_rally(PoisonMask::bit(0));
+        assert_eq!(pass0.iter().map(|e| e.trace_idx).collect::<Vec<_>>(), vec![0, 2]);
+        let pass1 = sb.entries_for_rally(PoisonMask::bit(1));
+        assert_eq!(pass1.iter().map(|e| e.trace_idx).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn retire_marks_in_place_and_skips_later() {
+        let mut sb = SliceBuffer::new(8);
+        sb.push(entry(0, PoisonMask::bit(0))).unwrap();
+        sb.push(entry(1, PoisonMask::bit(0))).unwrap();
+        assert!(sb.retire(0));
+        assert!(!sb.retire(0), "already retired");
+        assert_eq!(sb.active_len(), 1);
+        assert_eq!(sb.len(), 2, "entries are not compacted");
+        let pass = sb.entries_for_rally(PoisonMask::bit(0));
+        assert_eq!(pass.len(), 1);
+        assert_eq!(pass[0].trace_idx, 1);
+    }
+
+    #[test]
+    fn head_reclamation_frees_capacity() {
+        let mut sb = SliceBuffer::new(2);
+        sb.push(entry(0, PoisonMask::bit(0))).unwrap();
+        sb.push(entry(1, PoisonMask::bit(0))).unwrap();
+        assert!(sb.is_full());
+        sb.retire(0);
+        // Push succeeds because the retired head is reclaimed.
+        sb.push(entry(2, PoisonMask::bit(0))).unwrap();
+        assert_eq!(sb.len(), 2);
+        // But a retired entry in the middle cannot be reclaimed.
+        sb.retire(2);
+        assert!(sb.push(entry(3, PoisonMask::bit(0))).is_err());
+    }
+
+    #[test]
+    fn repoison_keeps_entry_active() {
+        let mut sb = SliceBuffer::new(4);
+        sb.push(entry(0, PoisonMask::bit(0))).unwrap();
+        assert!(sb.repoison(0, PoisonMask::bit(3)));
+        let pass = sb.entries_for_rally(PoisonMask::bit(3));
+        assert_eq!(pass.len(), 1);
+        assert!(sb.entries_for_rally(PoisonMask::bit(0)).is_empty());
+    }
+
+    #[test]
+    fn peak_and_inserted_counters() {
+        let mut sb = SliceBuffer::new(4);
+        sb.push(entry(0, PoisonMask::bit(0))).unwrap();
+        sb.push(entry(1, PoisonMask::bit(0))).unwrap();
+        sb.retire(0);
+        sb.reclaim_head();
+        sb.push(entry(2, PoisonMask::bit(0))).unwrap();
+        assert_eq!(sb.peak(), 2);
+        assert_eq!(sb.inserted(), 3);
+    }
+
+    #[test]
+    fn no_active_and_clear() {
+        let mut sb = SliceBuffer::new(4);
+        assert!(sb.no_active());
+        sb.push(entry(0, PoisonMask::bit(0))).unwrap();
+        assert!(!sb.no_active());
+        sb.clear();
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SliceBuffer::new(0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Architectural register names.
+//!
+//! SimISA has 32 integer registers (`r0`–`r31`) and 32 floating-point
+//! registers (`f0`–`f31`), mirroring the Alpha AXP register layout the paper
+//! targets.  `r31` is *not* hard-wired to zero here — the synthetic workloads
+//! never rely on a zero register, and keeping all registers writable makes the
+//! dependence-tracking code paths uniform.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total number of architectural registers (integer + floating point).
+pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// The class of an architectural register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer register file (`r0`–`r31`).
+    Int,
+    /// Floating-point register file (`f0`–`f31`).
+    Fp,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register name.
+///
+/// Internally a flat index in `0..NUM_ARCH_REGS`: integer registers occupy
+/// `0..32`, floating-point registers occupy `32..64`.  The flat index is what
+/// the register-file structures in `icfp-pipeline` are indexed by.
+///
+/// ```
+/// use icfp_isa::{Reg, RegClass};
+/// let r5 = Reg::int(5);
+/// assert_eq!(r5.class(), RegClass::Int);
+/// assert_eq!(r5.index(), 5);
+/// let f2 = Reg::fp(2);
+/// assert_eq!(f2.class(), RegClass::Fp);
+/// assert_eq!(f2.index(), 34);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates an integer register `r<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= NUM_INT_REGS`.
+    pub fn int(n: usize) -> Self {
+        assert!(n < NUM_INT_REGS, "integer register index {n} out of range");
+        Reg(n as u8)
+    }
+
+    /// Creates a floating-point register `f<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= NUM_FP_REGS`.
+    pub fn fp(n: usize) -> Self {
+        assert!(n < NUM_FP_REGS, "fp register index {n} out of range");
+        Reg((NUM_INT_REGS + n) as u8)
+    }
+
+    /// Creates a register from its flat index in `0..NUM_ARCH_REGS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_ARCH_REGS`.
+    pub fn from_index(idx: usize) -> Self {
+        assert!(idx < NUM_ARCH_REGS, "register index {idx} out of range");
+        Reg(idx as u8)
+    }
+
+    /// The flat index of this register in `0..NUM_ARCH_REGS`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register class (integer or floating point).
+    pub fn class(self) -> RegClass {
+        if (self.0 as usize) < NUM_INT_REGS {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    /// The register number *within its class* (e.g. the `5` of `f5`).
+    pub fn number(self) -> usize {
+        match self.class() {
+            RegClass::Int => self.index(),
+            RegClass::Fp => self.index() - NUM_INT_REGS,
+        }
+    }
+
+    /// Iterator over every architectural register.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_ARCH_REGS).map(Reg::from_index)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.number()),
+            RegClass::Fp => write!(f, "f{}", self.number()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_indices_do_not_collide() {
+        let ints: Vec<usize> = (0..NUM_INT_REGS).map(|n| Reg::int(n).index()).collect();
+        let fps: Vec<usize> = (0..NUM_FP_REGS).map(|n| Reg::fp(n).index()).collect();
+        for i in &ints {
+            assert!(!fps.contains(i), "index {i} is both int and fp");
+        }
+    }
+
+    #[test]
+    fn round_trip_through_flat_index() {
+        for r in Reg::all() {
+            assert_eq!(Reg::from_index(r.index()), r);
+        }
+    }
+
+    #[test]
+    fn class_and_number() {
+        assert_eq!(Reg::int(7).class(), RegClass::Int);
+        assert_eq!(Reg::int(7).number(), 7);
+        assert_eq!(Reg::fp(7).class(), RegClass::Fp);
+        assert_eq!(Reg::fp(7).number(), 7);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::int(3).to_string(), "r3");
+        assert_eq!(Reg::fp(12).to_string(), "f12");
+        assert_eq!(RegClass::Int.to_string(), "int");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_out_of_range_panics() {
+        let _ = Reg::int(NUM_INT_REGS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_out_of_range_panics() {
+        let _ = Reg::from_index(NUM_ARCH_REGS);
+    }
+
+    #[test]
+    fn all_covers_every_register_once() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), NUM_ARCH_REGS);
+        let mut sorted = v.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), NUM_ARCH_REGS);
+    }
+}

@@ -1,0 +1,163 @@
+//! Memory bus and DRAM timing model.
+//!
+//! The paper's configuration (Table 1): 400-cycle latency to the first
+//! 16 bytes of a line, 4 additional cycles per subsequent 16-byte chunk, and a
+//! bus that can accept a new L2 line transfer only every 32 cycles.  The bus
+//! occupancy is what bounds exploitable L2 MLP at roughly
+//! `mem_latency / bus_line_interval ≈ 12`, a limit the paper calls out
+//! explicitly in Section 5.1.
+
+use icfp_isa::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Completion times of a line transfer from main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Cycle at which the transfer occupies the bus (request accepted).
+    pub starts_at: Cycle,
+    /// Cycle at which the critical (first) chunk arrives; loads waiting on the
+    /// miss can complete here.
+    pub critical_chunk_at: Cycle,
+    /// Cycle at which the full line has arrived; the line fill is complete.
+    pub line_complete_at: Cycle,
+}
+
+/// Statistics for the memory bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Number of line transfers scheduled.
+    pub transfers: u64,
+    /// Total cycles transfers spent waiting for the bus to become free.
+    pub queue_cycles: u64,
+}
+
+/// The off-chip memory bus: serializes line transfers at a fixed interval and
+/// adds DRAM access latency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryBus {
+    /// Memory latency to the first chunk.
+    latency: u64,
+    /// Cycles per additional chunk.
+    chunk_latency: u64,
+    /// Chunks per line.
+    chunks_per_line: u64,
+    /// Minimum spacing between transfer starts.
+    line_interval: u64,
+    /// Earliest cycle at which the bus can accept another transfer.
+    next_free: Cycle,
+    stats: BusStats,
+}
+
+impl MemoryBus {
+    /// Creates a bus/DRAM model.
+    ///
+    /// * `latency` — cycles from request acceptance to the first chunk;
+    /// * `chunk_latency` — cycles per additional chunk;
+    /// * `line_bytes` / `chunk_bytes` — determine chunks per line;
+    /// * `line_interval` — minimum spacing between accepted transfers.
+    pub fn new(
+        latency: u64,
+        chunk_latency: u64,
+        line_bytes: u64,
+        chunk_bytes: u64,
+        line_interval: u64,
+    ) -> Self {
+        MemoryBus {
+            latency,
+            chunk_latency,
+            chunks_per_line: (line_bytes / chunk_bytes).max(1),
+            line_interval,
+            next_free: 0,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// The earliest cycle at which a new transfer could be accepted.
+    pub fn next_free(&self) -> Cycle {
+        self.next_free
+    }
+
+    /// Schedules a line transfer requested at `now`, returning its timing.
+    pub fn schedule(&mut self, now: Cycle) -> Transfer {
+        let starts_at = now.max(self.next_free);
+        self.stats.transfers += 1;
+        self.stats.queue_cycles += starts_at - now;
+        self.next_free = starts_at + self.line_interval;
+        let critical_chunk_at = starts_at + self.latency;
+        let line_complete_at = critical_chunk_at + (self.chunks_per_line - 1) * self.chunk_latency;
+        Transfer {
+            starts_at,
+            critical_chunk_at,
+            line_complete_at,
+        }
+    }
+
+    /// Resets the bus to idle (used between independent simulation runs that
+    /// share a hierarchy object).
+    pub fn reset(&mut self) {
+        self.next_free = 0;
+        self.stats = BusStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_bus() -> MemoryBus {
+        MemoryBus::new(400, 4, 128, 16, 32)
+    }
+
+    #[test]
+    fn single_transfer_timing() {
+        let mut bus = paper_bus();
+        let t = bus.schedule(100);
+        assert_eq!(t.starts_at, 100);
+        assert_eq!(t.critical_chunk_at, 500);
+        assert_eq!(t.line_complete_at, 500 + 7 * 4);
+    }
+
+    #[test]
+    fn back_to_back_transfers_are_spaced_by_interval() {
+        let mut bus = paper_bus();
+        let a = bus.schedule(0);
+        let b = bus.schedule(0);
+        let c = bus.schedule(0);
+        assert_eq!(a.starts_at, 0);
+        assert_eq!(b.starts_at, 32);
+        assert_eq!(c.starts_at, 64);
+        assert_eq!(bus.stats().transfers, 3);
+        assert_eq!(bus.stats().queue_cycles, 32 + 64);
+    }
+
+    #[test]
+    fn bus_idles_between_spaced_requests() {
+        let mut bus = paper_bus();
+        bus.schedule(0);
+        let t = bus.schedule(1000);
+        assert_eq!(t.starts_at, 1000);
+    }
+
+    #[test]
+    fn mlp_bound_matches_paper_ratio() {
+        // The paper: "our simulated processor can only practically exploit an
+        // L2 MLP of 12, because of the ratio of memory latency (400 cycles) to
+        // memory bus bandwidth (one L2 cache line every 32 cycles)".
+        let bus = paper_bus();
+        assert_eq!(bus.latency / bus.line_interval, 12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut bus = paper_bus();
+        bus.schedule(0);
+        bus.reset();
+        assert_eq!(bus.next_free(), 0);
+        assert_eq!(bus.stats().transfers, 0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Set-associative cache arrays with LRU replacement and victim buffers.
+//!
+//! These are *tag/timing* models: no data is stored (functional data lives in
+//! `icfp_isa::FunctionalMemory` and in the store buffers).  Each line records
+//! the cycle at which its fill completes so that accesses arriving while the
+//! fill is still in flight are treated as hits-under-fill (they complete when
+//! the fill does), which is how MSHR merging becomes visible to the pipeline.
+
+use icfp_isa::{Addr, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Number of entries in the fully-associative victim buffer.
+    pub victim_entries: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        (self.size_bytes / (self.line_bytes * self.assoc as u64)).max(1) as usize
+    }
+
+    /// The line-aligned address of the line containing `addr`.
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// The set index for `addr`.
+    pub fn set_index(&self, addr: Addr) -> usize {
+        ((addr / self.line_bytes) as usize) & (self.num_sets() - 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Line {
+    tag: Addr, // line-aligned address
+    valid: bool,
+    dirty: bool,
+    last_use: Cycle,
+    /// Cycle at which the fill that brought this line in completes.
+    ready_at: Cycle,
+}
+
+impl Line {
+    fn invalid() -> Self {
+        Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            last_use: 0,
+            ready_at: 0,
+        }
+    }
+}
+
+/// Result of probing a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// The line is present; data is usable at `ready_at` (which may be in the
+    /// future if the line's fill is still in flight).
+    Hit {
+        /// Cycle at which the line's data is available.
+        ready_at: Cycle,
+    },
+    /// The line is absent.
+    Miss,
+}
+
+/// A line evicted by a fill, handed to the caller (victim buffer / writeback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line-aligned address of the evicted line.
+    pub line_addr: Addr,
+    /// Whether the evicted line was dirty.
+    pub dirty: bool,
+}
+
+/// Per-cache statistics counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand accesses (loads + stores probed against this level).
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Hits supplied by the victim buffer.
+    pub victim_hits: u64,
+    /// Lines filled into the array.
+    pub fills: u64,
+    /// Dirty evictions (writebacks).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate over demand accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A small fully-associative victim buffer.
+///
+/// Holds recently evicted lines; a probe hit returns the line to the caller
+/// (who normally re-fills it into the main array).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VictimBuffer {
+    entries: Vec<(Addr, bool)>, // (line address, dirty)
+    capacity: usize,
+}
+
+impl VictimBuffer {
+    /// Creates a victim buffer with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        VictimBuffer {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Inserts an evicted line, displacing the oldest entry if full.
+    /// Returns the displaced line, if any, so dirty victims can be written back.
+    pub fn insert(&mut self, line_addr: Addr, dirty: bool) -> Option<Evicted> {
+        if self.capacity == 0 {
+            return Some(Evicted { line_addr, dirty });
+        }
+        let displaced = if self.entries.len() == self.capacity {
+            let (a, d) = self.entries.remove(0);
+            Some(Evicted {
+                line_addr: a,
+                dirty: d,
+            })
+        } else {
+            None
+        };
+        self.entries.push((line_addr, dirty));
+        displaced
+    }
+
+    /// Probes for a line; on a hit the entry is removed and its dirtiness
+    /// returned (the caller re-fills it into the main array).
+    pub fn take(&mut self, line_addr: Addr) -> Option<bool> {
+        if let Some(pos) = self.entries.iter().position(|&(a, _)| a == line_addr) {
+            Some(self.entries.remove(pos).1)
+        } else {
+            None
+        }
+    }
+
+    /// Number of lines currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no lines are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A set-associative, LRU-replacement cache tag array with a victim buffer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    victim: VictimBuffer,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two or the associativity is 0.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.assoc > 0, "associativity must be at least 1");
+        let sets = vec![vec![Line::invalid(); config.assoc]; config.num_sets()];
+        Cache {
+            victim: VictimBuffer::new(config.victim_entries),
+            config,
+            sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Line-aligned address for this cache's line size.
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        self.config.line_addr(addr)
+    }
+
+    /// Probes for `addr` as a demand access at cycle `now`, updating LRU state
+    /// and statistics.  A victim-buffer hit counts as a hit and moves the line
+    /// back into the main array.
+    pub fn access(&mut self, addr: Addr, now: Cycle, is_write: bool) -> ProbeResult {
+        self.stats.accesses += 1;
+        let line_addr = self.config.line_addr(addr);
+        let set = self.config.set_index(addr);
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == line_addr)
+        {
+            line.last_use = now;
+            if is_write {
+                line.dirty = true;
+            }
+            return ProbeResult::Hit {
+                ready_at: line.ready_at.max(now),
+            };
+        }
+        // Victim buffer probe: hit moves the line back into the array.
+        if let Some(dirty) = self.victim.take(line_addr) {
+            self.stats.victim_hits += 1;
+            self.fill_internal(line_addr, now, now, dirty || is_write);
+            return ProbeResult::Hit { ready_at: now };
+        }
+        self.stats.misses += 1;
+        ProbeResult::Miss
+    }
+
+    /// Probes without updating statistics or LRU (used by prefetchers and by
+    /// external-store snoops).
+    pub fn peek(&self, addr: Addr) -> bool {
+        let line_addr = self.config.line_addr(addr);
+        let set = self.config.set_index(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == line_addr)
+    }
+
+    /// Fills `addr`'s line, marking its data ready at `ready_at`.  Returns the
+    /// evicted line if a valid line had to be displaced (after it has been
+    /// pushed through the victim buffer).
+    pub fn fill(&mut self, addr: Addr, now: Cycle, ready_at: Cycle, dirty: bool) -> Option<Evicted> {
+        self.stats.fills += 1;
+        self.fill_internal(self.config.line_addr(addr), now, ready_at, dirty)
+    }
+
+    fn fill_internal(
+        &mut self,
+        line_addr: Addr,
+        now: Cycle,
+        ready_at: Cycle,
+        dirty: bool,
+    ) -> Option<Evicted> {
+        let set = self.config.set_index(line_addr);
+        // Already present (e.g. prefetch raced a demand fill): refresh.
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == line_addr)
+        {
+            line.last_use = now;
+            line.ready_at = line.ready_at.min(ready_at);
+            line.dirty |= dirty;
+            return None;
+        }
+        let way = self.choose_victim(set);
+        let old = self.sets[set][way];
+        self.sets[set][way] = Line {
+            tag: line_addr,
+            valid: true,
+            dirty,
+            last_use: now,
+            ready_at,
+        };
+        if old.valid {
+            if old.dirty {
+                self.stats.writebacks += 1;
+            }
+            // Displaced lines go to the victim buffer; whatever the victim
+            // buffer displaces in turn is reported to the caller.
+            return self.victim.insert(old.tag, old.dirty);
+        }
+        None
+    }
+
+    fn choose_victim(&self, set: usize) -> usize {
+        // Invalid way first, else LRU.
+        if let Some(idx) = self.sets[set].iter().position(|l| !l.valid) {
+            return idx;
+        }
+        self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.last_use)
+            .map(|(i, _)| i)
+            .expect("associativity is at least 1")
+    }
+
+    /// Invalidates `addr`'s line if present (used by SLTP's speculative-line
+    /// flush and by external invalidations).  Returns true if a line was
+    /// invalidated.
+    pub fn invalidate(&mut self, addr: Addr) -> bool {
+        let line_addr = self.config.line_addr(addr);
+        let set = self.config.set_index(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == line_addr {
+                line.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+            victim_entries: 2,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().num_sets(), 4);
+        assert_eq!(c.config().line_addr(0x7f), 0x40);
+        assert_eq!(c.config().set_index(0x40), 1);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x1000, 0, false), ProbeResult::Miss);
+        c.fill(0x1000, 0, 10, false);
+        match c.access(0x1000, 5, false) {
+            ProbeResult::Hit { ready_at } => assert_eq!(ready_at, 10),
+            _ => panic!("expected hit-under-fill"),
+        }
+        match c.access(0x1000, 20, false) {
+            ProbeResult::Hit { ready_at } => assert_eq!(ready_at, 20),
+            _ => panic!("expected plain hit"),
+        }
+    }
+
+    #[test]
+    fn lru_replacement_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 lines: addresses with set_index 0, i.e. multiples of 64*4=256.
+        c.fill(0x0000, 0, 0, false);
+        c.fill(0x0100, 1, 1, false);
+        // Touch 0x0000 so 0x0100 becomes LRU.
+        c.access(0x0000, 2, false);
+        let evicted = c.fill(0x0200, 3, 3, false);
+        // Evicted line goes into victim buffer first, so no overflow yet.
+        assert!(evicted.is_none());
+        // 0x0100 must be gone from the array but still victim-buffered.
+        assert!(c.peek(0x0000));
+        assert!(c.peek(0x0200));
+        assert!(!c.peek(0x0100));
+        // Access to 0x0100 hits via the victim buffer.
+        assert!(matches!(c.access(0x0100, 4, false), ProbeResult::Hit { .. }));
+        assert_eq!(c.stats().victim_hits, 1);
+    }
+
+    #[test]
+    fn victim_buffer_overflow_reports_displaced_line() {
+        let mut vb = VictimBuffer::new(1);
+        assert!(vb.insert(0x40, false).is_none());
+        let displaced = vb.insert(0x80, true).expect("should displace");
+        assert_eq!(displaced.line_addr, 0x40);
+        assert_eq!(vb.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_victim_buffer_passes_through() {
+        let mut vb = VictimBuffer::new(0);
+        let d = vb.insert(0x40, true).unwrap();
+        assert_eq!(d.line_addr, 0x40);
+        assert!(d.dirty);
+        assert!(vb.is_empty());
+    }
+
+    #[test]
+    fn writes_set_dirty_and_cause_writebacks() {
+        let mut c = tiny();
+        c.fill(0x0000, 0, 0, false);
+        c.access(0x0000, 1, true); // dirty it
+        c.fill(0x0100, 2, 2, false);
+        c.fill(0x0200, 3, 3, false); // evicts 0x0000 (dirty) to victim buffer
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.fill(0x1000, 0, 0, false);
+        assert!(c.peek(0x1000));
+        assert!(c.invalidate(0x1000));
+        assert!(!c.peek(0x1000));
+        assert!(!c.invalidate(0x1000));
+    }
+
+    #[test]
+    fn stats_miss_rate() {
+        let mut c = tiny();
+        c.access(0x0, 0, false);
+        c.fill(0x0, 0, 0, false);
+        c.access(0x0, 1, false);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resident_lines_counts_fills() {
+        let mut c = tiny();
+        assert_eq!(c.resident_lines(), 0);
+        c.fill(0x0, 0, 0, false);
+        c.fill(0x40, 0, 0, false);
+        assert_eq!(c.resident_lines(), 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! The MSHR file tracks outstanding misses at cache-line granularity.  A new
+//! miss to a line that already has an MSHR merges into it (a *secondary
+//! reference*); a miss when all MSHRs are occupied must stall.  The iCFP core
+//! also uses MSHR identities to assign poison-vector bits (Section 3.4 of the
+//! paper: "Load misses to the same MSHR (i.e., cache line) are allocated the
+//! same bit").
+
+use icfp_isa::{Addr, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an allocated MSHR entry.  Monotonically increasing across a
+/// run so that entries are never confused even after reuse of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MshrId(pub u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct MshrEntry {
+    id: MshrId,
+    line_addr: Addr,
+    allocated_at: Cycle,
+    completes_at: Cycle,
+    /// Number of references merged into this miss (primary + secondaries).
+    references: u32,
+    /// Whether this miss was initiated by a prefetch rather than a demand access.
+    prefetch: bool,
+}
+
+/// Statistics for the MSHR file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MshrStats {
+    /// Primary (newly allocated) misses.
+    pub allocations: u64,
+    /// Secondary references merged into an existing MSHR.
+    pub merges: u64,
+    /// Occasions on which allocation failed because the file was full.
+    pub full_stalls: u64,
+}
+
+/// A finite file of MSHRs with merge-on-same-line semantics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+    next_id: u64,
+    stats: MshrStats,
+}
+
+/// Result of requesting an MSHR for a missing line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrRequest {
+    /// A new MSHR was allocated for this line.
+    Allocated(MshrId),
+    /// The line already had an outstanding miss; the request merged into it
+    /// and will complete when that miss completes.
+    Merged {
+        /// The existing MSHR.
+        id: MshrId,
+        /// Completion cycle of the existing miss.
+        completes_at: Cycle,
+    },
+    /// No MSHR is free; the earliest cycle at which one frees is given.
+    Full {
+        /// Cycle at which the earliest outstanding miss completes.
+        retry_at: Cycle,
+    },
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            next_id: 0,
+            stats: MshrStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MshrStats {
+        &self.stats
+    }
+
+    /// Number of currently outstanding misses.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Retires every entry whose miss has completed by `now`.
+    pub fn retire_completed(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.completes_at > now);
+    }
+
+    /// Looks up an outstanding miss covering `line_addr`.
+    pub fn lookup(&self, line_addr: Addr) -> Option<(MshrId, Cycle)> {
+        self.entries
+            .iter()
+            .find(|e| e.line_addr == line_addr)
+            .map(|e| (e.id, e.completes_at))
+    }
+
+    /// Requests an MSHR for a miss to `line_addr` observed at `now`.
+    ///
+    /// The caller must call [`MshrFile::set_completion`] after an
+    /// `Allocated` result once it has scheduled the memory access and knows
+    /// the completion cycle.
+    pub fn request(&mut self, line_addr: Addr, now: Cycle, prefetch: bool) -> MshrRequest {
+        self.retire_completed(now);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line_addr == line_addr) {
+            e.references += 1;
+            // A demand reference upgrades a prefetch-initiated miss.
+            if !prefetch {
+                e.prefetch = false;
+            }
+            self.stats.merges += 1;
+            return MshrRequest::Merged {
+                id: e.id,
+                completes_at: e.completes_at,
+            };
+        }
+        if self.entries.len() >= self.capacity {
+            self.stats.full_stalls += 1;
+            let retry_at = self
+                .entries
+                .iter()
+                .map(|e| e.completes_at)
+                .min()
+                .unwrap_or(now + 1);
+            return MshrRequest::Full { retry_at };
+        }
+        let id = MshrId(self.next_id);
+        self.next_id += 1;
+        self.stats.allocations += 1;
+        self.entries.push(MshrEntry {
+            id,
+            line_addr,
+            allocated_at: now,
+            completes_at: Cycle::MAX,
+            references: 1,
+            prefetch,
+        });
+        MshrRequest::Allocated(id)
+    }
+
+    /// Records the completion cycle of a previously allocated miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to an outstanding MSHR.
+    pub fn set_completion(&mut self, id: MshrId, completes_at: Cycle) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.id == id)
+            .expect("set_completion on unknown MSHR");
+        e.completes_at = completes_at;
+    }
+
+    /// Iterates over `(line_addr, completes_at, id)` of outstanding misses.
+    pub fn iter_outstanding(&self) -> impl Iterator<Item = (Addr, Cycle, MshrId)> + '_ {
+        self.entries
+            .iter()
+            .map(|e| (e.line_addr, e.completes_at, e.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_and_retire() {
+        let mut f = MshrFile::new(2);
+        let id = match f.request(0x1000, 0, false) {
+            MshrRequest::Allocated(id) => id,
+            other => panic!("expected allocation, got {other:?}"),
+        };
+        f.set_completion(id, 100);
+        match f.request(0x1000, 5, false) {
+            MshrRequest::Merged { id: mid, completes_at } => {
+                assert_eq!(mid, id);
+                assert_eq!(completes_at, 100);
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+        assert_eq!(f.outstanding(), 1);
+        f.retire_completed(100);
+        assert_eq!(f.outstanding(), 0);
+        assert_eq!(f.stats().allocations, 1);
+        assert_eq!(f.stats().merges, 1);
+    }
+
+    #[test]
+    fn full_file_reports_retry_time() {
+        let mut f = MshrFile::new(1);
+        let id = match f.request(0x1000, 0, false) {
+            MshrRequest::Allocated(id) => id,
+            _ => unreachable!(),
+        };
+        f.set_completion(id, 50);
+        match f.request(0x2000, 1, false) {
+            MshrRequest::Full { retry_at } => assert_eq!(retry_at, 50),
+            other => panic!("expected full, got {other:?}"),
+        }
+        assert_eq!(f.stats().full_stalls, 1);
+        // After completion, allocation succeeds again.
+        assert!(matches!(
+            f.request(0x2000, 51, false),
+            MshrRequest::Allocated(_)
+        ));
+    }
+
+    #[test]
+    fn different_lines_get_different_mshrs() {
+        let mut f = MshrFile::new(4);
+        let a = f.request(0x1000, 0, false);
+        let b = f.request(0x2000, 0, false);
+        match (a, b) {
+            (MshrRequest::Allocated(x), MshrRequest::Allocated(y)) => assert_ne!(x, y),
+            other => panic!("expected two allocations, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demand_upgrades_prefetch() {
+        let mut f = MshrFile::new(2);
+        let id = match f.request(0x1000, 0, true) {
+            MshrRequest::Allocated(id) => id,
+            _ => unreachable!(),
+        };
+        f.set_completion(id, 100);
+        // A demand merge should succeed and keep the same completion.
+        match f.request(0x1000, 1, false) {
+            MshrRequest::Merged { completes_at, .. } => assert_eq!(completes_at, 100),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_across_reuse() {
+        let mut f = MshrFile::new(1);
+        let a = match f.request(0x1000, 0, false) {
+            MshrRequest::Allocated(id) => id,
+            _ => unreachable!(),
+        };
+        f.set_completion(a, 10);
+        f.retire_completed(10);
+        let b = match f.request(0x3000, 11, false) {
+            MshrRequest::Allocated(id) => id,
+            _ => unreachable!(),
+        };
+        assert_ne!(a, b);
+    }
+}

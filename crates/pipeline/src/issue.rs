@@ -1,0 +1,175 @@
+//! Issue-slot and port scheduling for the 2-way in-order pipeline.
+//!
+//! In-order issue means issue cycles are non-decreasing in program order, so
+//! only a small window of per-cycle counters needs to be retained.  The
+//! schedule enforces:
+//!
+//! * total issue width per cycle (2),
+//! * integer-port occupancy (2 integer ALU/multiply slots),
+//! * the shared fp/load/store/branch port (1 slot).
+
+use icfp_isa::{Cycle, OpClass};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct SlotUse {
+    total: u8,
+    int: u8,
+    mem_fp_br: u8,
+}
+
+/// Tracks issue-slot usage per cycle and finds the earliest legal issue cycle
+/// for each instruction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IssueSchedule {
+    width: u8,
+    int_ports: u8,
+    mem_fp_br_ports: u8,
+    used: BTreeMap<Cycle, SlotUse>,
+    /// Cycles strictly before this have been pruned and can no longer accept
+    /// instructions (in-order issue guarantees they never will be asked to).
+    horizon: Cycle,
+}
+
+impl IssueSchedule {
+    /// Creates a schedule with the given width and port counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(width: usize, int_ports: usize, mem_fp_br_ports: usize) -> Self {
+        assert!(width > 0 && int_ports > 0 && mem_fp_br_ports > 0);
+        IssueSchedule {
+            width: width as u8,
+            int_ports: int_ports as u8,
+            mem_fp_br_ports: mem_fp_br_ports as u8,
+            used: BTreeMap::new(),
+            horizon: 0,
+        }
+    }
+
+    /// Creates the paper's 2-wide / 2-int / 1-mem-fp-br schedule.
+    pub fn paper_default() -> Self {
+        Self::new(2, 2, 1)
+    }
+
+    fn has_room(&self, cycle: Cycle, class: OpClass) -> bool {
+        let u = self.used.get(&cycle).copied().unwrap_or_default();
+        if u.total >= self.width {
+            return false;
+        }
+        if class.uses_int_port() {
+            u.int < self.int_ports
+        } else {
+            u.mem_fp_br < self.mem_fp_br_ports
+        }
+    }
+
+    /// Reserves an issue slot for an instruction of class `class` at the
+    /// earliest cycle `>= earliest` with room, and returns that cycle.
+    pub fn issue(&mut self, earliest: Cycle, class: OpClass) -> Cycle {
+        let mut cycle = earliest.max(self.horizon);
+        while !self.has_room(cycle, class) {
+            cycle += 1;
+        }
+        let u = self.used.entry(cycle).or_default();
+        u.total += 1;
+        if class.uses_int_port() {
+            u.int += 1;
+        } else {
+            u.mem_fp_br += 1;
+        }
+        // Prune old cycles occasionally to bound memory.
+        if self.used.len() > 4096 {
+            let keep_from = cycle.saturating_sub(64);
+            self.used = self.used.split_off(&keep_from);
+            self.horizon = self.horizon.max(keep_from);
+        }
+        cycle
+    }
+
+    /// Number of instructions issued at `cycle` so far.
+    pub fn issued_at(&self, cycle: Cycle) -> usize {
+        self.used.get(&cycle).map(|u| u.total as usize).unwrap_or(0)
+    }
+
+    /// Resets the schedule (between runs).
+    pub fn reset(&mut self) {
+        self.used.clear();
+        self.horizon = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_wide_issue_packs_two_per_cycle() {
+        let mut s = IssueSchedule::paper_default();
+        assert_eq!(s.issue(0, OpClass::IntAlu), 0);
+        assert_eq!(s.issue(0, OpClass::IntAlu), 0);
+        // Third integer op in the same cycle must slip.
+        assert_eq!(s.issue(0, OpClass::IntAlu), 1);
+    }
+
+    #[test]
+    fn single_mem_port_serializes_loads() {
+        let mut s = IssueSchedule::paper_default();
+        assert_eq!(s.issue(0, OpClass::Load), 0);
+        assert_eq!(s.issue(0, OpClass::Load), 1);
+        assert_eq!(s.issue(0, OpClass::Store), 2);
+        assert_eq!(s.issue(0, OpClass::Branch), 3);
+    }
+
+    #[test]
+    fn int_and_mem_share_total_width() {
+        let mut s = IssueSchedule::paper_default();
+        assert_eq!(s.issue(0, OpClass::IntAlu), 0);
+        assert_eq!(s.issue(0, OpClass::Load), 0);
+        // Width 2 exhausted even though an int port remains.
+        assert_eq!(s.issue(0, OpClass::IntAlu), 1);
+    }
+
+    #[test]
+    fn earliest_constraint_is_respected() {
+        let mut s = IssueSchedule::paper_default();
+        assert_eq!(s.issue(10, OpClass::IntAlu), 10);
+        assert_eq!(s.issued_at(10), 1);
+        assert_eq!(s.issued_at(9), 0);
+    }
+
+    #[test]
+    fn scalar_schedule_is_one_per_cycle() {
+        let mut s = IssueSchedule::new(1, 1, 1);
+        assert_eq!(s.issue(0, OpClass::IntAlu), 0);
+        assert_eq!(s.issue(0, OpClass::Load), 1);
+        assert_eq!(s.issue(0, OpClass::IntAlu), 2);
+    }
+
+    #[test]
+    fn pruning_does_not_lose_future_slots() {
+        let mut s = IssueSchedule::paper_default();
+        for i in 0..10_000u64 {
+            s.issue(i, OpClass::IntAlu);
+        }
+        // Still works after pruning.
+        let c = s.issue(10_000, OpClass::IntAlu);
+        assert!(c >= 10_000);
+    }
+
+    #[test]
+    fn reset_clears_usage() {
+        let mut s = IssueSchedule::paper_default();
+        s.issue(0, OpClass::IntAlu);
+        s.reset();
+        assert_eq!(s.issued_at(0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_panics() {
+        let _ = IssueSchedule::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Poison bits and poison bitvectors.
+//!
+//! Runahead-style mechanisms mark the destination of a missing load as
+//! *poisoned* and propagate that mark through data dependences so that
+//! miss-dependent instructions can be identified.  The paper's Section 3.4
+//! extends the single poison bit to a small *bitvector* (8 bits by default):
+//! each outstanding miss (MSHR) is assigned one bit, so that when a particular
+//! miss returns, a rally can skip slice-buffer entries whose poison does not
+//! include that bit.  This module provides both.
+
+use icfp_mem::MshrId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A poison bitvector of up to 16 bits (the paper uses 1 and 8).
+///
+/// The empty mask means "not poisoned".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoisonMask(u16);
+
+impl PoisonMask {
+    /// The non-poisoned mask.
+    pub const CLEAN: PoisonMask = PoisonMask(0);
+
+    /// Creates a mask with a single bit set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 16`.
+    pub fn bit(bit: u8) -> Self {
+        assert!(bit < 16, "poison bit index {bit} out of range");
+        PoisonMask(1 << bit)
+    }
+
+    /// True if no poison bit is set.
+    pub fn is_clean(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if any poison bit is set.
+    pub fn is_poisoned(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Union of two masks (dependence merge).
+    pub fn union(self, other: PoisonMask) -> PoisonMask {
+        PoisonMask(self.0 | other.0)
+    }
+
+    /// Removes the bits of `other` from this mask (un-poisoning when a miss
+    /// returns).
+    pub fn without(self, other: PoisonMask) -> PoisonMask {
+        PoisonMask(self.0 & !other.0)
+    }
+
+    /// True if this mask shares any bit with `other`.
+    pub fn intersects(self, other: PoisonMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Raw bit representation.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for PoisonMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "clean")
+        } else {
+            write!(f, "poison[{:#06x}]", self.0)
+        }
+    }
+}
+
+impl std::ops::BitOr for PoisonMask {
+    type Output = PoisonMask;
+    fn bitor(self, rhs: Self) -> Self::Output {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for PoisonMask {
+    fn bitor_assign(&mut self, rhs: Self) {
+        *self = self.union(rhs);
+    }
+}
+
+/// Assigns poison bits to outstanding misses.
+///
+/// With `width == 1` every miss maps to the same bit (the classic single
+/// poison bit).  With larger widths, bits are assigned round-robin per MSHR,
+/// and misses sharing an MSHR (same cache line) share a bit, exactly as
+/// Section 3.4 prescribes ("Load misses to the same MSHR are allocated the
+/// same bit ... a simple round-robin scheme is sufficient").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoisonAllocator {
+    width: u8,
+    next: u8,
+    /// Recent MSHR→bit assignments (bounded; old entries are recycled).
+    assignments: Vec<(MshrId, u8)>,
+}
+
+impl PoisonAllocator {
+    /// Creates an allocator for poison vectors of `width` bits (1–16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 16.
+    pub fn new(width: u8) -> Self {
+        assert!((1..=16).contains(&width), "poison width must be 1..=16");
+        PoisonAllocator {
+            width,
+            next: 0,
+            assignments: Vec::new(),
+        }
+    }
+
+    /// The configured vector width.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Returns the poison bit for a miss held by `mshr`, allocating one
+    /// round-robin if this MSHR has not been seen before.
+    pub fn bit_for(&mut self, mshr: MshrId) -> PoisonMask {
+        if let Some(&(_, b)) = self.assignments.iter().find(|(id, _)| *id == mshr) {
+            return PoisonMask::bit(b);
+        }
+        let b = self.next % self.width;
+        self.next = (self.next + 1) % self.width;
+        if self.assignments.len() >= 4 * self.width as usize {
+            self.assignments.remove(0);
+        }
+        self.assignments.push((mshr, b));
+        PoisonMask::bit(b)
+    }
+
+    /// The poison bit previously assigned to `mshr`, if any — used when a miss
+    /// returns to know which bit is being un-poisoned.
+    pub fn lookup(&self, mshr: MshrId) -> Option<PoisonMask> {
+        self.assignments
+            .iter()
+            .find(|(id, _)| *id == mshr)
+            .map(|&(_, b)| PoisonMask::bit(b))
+    }
+
+    /// Forgets the assignment for `mshr` (after its rally pass completes).
+    pub fn release(&mut self, mshr: MshrId) {
+        self.assignments.retain(|(id, _)| *id != mshr);
+    }
+
+    /// Clears all assignments (end of an advance/rally episode).
+    pub fn clear(&mut self) {
+        self.assignments.clear();
+        self.next = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_mask_properties() {
+        let c = PoisonMask::CLEAN;
+        assert!(c.is_clean());
+        assert!(!c.is_poisoned());
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.to_string(), "clean");
+    }
+
+    #[test]
+    fn union_and_without() {
+        let a = PoisonMask::bit(0);
+        let b = PoisonMask::bit(3);
+        let u = a | b;
+        assert_eq!(u.count(), 2);
+        assert!(u.intersects(a));
+        assert!(u.intersects(b));
+        assert_eq!(u.without(a), b);
+        assert_eq!(u.without(u), PoisonMask::CLEAN);
+    }
+
+    #[test]
+    fn bitor_assign_accumulates() {
+        let mut m = PoisonMask::CLEAN;
+        m |= PoisonMask::bit(1);
+        m |= PoisonMask::bit(2);
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        let _ = PoisonMask::bit(16);
+    }
+
+    #[test]
+    fn single_bit_allocator_always_returns_bit_zero() {
+        let mut a = PoisonAllocator::new(1);
+        assert_eq!(a.bit_for(MshrId(0)), PoisonMask::bit(0));
+        assert_eq!(a.bit_for(MshrId(1)), PoisonMask::bit(0));
+        assert_eq!(a.bit_for(MshrId(2)), PoisonMask::bit(0));
+    }
+
+    #[test]
+    fn same_mshr_gets_same_bit() {
+        let mut a = PoisonAllocator::new(8);
+        let b0 = a.bit_for(MshrId(7));
+        let b1 = a.bit_for(MshrId(8));
+        assert_ne!(b0, b1);
+        assert_eq!(a.bit_for(MshrId(7)), b0);
+        assert_eq!(a.lookup(MshrId(8)), Some(b1));
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let mut a = PoisonAllocator::new(2);
+        let b0 = a.bit_for(MshrId(0));
+        let b1 = a.bit_for(MshrId(1));
+        let b2 = a.bit_for(MshrId(2));
+        assert_eq!(b0, b2);
+        assert_ne!(b0, b1);
+    }
+
+    #[test]
+    fn release_and_clear() {
+        let mut a = PoisonAllocator::new(4);
+        a.bit_for(MshrId(1));
+        a.release(MshrId(1));
+        assert_eq!(a.lookup(MshrId(1)), None);
+        a.bit_for(MshrId(2));
+        a.clear();
+        assert_eq!(a.lookup(MshrId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "poison width")]
+    fn zero_width_panics() {
+        let _ = PoisonAllocator::new(0);
+    }
+}

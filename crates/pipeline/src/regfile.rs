@@ -1,0 +1,342 @@
+//! Checkpointed register files with poison and last-writer tracking.
+//!
+//! The iCFP paper's enhanced register dependence tracking (Section 3.1)
+//! associates with each architectural register not only a poison bit (as
+//! Runahead does) but also a *last-writer sequence number*: the distance from
+//! the checkpoint of the most recent instruction to write the register.  At
+//! writeback every advance instruction — poisoned or not — stamps its
+//! destination with its own sequence number; during rallies a slice
+//! instruction updates the main register file only if the register's
+//! last-writer stamp equals its own sequence number, which prevents
+//! write-after-write violations without renaming.
+
+use crate::poison::PoisonMask;
+use icfp_isa::{Cycle, InstSeq, Reg, Value, NUM_ARCH_REGS};
+use serde::{Deserialize, Serialize};
+
+/// One architectural register's simulator state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegEntry {
+    /// Architectural value.
+    pub value: Value,
+    /// Cycle at which the value becomes available to dependents (scoreboard).
+    pub ready_at: Cycle,
+    /// Poison bitvector.
+    pub poison: PoisonMask,
+    /// Sequence number (distance from the checkpoint) of the last writer, or
+    /// `None` if the register has not been written since the checkpoint.
+    pub last_writer: Option<InstSeq>,
+}
+
+impl RegEntry {
+    fn new(value: Value) -> Self {
+        RegEntry {
+            value,
+            ready_at: 0,
+            poison: PoisonMask::CLEAN,
+            last_writer: None,
+        }
+    }
+}
+
+/// A register-file checkpoint (shadow-bitcell model: one snapshot supporting
+/// create and restore, as both Runahead and iCFP require).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    values: Vec<Value>,
+    /// Cycle at which the checkpoint was created.
+    pub created_at: Cycle,
+    /// Dynamic sequence number of the instruction at which it was created.
+    pub at_seq: InstSeq,
+}
+
+/// A register file with values, readiness, poison and last-writer tracking,
+/// plus one checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedRegFile {
+    regs: Vec<RegEntry>,
+    checkpoint: Option<Checkpoint>,
+}
+
+impl Default for TimedRegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimedRegFile {
+    /// Creates a register file with all registers holding deterministic
+    /// initial values (matching [`icfp_isa::ArchState::new`]) and ready at
+    /// cycle 0.
+    pub fn new() -> Self {
+        TimedRegFile {
+            regs: (0..NUM_ARCH_REGS as u64)
+                .map(|i| RegEntry::new(icfp_isa::exec::background_value(i.wrapping_mul(0x1001))))
+                .collect(),
+            checkpoint: None,
+        }
+    }
+
+    /// Creates a register file whose values are copied from an architectural
+    /// snapshot (flat register index order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not contain exactly one value per register.
+    pub fn from_values(values: &[Value]) -> Self {
+        assert_eq!(values.len(), NUM_ARCH_REGS, "snapshot must cover all registers");
+        TimedRegFile {
+            regs: values.iter().map(|&v| RegEntry::new(v)).collect(),
+            checkpoint: None,
+        }
+    }
+
+    /// Read access to a register entry.
+    pub fn entry(&self, r: Reg) -> &RegEntry {
+        &self.regs[r.index()]
+    }
+
+    /// Mutable access to a register entry.
+    pub fn entry_mut(&mut self, r: Reg) -> &mut RegEntry {
+        &mut self.regs[r.index()]
+    }
+
+    /// The architectural value of `r`.
+    pub fn value(&self, r: Reg) -> Value {
+        self.regs[r.index()].value
+    }
+
+    /// The cycle at which `r`'s value is available.
+    pub fn ready_at(&self, r: Reg) -> Cycle {
+        self.regs[r.index()].ready_at
+    }
+
+    /// The poison mask of `r`.
+    pub fn poison(&self, r: Reg) -> PoisonMask {
+        self.regs[r.index()].poison
+    }
+
+    /// True if any register is poisoned.
+    pub fn any_poisoned(&self) -> bool {
+        self.regs.iter().any(|e| e.poison.is_poisoned())
+    }
+
+    /// Writes `r` as a normal (non-poisoned) result available at `ready_at`,
+    /// stamping the last-writer sequence number.
+    pub fn write(&mut self, r: Reg, value: Value, ready_at: Cycle, seq: InstSeq) {
+        self.regs[r.index()] = RegEntry {
+            value,
+            ready_at,
+            poison: PoisonMask::CLEAN,
+            last_writer: Some(seq),
+        };
+    }
+
+    /// Poisons `r` with `mask`, stamping the last-writer sequence number.  The
+    /// old value is retained (it is architecturally stale but harmless: any
+    /// reader sees the poison).
+    pub fn poison_write(&mut self, r: Reg, mask: PoisonMask, seq: InstSeq) {
+        let e = &mut self.regs[r.index()];
+        e.poison = mask;
+        e.last_writer = Some(seq);
+        e.ready_at = 0;
+    }
+
+    /// Gated rally update (paper Section 3.1): writes `r` only if its
+    /// last-writer stamp equals `seq`.  Returns true if the write was
+    /// performed (and the register un-poisoned).
+    pub fn rally_write(&mut self, r: Reg, value: Value, ready_at: Cycle, seq: InstSeq) -> bool {
+        let e = &mut self.regs[r.index()];
+        if e.last_writer == Some(seq) {
+            e.value = value;
+            e.ready_at = ready_at;
+            e.poison = PoisonMask::CLEAN;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes the given poison bits from every register (used when a miss
+    /// returns under single-bit schemes that clear optimistically).
+    pub fn clear_poison_bits(&mut self, bits: PoisonMask) {
+        for e in &mut self.regs {
+            e.poison = e.poison.without(bits);
+        }
+    }
+
+    /// Clears all poison and last-writer state (end of an advance episode).
+    pub fn clear_speculative_state(&mut self) {
+        for e in &mut self.regs {
+            e.poison = PoisonMask::CLEAN;
+            e.last_writer = None;
+        }
+    }
+
+    /// Creates the checkpoint (there is only one, as in the paper's
+    /// shadow-bitcell design).  Overwrites any previous checkpoint.
+    pub fn checkpoint(&mut self, now: Cycle, at_seq: InstSeq) {
+        self.checkpoint = Some(Checkpoint {
+            values: self.regs.iter().map(|e| e.value).collect(),
+            created_at: now,
+            at_seq,
+        });
+    }
+
+    /// True if a checkpoint exists.
+    pub fn has_checkpoint(&self) -> bool {
+        self.checkpoint.is_some()
+    }
+
+    /// The current checkpoint, if any.
+    pub fn checkpoint_info(&self) -> Option<&Checkpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Restores register values from the checkpoint, clearing poison,
+    /// last-writer and readiness state.  The checkpoint is consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint exists.
+    pub fn restore(&mut self, now: Cycle) {
+        let ck = self
+            .checkpoint
+            .take()
+            .expect("restore called without a checkpoint");
+        for (e, v) in self.regs.iter_mut().zip(ck.values.iter()) {
+            *e = RegEntry {
+                value: *v,
+                ready_at: now,
+                poison: PoisonMask::CLEAN,
+                last_writer: None,
+            };
+        }
+    }
+
+    /// Discards the checkpoint without restoring (successful completion of an
+    /// advance/rally episode).
+    pub fn release_checkpoint(&mut self) {
+        self.checkpoint = None;
+    }
+
+    /// Snapshot of all architectural values in flat register-index order.
+    pub fn values_snapshot(&self) -> Vec<Value> {
+        self.regs.iter().map(|e| e.value).collect()
+    }
+
+    /// Number of currently poisoned registers.
+    pub fn poisoned_count(&self) -> usize {
+        self.regs.iter().filter(|e| e.poison.is_poisoned()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_values_match_arch_state() {
+        let rf = TimedRegFile::new();
+        let arch = icfp_isa::ArchState::new();
+        for r in Reg::all() {
+            assert_eq!(rf.value(r), arch.reg(r));
+        }
+    }
+
+    #[test]
+    fn write_updates_value_readiness_and_stamp() {
+        let mut rf = TimedRegFile::new();
+        rf.write(Reg::int(5), 99, 42, 7);
+        assert_eq!(rf.value(Reg::int(5)), 99);
+        assert_eq!(rf.ready_at(Reg::int(5)), 42);
+        assert!(rf.poison(Reg::int(5)).is_clean());
+        assert_eq!(rf.entry(Reg::int(5)).last_writer, Some(7));
+    }
+
+    #[test]
+    fn poison_write_marks_and_stamps() {
+        let mut rf = TimedRegFile::new();
+        rf.poison_write(Reg::int(4), PoisonMask::bit(2), 8);
+        assert!(rf.poison(Reg::int(4)).is_poisoned());
+        assert!(rf.any_poisoned());
+        assert_eq!(rf.poisoned_count(), 1);
+        assert_eq!(rf.entry(Reg::int(4)).last_writer, Some(8));
+    }
+
+    #[test]
+    fn rally_write_is_gated_by_last_writer() {
+        // This is the working example of paper Figure 3: rally instructions 0
+        // and 2 must not write r3/r4 because younger instructions 6 and 8 have
+        // overwritten them; rally instruction 8 must write r4.
+        let mut rf = TimedRegFile::new();
+        rf.poison_write(Reg::int(4), PoisonMask::bit(0), 8); // r4 last written by seq 8
+        rf.write(Reg::int(3), 3, 0, 6); // r3 last written by seq 6
+        assert!(!rf.rally_write(Reg::int(3), 9, 10, 0), "older writer must be suppressed");
+        assert_eq!(rf.value(Reg::int(3)), 3);
+        assert!(rf.rally_write(Reg::int(4), 12, 10, 8), "matching writer must update");
+        assert_eq!(rf.value(Reg::int(4)), 12);
+        assert!(rf.poison(Reg::int(4)).is_clean());
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_values() {
+        let mut rf = TimedRegFile::new();
+        rf.write(Reg::int(1), 111, 5, 0);
+        rf.checkpoint(10, 0);
+        rf.write(Reg::int(1), 222, 20, 1);
+        rf.poison_write(Reg::int(2), PoisonMask::bit(0), 2);
+        rf.restore(100);
+        assert_eq!(rf.value(Reg::int(1)), 111);
+        assert!(!rf.any_poisoned());
+        assert_eq!(rf.ready_at(Reg::int(1)), 100);
+        assert!(!rf.has_checkpoint());
+    }
+
+    #[test]
+    #[should_panic(expected = "without a checkpoint")]
+    fn restore_without_checkpoint_panics() {
+        let mut rf = TimedRegFile::new();
+        rf.restore(0);
+    }
+
+    #[test]
+    fn release_checkpoint_keeps_current_state() {
+        let mut rf = TimedRegFile::new();
+        rf.checkpoint(0, 0);
+        rf.write(Reg::int(1), 5, 1, 1);
+        rf.release_checkpoint();
+        assert_eq!(rf.value(Reg::int(1)), 5);
+        assert!(!rf.has_checkpoint());
+    }
+
+    #[test]
+    fn clear_poison_bits_only_clears_matching() {
+        let mut rf = TimedRegFile::new();
+        rf.poison_write(Reg::int(1), PoisonMask::bit(0), 1);
+        rf.poison_write(Reg::int(2), PoisonMask::bit(1), 2);
+        rf.poison_write(Reg::int(3), PoisonMask::bit(0) | PoisonMask::bit(1), 3);
+        rf.clear_poison_bits(PoisonMask::bit(0));
+        assert!(rf.poison(Reg::int(1)).is_clean());
+        assert!(rf.poison(Reg::int(2)).is_poisoned());
+        assert_eq!(rf.poison(Reg::int(3)), PoisonMask::bit(1));
+    }
+
+    #[test]
+    fn from_values_snapshot_round_trip() {
+        let mut rf = TimedRegFile::new();
+        rf.write(Reg::int(7), 1234, 0, 0);
+        let snap = rf.values_snapshot();
+        let rf2 = TimedRegFile::from_values(&snap);
+        assert_eq!(rf2.value(Reg::int(7)), 1234);
+    }
+
+    #[test]
+    fn clear_speculative_state_resets_poison_and_stamps() {
+        let mut rf = TimedRegFile::new();
+        rf.poison_write(Reg::int(1), PoisonMask::bit(3), 5);
+        rf.clear_speculative_state();
+        assert!(!rf.any_poisoned());
+        assert_eq!(rf.entry(Reg::int(1)).last_writer, None);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-run statistics reported by every core model.
+
+use icfp_isa::Value;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total cycles to retire the trace.
+    pub cycles: u64,
+    /// Architectural (committed) instructions.
+    pub instructions: u64,
+    /// Dynamic instructions processed during advance modes (committed or not).
+    pub advance_instructions: u64,
+    /// Instructions re-executed during rallies (iCFP/SLTP) or re-processed
+    /// after a Runahead/Multipass squash.
+    pub rally_instructions: u64,
+    /// Number of advance episodes entered (checkpoints created).
+    pub advance_episodes: u64,
+    /// Number of rally passes performed.
+    pub rally_passes: u64,
+    /// Instructions diverted into a slice buffer.
+    pub sliced_instructions: u64,
+    /// Times the design fell back to "simple runahead" (resource exhaustion or
+    /// a poisoned store address).
+    pub simple_runahead_entries: u64,
+    /// Branch mis-predictions paid.
+    pub branch_mispredicts: u64,
+    /// Loads that forwarded from a store buffer.
+    pub store_forwards: u64,
+    /// Excess store-buffer hops taken by chained forwarding (beyond the first
+    /// free probe; paper Section 3.2 reports hops per load).
+    pub chain_hops: u64,
+    /// Loads issued to the memory hierarchy (demand, from this core).
+    pub demand_loads: u64,
+    /// Squashes caused by external-store signature hits (multiprocessor
+    /// safety, paper Section 3.3).
+    pub signature_squashes: u64,
+    /// Cycles spent stalled because a structural resource (slice buffer,
+    /// store buffer, MSHRs) was full.
+    pub resource_stall_cycles: u64,
+}
+
+impl RunStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Rally instructions per 1000 committed instructions (paper Table 2,
+    /// "Rally/KI").
+    pub fn rally_per_ki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.rally_instructions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Excess store-buffer hops per demand load (paper Section 5.2).
+    pub fn hops_per_load(&self) -> f64 {
+        if self.demand_loads == 0 {
+            0.0
+        } else {
+            self.chain_hops as f64 / self.demand_loads as f64
+        }
+    }
+}
+
+/// The result of simulating one trace on one core model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Core model name (e.g. `"in-order"`, `"icfp"`).
+    pub core: String,
+    /// Workload / trace name.
+    pub workload: String,
+    /// Timing and event counters.
+    pub stats: RunStats,
+    /// Final architectural register values (flat register-index order), used
+    /// to check timing models against the golden functional model.
+    pub final_regs: Vec<Value>,
+    /// Final architectural memory image as sorted `(word address, value)`
+    /// pairs, for the same purpose.
+    pub final_mem: Vec<(u64, Value)>,
+}
+
+impl RunResult {
+    /// Speedup of this run over a baseline run of the same workload
+    /// (baseline cycles / this run's cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two results are for different workloads.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        assert_eq!(
+            self.workload, baseline.workload,
+            "speedup comparison across different workloads"
+        );
+        if self.stats.cycles == 0 {
+            return 0.0;
+        }
+        baseline.stats.cycles as f64 / self.stats.cycles as f64
+    }
+
+    /// Percent speedup over a baseline (the unit of Figures 5–8).
+    pub fn percent_speedup_over(&self, baseline: &RunResult) -> f64 {
+        (self.speedup_over(baseline) - 1.0) * 100.0
+    }
+
+    /// True if the final architectural state (registers + memory) matches
+    /// another run's — the cross-model correctness check.
+    pub fn state_matches(&self, other: &RunResult) -> bool {
+        self.final_regs == other.final_regs && self.final_mem == other.final_mem
+    }
+}
+
+/// Geometric mean of a slice of speedups (the paper reports geometric means
+/// over SPECfp, SPECint and all of SPEC2000).
+///
+/// Returns 1.0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(cycles: u64, instructions: u64) -> RunResult {
+        RunResult {
+            core: "x".into(),
+            workload: "w".into(),
+            stats: RunStats {
+                cycles,
+                instructions,
+                ..RunStats::default()
+            },
+            final_regs: vec![],
+            final_mem: vec![],
+        }
+    }
+
+    #[test]
+    fn ipc_and_rally_per_ki() {
+        let mut s = RunStats {
+            cycles: 200,
+            instructions: 100,
+            rally_instructions: 50,
+            ..RunStats::default()
+        };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.rally_per_ki() - 500.0).abs() < 1e-12);
+        s.demand_loads = 10;
+        s.chain_hops = 5;
+        assert!((s.hops_per_load() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.rally_per_ki(), 0.0);
+        assert_eq!(s.hops_per_load(), 0.0);
+    }
+
+    #[test]
+    fn speedup_over_baseline() {
+        let base = result(200, 100);
+        let fast = result(100, 100);
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+        assert!((fast.percent_speedup_over(&base) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different workloads")]
+    fn speedup_across_workloads_panics() {
+        let mut a = result(10, 10);
+        a.workload = "other".into();
+        let b = result(10, 10);
+        let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn state_matches_compares_regs_and_mem() {
+        let mut a = result(1, 1);
+        let mut b = result(2, 1);
+        a.final_regs = vec![1, 2, 3];
+        b.final_regs = vec![1, 2, 3];
+        a.final_mem = vec![(8, 9)];
+        b.final_mem = vec![(8, 9)];
+        assert!(a.state_matches(&b));
+        b.final_mem = vec![(8, 10)];
+        assert!(!a.state_matches(&b));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[]) - 1.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+}
