@@ -1,0 +1,139 @@
+//! Micro-benchmarks for the per-cycle hot-path structures (`cargo bench -p
+//! icfp-bench`).  Uses the crate's own best-of-N timer instead of criterion
+//! because the build environment is offline; the output format is one line
+//! per benchmark: `name  ns/iter`.
+
+use icfp_bench::time_ns_per_iter;
+use icfp_core::{ChainedStoreBuffer, SliceBuffer, SliceEntry, StoreBufferKind};
+use icfp_mem::{MemConfig, MemoryHierarchy, MshrFile, MshrRequest};
+use icfp_pipeline::PoisonMask;
+
+fn report(name: &str, ns: f64) {
+    println!("{name:<44} {ns:>10.1} ns/iter");
+}
+
+fn bench_storebuf_drain() {
+    let mut sb = ChainedStoreBuffer::new(StoreBufferKind::Chained, 128, 512);
+    let mut scratch: Vec<(u64, u64)> = Vec::with_capacity(128);
+    let mut seq = 0u64;
+    let ns = time_ns_per_iter(
+        || {
+            for k in 0..32u64 {
+                let _ = sb.push(seq, 0x4000 + (k % 16) * 8, k, PoisonMask::CLEAN);
+                seq += 1;
+            }
+            scratch.clear();
+            sb.drain_completed_into(seq, &mut scratch);
+            assert_eq!(scratch.len(), 32);
+        },
+        2_000,
+        5,
+    );
+    report("storebuf/push32+drain_completed_into", ns);
+}
+
+fn bench_storebuf_forward() {
+    let mut sb = ChainedStoreBuffer::new(StoreBufferKind::Chained, 128, 512);
+    for k in 0..64u64 {
+        let _ = sb.push(k, 0x4000 + k * 8, k, PoisonMask::CLEAN);
+    }
+    let color = sb.ssn_tail();
+    let mut k = 0u64;
+    let ns = time_ns_per_iter(
+        || {
+            let f = sb.forward(0x4000 + (k % 64) * 8, color);
+            assert!(f.store.is_some());
+            k += 1;
+        },
+        20_000,
+        5,
+    );
+    report("storebuf/forward_hit", ns);
+}
+
+fn bench_slicebuf_rally_selection() {
+    let mut sb = SliceBuffer::new(128);
+    for k in 0..128usize {
+        sb.push(SliceEntry {
+            trace_idx: k,
+            seq_from_ckpt: k as u64,
+            src1_value: Some(1),
+            src2_value: None,
+            store_color: 0,
+            poison: PoisonMask::bit((k % 8) as u8),
+            active: true,
+        })
+        .unwrap();
+    }
+    let mut scratch = Vec::with_capacity(128);
+    let ns = time_ns_per_iter(
+        || {
+            sb.entries_for_rally_into(PoisonMask::bit(3), &mut scratch);
+            assert_eq!(scratch.len(), 16);
+        },
+        20_000,
+        5,
+    );
+    report("slicebuf/entries_for_rally_into(128)", ns);
+}
+
+fn bench_mshr_request_retire() {
+    let mut f = MshrFile::new(64);
+    let mut now = 0u64;
+    let ns = time_ns_per_iter(
+        || {
+            for k in 0..32u64 {
+                match f.request(0x10000 + k * 0x40, now, false) {
+                    MshrRequest::Allocated(id) => f.set_completion(id, now + 10),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            now += 100;
+            f.retire_completed(now);
+            assert!(f.is_empty());
+        },
+        5_000,
+        5,
+    );
+    report("mshr/request32+retire", ns);
+}
+
+fn bench_hierarchy_hit_loop() {
+    let mut m = MemoryHierarchy::new(MemConfig::paper_default().with_prefetch(false));
+    // Warm one line.
+    let warm = m.load(0x4000, 0).unwrap();
+    let mut now = warm.completes_at + 1;
+    let ns = time_ns_per_iter(
+        || {
+            let r = m.load(0x4000, now).unwrap();
+            now = r.completes_at;
+        },
+        50_000,
+        5,
+    );
+    report("hierarchy/l1_hit_load", ns);
+}
+
+fn bench_end_to_end_icfp() {
+    let trace = icfp_workloads::dcache_thrash(5_000, 256 * 1024, 1);
+    let ns = time_ns_per_iter(
+        || {
+            let mut sim = icfp_sim::Simulator::new(icfp_sim::SimConfig::default());
+            let r = sim.run(&trace);
+            assert!(r.cycles > 0);
+        },
+        3,
+        3,
+    );
+    report("sim/icfp_dcache_thrash_5k_insts", ns);
+}
+
+fn main() {
+    println!("icfp hot-path micro-benchmarks (best-of-N, self-timed)");
+    bench_storebuf_drain();
+    bench_storebuf_forward();
+    bench_slicebuf_rally_selection();
+    bench_mshr_request_retire();
+    bench_hierarchy_hit_loop();
+    bench_end_to_end_icfp();
+}

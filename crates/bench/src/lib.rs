@@ -1,1 +1,196 @@
-//! placeholder
+//! # icfp-bench — simulation-throughput benchmark harness
+//!
+//! Measures how fast the simulator itself runs (simulated instructions per
+//! host second, "MIPS") across the standard synthetic workloads, and writes
+//! the results to `BENCH_sim.json` so CI can track regressions.  The
+//! companion `benches/hot_paths.rs` micro-benchmarks the individual hot-path
+//! structures (store-buffer drain, slice-buffer rally selection, MSHR
+//! request/retire).
+//!
+//! The harness is self-contained (no criterion): this build environment is
+//! offline, so the crate ships a small measure-repeat-report loop with
+//! best-of-N semantics instead.  The JSON writer is hand-rolled for the same
+//! reason; the schema is flat and stable:
+//!
+//! ```json
+//! {
+//!   "schema": "icfp-bench/v1",
+//!   "mode": "smoke",
+//!   "runs": [ { "workload": "...", "core": "...", "instructions": 0,
+//!               "cycles": 0, "ipc": 0.0, "host_seconds": 0.0, "mips": 0.0,
+//!               "state_digest": "0x..." } ],
+//!   "aggregate_mips": 0.0
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use icfp_sim::{CoreModel, SimConfig, SimReport, Simulator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// The simulator's report (includes host seconds and MIPS).
+    pub report: SimReport,
+    /// Number of timing repetitions taken (the report is the fastest).
+    pub reps: u32,
+}
+
+/// Results of a full benchmark session.
+#[derive(Debug, Clone)]
+pub struct BenchSession {
+    /// Mode label (`"smoke"` or `"full"`).
+    pub mode: String,
+    /// Individual runs.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchSession {
+    /// Aggregate throughput: total simulated instructions over total host
+    /// seconds, in millions per second.
+    pub fn aggregate_mips(&self) -> f64 {
+        let inst: u64 = self.runs.iter().map(|r| r.report.instructions).sum();
+        let secs: f64 = self.runs.iter().map(|r| r.report.host_seconds).sum();
+        if secs > 0.0 {
+            inst as f64 / secs / 1.0e6
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the session as the `BENCH_sim.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"icfp-bench/v1\",");
+        let _ = writeln!(s, "  \"mode\": {:?},", self.mode);
+        s.push_str("  \"runs\": [\n");
+        for (k, r) in self.runs.iter().enumerate() {
+            let p = &r.report;
+            let _ = write!(
+                s,
+                "    {{\"workload\": {:?}, \"core\": {:?}, \"instructions\": {}, \
+                 \"cycles\": {}, \"ipc\": {:.4}, \"l1d_mpki\": {:.3}, \"l2_mpki\": {:.3}, \
+                 \"host_seconds\": {:.6}, \"mips\": {:.3}, \"reps\": {}, \
+                 \"state_digest\": \"{:#018x}\"}}",
+                p.workload,
+                p.core,
+                p.instructions,
+                p.cycles,
+                p.ipc,
+                p.l1d_mpki,
+                p.l2_mpki,
+                p.host_seconds,
+                p.mips,
+                r.reps,
+                p.state_digest
+            );
+            s.push_str(if k + 1 == self.runs.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(s, "  \"aggregate_mips\": {:.3}", self.aggregate_mips());
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Runs `trace` on `core` `reps` times and keeps the fastest run (standard
+/// best-of-N to suppress host noise).
+pub fn bench_trace(core: CoreModel, trace: &icfp_isa::Trace, reps: u32) -> BenchRun {
+    let mut best: Option<SimReport> = None;
+    for _ in 0..reps.max(1) {
+        let mut sim = Simulator::new(SimConfig::new(core));
+        let report = sim.run(trace);
+        if best
+            .as_ref()
+            .is_none_or(|b| report.host_seconds < b.host_seconds)
+        {
+            best = Some(report);
+        }
+    }
+    BenchRun {
+        report: best.expect("at least one rep"),
+        reps: reps.max(1),
+    }
+}
+
+/// A tiny best-of-N timing loop for micro-benchmarks (`benches/hot_paths.rs`).
+/// Returns the best nanoseconds-per-iteration over `reps` timed batches of
+/// `iters` calls.
+pub fn time_ns_per_iter<F: FnMut()>(mut f: F, iters: u32, reps: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..iters.max(1) {
+            f();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_session_json_is_well_formed() {
+        let trace = icfp_workloads::branchy(300, 1);
+        let run = bench_trace(CoreModel::InOrder, &trace, 2);
+        let session = BenchSession {
+            mode: "smoke".into(),
+            runs: vec![run],
+        };
+        let json = session.to_json();
+        assert!(json.contains("\"schema\": \"icfp-bench/v1\""));
+        assert!(json.contains("\"workload\": \"branchy\""));
+        assert!(json.contains("\"mips\":"));
+        assert!(session.aggregate_mips() >= 0.0);
+        // Structural sanity: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn same_trace_and_seed_give_identical_reports() {
+        // End-to-end determinism: generating the same workload from the same
+        // seed and simulating it twice must produce bit-identical timing and
+        // architectural results (host_seconds/mips are the only wall-clock
+        // fields and are excluded).
+        let run = || {
+            let trace = icfp_workloads::by_name("dcache-thrash", 2_000, 0xC0DE).unwrap();
+            let mut sim = Simulator::new(SimConfig::new(CoreModel::Icfp));
+            sim.run(&trace)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.state_digest, b.state_digest);
+        assert_eq!(a.l1d_mpki, b.l1d_mpki);
+        assert_eq!(a.l2_mpki, b.l2_mpki);
+        assert_eq!(a.rally_passes, b.rally_passes);
+        assert_eq!(a.slice_peak, b.slice_peak);
+        assert_eq!(a.result.final_regs, b.result.final_regs);
+        assert_eq!(a.result.final_mem, b.result.final_mem);
+    }
+
+    #[test]
+    fn timer_returns_finite_positive() {
+        let mut x = 0u64;
+        let ns = time_ns_per_iter(
+            || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            },
+            1000,
+            3,
+        );
+        assert!(ns.is_finite() && ns >= 0.0);
+        assert!(x != 0);
+    }
+}

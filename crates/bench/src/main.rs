@@ -1,0 +1,130 @@
+//! `icfp-bench` — measures simulation throughput (simulated MIPS) over the
+//! standard synthetic workloads and writes `BENCH_sim.json`.
+//!
+//! ```text
+//! icfp-bench [--smoke] [--insts N] [--reps N] [--seed N]
+//!            [--core NAME[,NAME...]] [--workload NAME[,NAME...]]
+//!            [--out PATH]
+//! ```
+//!
+//! `--smoke` selects a small instruction budget (CI-friendly, a few seconds);
+//! the default "full" mode uses a larger budget for stable MIPS numbers.
+
+use icfp_bench::{bench_trace, BenchSession};
+use icfp_sim::CoreModel;
+
+struct Args {
+    smoke: bool,
+    insts: usize,
+    reps: u32,
+    seed: u64,
+    cores: Vec<CoreModel>,
+    workloads: Vec<String>,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        smoke: false,
+        insts: 0,
+        reps: 0,
+        seed: 0xC0DE,
+        cores: vec![CoreModel::Icfp, CoreModel::InOrder],
+        workloads: icfp_workloads::STANDARD_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        out: "BENCH_sim.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => a.smoke = true,
+            "--insts" => {
+                a.insts = val("--insts")?
+                    .parse()
+                    .map_err(|e| format!("--insts: {e}"))?
+            }
+            "--reps" => {
+                a.reps = val("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?
+            }
+            "--seed" => {
+                a.seed = val("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--core" => {
+                a.cores = val("--core")?
+                    .split(',')
+                    .map(|s| {
+                        CoreModel::parse(s).ok_or_else(|| format!("unknown core model {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--workload" => {
+                a.workloads = val("--workload")?.split(',').map(str::to_string).collect();
+            }
+            "--out" => a.out = val("--out")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: icfp-bench [--smoke] [--insts N] [--reps N] [--seed N] \
+                     [--core NAMES] [--workload NAMES] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if a.insts == 0 {
+        a.insts = if a.smoke { 20_000 } else { 200_000 };
+    }
+    if a.reps == 0 {
+        a.reps = if a.smoke { 1 } else { 3 };
+    }
+    Ok(a)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("icfp-bench: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mode = if args.smoke { "smoke" } else { "full" };
+    println!(
+        "icfp-bench: mode={mode} insts={} reps={} seed={:#x}",
+        args.insts, args.reps, args.seed
+    );
+
+    let mut session = BenchSession {
+        mode: mode.to_string(),
+        runs: Vec::new(),
+    };
+    for wl in &args.workloads {
+        let Some(trace) = icfp_workloads::by_name(wl, args.insts, args.seed) else {
+            eprintln!("icfp-bench: unknown workload {wl:?}");
+            std::process::exit(2);
+        };
+        for &core in &args.cores {
+            let run = bench_trace(core, &trace, args.reps);
+            println!("  {}", run.report.summary());
+            session.runs.push(run);
+        }
+    }
+
+    println!("aggregate: {:.2} MIPS over {} runs", session.aggregate_mips(), session.runs.len());
+    if let Err(e) = std::fs::write(&args.out, session.to_json()) {
+        eprintln!("icfp-bench: writing {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+}

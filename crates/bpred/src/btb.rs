@@ -28,7 +28,7 @@ impl Btb {
     pub fn new(entries: usize, assoc: usize) -> Self {
         assert!(assoc > 0, "BTB associativity must be positive");
         assert!(
-            entries % assoc == 0 && entries > 0,
+            entries.is_multiple_of(assoc) && entries > 0,
             "BTB entries must be a positive multiple of associativity"
         );
         let num_sets = (entries / assoc).next_power_of_two();

@@ -114,7 +114,7 @@ impl PpmPredictor {
 
     fn tag_of(&self, pc: Addr, table: usize) -> u16 {
         let hist = self.fold_history(self.config.history_lengths[table], self.config.tag_bits);
-        let t = (pc >> 2) ^ (hist << 1) ^ ((pc >> 11) as u64);
+        let t = (pc >> 2) ^ (hist << 1) ^ (pc >> 11);
         (t as u16) & ((1u16 << self.config.tag_bits) - 1)
     }
 

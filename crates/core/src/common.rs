@@ -146,6 +146,11 @@ impl Engine {
     pub fn finish(mut self, core: &'static str, trace: &Trace) -> RunResult {
         self.stats.cycles = self.completion.max(self.frontier);
         self.stats.instructions = trace.len() as u64;
+        let m = self.mem.stats();
+        self.stats.mem_loads = m.loads;
+        self.stats.mem_stores = m.stores;
+        self.stats.l1d_misses = m.l1d_misses;
+        self.stats.l2_misses = m.l2_misses;
         let mut final_mem: Vec<(u64, Value)> = self.arch_mem.iter().map(|(a, v)| (*a, *v)).collect();
         final_mem.sort_unstable();
         RunResult {

@@ -1,0 +1,1017 @@
+//! iCFP — in-order Continual Flow Pipeline, the paper's mechanism.
+//!
+//! On any qualifying miss the pipeline keeps flowing: the missing load and its
+//! forward slice drain into the slice buffer (with their miss-independent side
+//! inputs), miss-independent instructions *commit* as they complete, and when
+//! a miss returns the corresponding slice entries *rally* — re-execute and
+//! merge their results into the main register file under the last-writer gate
+//! of Section 3.1.  Stores (clean or poisoned-data) go to the address-hash
+//! chained store buffer of Section 3.2 and drain to the cache in program
+//! order; loads forward from it by walking the hash chain.  Poison is a small
+//! bitvector (Section 3.4): each outstanding miss (MSHR) gets a bit, so a
+//! returning miss rallies only the entries that depend on it.
+//!
+//! The model is written as an explicit state machine ([`IcfpMachine`]) that
+//! advances one dynamic instruction (or one rally pass) per [`IcfpMachine::step`]
+//! call.  This is what `icfp-sim` builds its batched `step_n(cycles)` API on;
+//! [`IcfpCore::run`] simply steps the machine to completion.  The hot loop is
+//! allocation-free in steady state: rally work lists, drain buffers and
+//! operand-producer tables are scratch structures that are reused (capacity is
+//! retained) across cycles and episodes.
+
+use crate::common::Engine;
+use crate::config::CoreConfig;
+use crate::slicebuf::{SliceBuffer, SliceEntry};
+use crate::storebuf::ChainedStoreBuffer;
+use crate::Core;
+use icfp_isa::{exec, Cycle, DynInst, InstSeq, OpClass, Trace, Value};
+use icfp_mem::MshrId;
+use icfp_pipeline::{PoisonAllocator, PoisonMask, RunResult};
+use std::collections::HashMap;
+
+/// The iCFP core: a thin [`Core`] wrapper around [`IcfpMachine`].
+#[derive(Debug)]
+pub struct IcfpCore {
+    cfg: CoreConfig,
+}
+
+impl IcfpCore {
+    /// Creates an iCFP core.  [`CoreConfig::paper_default`] gives the paper's
+    /// configuration (advance under all misses, full feature set).
+    pub fn new(cfg: CoreConfig) -> Self {
+        IcfpCore { cfg }
+    }
+}
+
+impl Core for IcfpCore {
+    fn name(&self) -> &'static str {
+        "icfp"
+    }
+
+    fn run(&mut self, trace: &Trace) -> RunResult {
+        let mut m = IcfpMachine::new(&self.cfg);
+        while m.step(trace) {}
+        m.finish(trace)
+    }
+}
+
+/// A miss whose return will trigger a rally pass.
+#[derive(Debug, Clone, Copy)]
+struct PendingRally {
+    mshr: MshrId,
+    returns_at: Cycle,
+    bit: PoisonMask,
+}
+
+/// Values produced by re-executed slice instructions, indexed by trace
+/// position.  This models the paper's slice-buffer data storage: a rallying
+/// instruction reads "pending from slice" operands from here.
+///
+/// Backed by a `HashMap` whose capacity is retained across rallies (cleared,
+/// not dropped, at episode boundaries), so steady-state rally passes perform
+/// O(1) lookups and no per-cycle allocation.
+#[derive(Debug, Default)]
+struct SliceValues {
+    vals: HashMap<usize, (Value, Cycle)>,
+}
+
+impl SliceValues {
+    fn get(&self, idx: usize) -> Option<(Value, Cycle)> {
+        self.vals.get(&idx).copied()
+    }
+
+    fn set(&mut self, idx: usize, v: Value, ready: Cycle) {
+        self.vals.insert(idx, (v, ready));
+    }
+
+    fn clear(&mut self) {
+        self.vals.clear();
+    }
+}
+
+/// The incremental iCFP pipeline model.
+///
+/// Create one per run, call [`IcfpMachine::step`] until it returns `false`,
+/// then [`IcfpMachine::finish`].  [`IcfpMachine::cycle`] exposes the current
+/// simulated cycle for budget-bounded stepping.
+#[derive(Debug)]
+pub struct IcfpMachine {
+    eng: Engine,
+    slice: SliceBuffer,
+    sbuf: ChainedStoreBuffer,
+    palloc: PoisonAllocator,
+    /// Misses awaiting their rally, unordered (bounded by MSHR count).
+    rallies: Vec<PendingRally>,
+    /// For each sliced instruction: the trace indices that produce its
+    /// poisoned source operands (`usize::MAX` = operand was captured/absent).
+    /// Capacity is retained across episodes.
+    producers: HashMap<usize, (usize, usize)>,
+    /// Results of re-executed slice instructions (the slice data storage).
+    slice_values: SliceValues,
+    /// Scratch: entries selected for the current rally pass (capacity reused).
+    rally_scratch: Vec<SliceEntry>,
+    /// Scratch: stores drained from the store buffer this step.
+    drain_scratch: Vec<(u64, Value)>,
+    /// Next trace index to process.
+    i: usize,
+    /// True while the trace index lies inside at least one advance episode.
+    in_episode: bool,
+    done: bool,
+}
+
+impl IcfpMachine {
+    /// Creates a machine for one run under `cfg`.
+    pub fn new(cfg: &CoreConfig) -> Self {
+        IcfpMachine {
+            eng: Engine::new(cfg),
+            slice: SliceBuffer::new(cfg.slice_buffer_entries),
+            sbuf: ChainedStoreBuffer::new(
+                cfg.store_buffer_kind,
+                cfg.store_buffer_entries,
+                cfg.chain_table_entries,
+            ),
+            palloc: PoisonAllocator::new(cfg.features.poison_vector_width.clamp(1, 16)),
+            rallies: Vec::with_capacity(cfg.mem.max_outstanding_misses),
+            producers: HashMap::new(),
+            slice_values: SliceValues::default(),
+            rally_scratch: Vec::with_capacity(cfg.slice_buffer_entries),
+            drain_scratch: Vec::with_capacity(cfg.store_buffer_entries),
+            i: 0,
+            in_episode: false,
+            done: false,
+        }
+    }
+
+    /// The current simulated cycle (the in-order issue frontier).
+    pub fn cycle(&self) -> Cycle {
+        self.eng.frontier
+    }
+
+    /// Number of dynamic instructions whose first pass has been processed.
+    pub fn processed(&self) -> usize {
+        self.i
+    }
+
+    /// Read access to the engine (statistics, memory hierarchy).
+    pub fn engine(&self) -> &Engine {
+        &self.eng
+    }
+
+    /// Peak slice-buffer occupancy so far.
+    pub fn slice_peak(&self) -> usize {
+        self.slice.peak()
+    }
+
+    /// Advances the machine by one unit of work: either one rally pass (if a
+    /// miss has returned) or one dynamic instruction.  Returns `false` once
+    /// the trace is fully retired (no instruction left, no pending rally).
+    pub fn step(&mut self, trace: &Trace) -> bool {
+        if self.done {
+            return false;
+        }
+        // 1. Fire any rally whose miss has returned by the current frontier.
+        if let Some(k) = self.due_rally() {
+            let r = self.rallies.swap_remove(k);
+            self.run_rally(trace, r);
+            return true;
+        }
+        // 2. Out of instructions: drain remaining rallies in return order.
+        if self.i >= trace.len() {
+            if let Some(k) = self.earliest_rally() {
+                let r = self.rallies.swap_remove(k);
+                self.eng.frontier = self.eng.frontier.max(r.returns_at);
+                self.run_rally(trace, r);
+                return true;
+            }
+            self.retire_all_stores();
+            self.done = true;
+            return false;
+        }
+        // 3. Process the next dynamic instruction.
+        self.step_inst(trace);
+        true
+    }
+
+    fn due_rally(&self) -> Option<usize> {
+        let now = self.eng.frontier;
+        let mut best: Option<(usize, Cycle)> = None;
+        for (k, r) in self.rallies.iter().enumerate() {
+            if r.returns_at <= now && best.is_none_or(|(_, c)| r.returns_at < c) {
+                best = Some((k, r.returns_at));
+            }
+        }
+        best.map(|(k, _)| k)
+    }
+
+    fn earliest_rally(&self) -> Option<usize> {
+        self.rallies
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.returns_at)
+            .map(|(k, _)| k)
+    }
+
+    /// Registers a miss for a future rally and returns its poison bit.
+    fn poison_for_miss(&mut self, mshr: MshrId, returns_at: Cycle) -> PoisonMask {
+        let bit = self.palloc.bit_for(mshr);
+        if let Some(r) = self.rallies.iter_mut().find(|r| r.mshr == mshr) {
+            r.returns_at = r.returns_at.max(returns_at);
+        } else {
+            self.rallies.push(PendingRally {
+                mshr,
+                returns_at,
+                bit,
+            });
+        }
+        if !self.in_episode {
+            self.in_episode = true;
+            self.eng.stats.advance_episodes += 1;
+            // iCFP checkpoints for multiprocessor safety; uniprocessor traces
+            // never restore it, but creating it models the occupancy.
+            self.eng.rf.checkpoint(returns_at, self.i as InstSeq);
+        }
+        bit
+    }
+
+    /// Records the producers of an instruction's poisoned operands so rallies
+    /// can read them from the slice data storage.
+    fn record_producers(&mut self, inst: &DynInst, trace_idx: usize) {
+        let prod = |r: Option<icfp_isa::Reg>| -> usize {
+            r.map_or(usize::MAX, |r| {
+                let e = self.eng.rf.entry(r);
+                if e.poison.is_poisoned() {
+                    e.last_writer.map_or(usize::MAX, |s| s as usize)
+                } else {
+                    usize::MAX
+                }
+            })
+        };
+        let p1 = prod(inst.src1);
+        let p2 = prod(inst.src2);
+        self.producers.insert(trace_idx, (p1, p2));
+    }
+
+    fn producers_of(&self, trace_idx: usize) -> (usize, usize) {
+        self.producers
+            .get(&trace_idx)
+            .copied()
+            .unwrap_or((usize::MAX, usize::MAX))
+    }
+
+    /// Diverts instruction `i` into the slice buffer.  `extra` carries poison
+    /// the instruction acquired through memory (store-buffer forwarding).
+    ///
+    /// Returns `false` if the slice buffer is full.  In that case the paper's
+    /// simple-runahead fallback is applied — the pipeline stalls for the
+    /// earliest pending rally (which retires entries and frees slots) — and
+    /// the caller must *re-process the instruction from scratch* without
+    /// advancing.  Re-processing matters: the stall rally can finish the whole
+    /// advance episode, cleaning the register poison this entry was built
+    /// from, in which case the instruction no longer needs to slice at all.
+    /// (Pushing a pre-built entry after such a rally would insert stale poison
+    /// bits that no pending miss owns — a deadlock.)
+    #[must_use]
+    fn push_slice(&mut self, trace: &Trace, issue: Cycle, extra: PoisonMask) -> bool {
+        let i = self.i;
+        let inst = &trace.as_slice()[i];
+        let seq = i as InstSeq;
+        if self.slice.is_full() {
+            self.slice.reclaim_head();
+        }
+        if self.slice.is_full() {
+            // Simple-runahead fallback: stall until the earliest miss returns
+            // and its rally retires head entries, then retry the instruction.
+            self.eng.stats.simple_runahead_entries += 1;
+            let k = self
+                .earliest_rally()
+                .expect("slice buffer full of active entries with no pending miss");
+            let at = self.rallies[k].returns_at;
+            self.eng.stats.resource_stall_cycles += at.saturating_sub(self.eng.frontier);
+            self.eng.frontier = self.eng.frontier.max(at);
+            let r = self.rallies.swap_remove(k);
+            self.run_rally(trace, r);
+            return false;
+        }
+        let mut poison = self.eng.src_poison(inst).union(extra);
+        if poison.is_clean() {
+            poison = PoisonMask::bit(0);
+        }
+        self.record_producers(inst, i);
+        let capture = |r: Option<icfp_isa::Reg>| -> Option<Value> {
+            r.and_then(|r| {
+                if self.eng.rf.poison(r).is_clean() {
+                    Some(self.eng.rf.value(r))
+                } else {
+                    None
+                }
+            })
+        };
+        let entry = SliceEntry {
+            trace_idx: i,
+            seq_from_ckpt: seq,
+            src1_value: capture(inst.src1),
+            src2_value: capture(inst.src2),
+            store_color: self.sbuf.ssn_tail(),
+            poison,
+            active: true,
+        };
+        self.eng.stats.sliced_instructions += 1;
+        self.slice
+            .push(entry)
+            .expect("slice slot was reserved above");
+        if let Some(dst) = inst.dst {
+            self.eng.rf.poison_write(dst, poison, seq);
+        }
+        if inst.is_store() {
+            // Clean-address store with (possibly) poisoned data: chain it now;
+            // the rally will resolve its value in place (Section 3.2).
+            if let Some(addr) = inst.addr {
+                self.chain_store(trace, addr, 0, poison, seq, issue);
+            }
+        }
+        self.eng.note_completion(issue + 1);
+        true
+    }
+
+    /// Pushes a store into the chained store buffer, stalling (draining) if
+    /// it is full.
+    fn chain_store(
+        &mut self,
+        trace: &Trace,
+        addr: u64,
+        value: Value,
+        poison: PoisonMask,
+        seq: InstSeq,
+        at: Cycle,
+    ) {
+        if self.sbuf.is_full() {
+            // Drain completed stores to make room; if nothing drains, stall
+            // until the earliest rally frees slice/store entries.
+            self.drain_stores(seq, at);
+            while self.sbuf.is_full() {
+                let Some(k) = self.earliest_rally() else { break };
+                let ret = self.rallies[k].returns_at;
+                self.eng.stats.resource_stall_cycles += ret.saturating_sub(self.eng.frontier);
+                self.eng.frontier = self.eng.frontier.max(ret);
+                let r = self.rallies.swap_remove(k);
+                // Rally to unclog poisoned stores, then drain again.
+                self.run_rally(trace, r);
+                self.drain_stores(seq, self.eng.frontier);
+            }
+        }
+        let _ = self.sbuf.push(seq, addr, value, poison);
+    }
+
+    /// Drains completed (clean, older than `completed_seq`) stores to the
+    /// cache and architectural memory.  Allocation-free: uses the reusable
+    /// drain scratch buffer.
+    fn drain_stores(&mut self, completed_seq: InstSeq, at: Cycle) {
+        self.drain_scratch.clear();
+        self.sbuf
+            .drain_completed_into(completed_seq, &mut self.drain_scratch);
+        for k in 0..self.drain_scratch.len() {
+            let (addr, value) = self.drain_scratch[k];
+            self.eng.arch_mem.write(addr, value);
+            let _ = self.eng.demand_store(addr, at);
+        }
+    }
+
+    /// Final drain when the run ends: every store must be clean by now.
+    fn retire_all_stores(&mut self) {
+        let at = self.eng.frontier;
+        self.drain_scratch.clear();
+        self.sbuf.drain_all_into(&mut self.drain_scratch);
+        for k in 0..self.drain_scratch.len() {
+            let (addr, value) = self.drain_scratch[k];
+            self.eng.arch_mem.write(addr, value);
+            let _ = self.eng.demand_store(addr, at);
+        }
+        self.eng.rf.release_checkpoint();
+    }
+
+    /// Processes one dynamic instruction (first pass).
+    fn step_inst(&mut self, trace: &Trace) {
+        let i = self.i;
+        let inst = &trace.as_slice()[i];
+        let seq = i as InstSeq;
+        let l1_lat = self.eng.cfg.mem.l1_hit_latency;
+        let policy = self.eng.cfg.advance_policy;
+        let in_advance = !self.rallies.is_empty() || !self.slice.no_active();
+
+        let fetch_ready = self.eng.fetch.next_issue_ready();
+        let src_poison = self.eng.src_poison(inst);
+        // Poisoned operands do not stall issue: the instruction flows to the
+        // slice buffer at fetch rate.
+        let earliest = if src_poison.is_poisoned() {
+            fetch_ready
+        } else {
+            fetch_ready.max(self.eng.src_ready(inst))
+        };
+        let issue = self.eng.issue_at(inst.class(), earliest);
+        if in_advance {
+            self.eng.stats.advance_instructions += 1;
+        }
+
+        // Opportunistically drain completed stores (program order: everything
+        // older than the current instruction is complete unless poisoned).
+        if !self.sbuf.is_empty() {
+            self.drain_stores(seq, issue);
+        }
+
+        if src_poison.is_poisoned() {
+            if inst.is_store() && inst.addr_base_reg().is_some_and(|r| {
+                self.eng.rf.poison(r).is_poisoned()
+            }) {
+                // Poisoned *address*: the store cannot be chained.  iCFP falls
+                // back to simple runahead — wait for the producing miss.
+                self.eng.stats.simple_runahead_entries += 1;
+                self.stall_for_poison(trace, self.eng.rf.poison(inst.addr_base_reg().unwrap()));
+                // After the stall+rally the base register is clean; re-run
+                // this instruction from the top.
+                if self.eng.src_poison(inst).is_clean() {
+                    return; // self.i unchanged: reprocess now-clean inst
+                }
+            }
+            if self.push_slice(trace, issue, PoisonMask::CLEAN) {
+                self.i += 1;
+            }
+            return;
+        }
+
+        match inst.class() {
+            OpClass::Load => {
+                self.eng.stats.demand_loads += 1;
+                let addr = inst.addr.expect("load without address");
+                // Probe the store buffer (first probe free, excess hops cost).
+                let fwd = self.sbuf.forward(addr & !7, self.sbuf.ssn_tail());
+                self.eng.stats.chain_hops += fwd.excess_hops;
+                if fwd.must_stall {
+                    // Limited-forwarding organisation: stall until the
+                    // mismatching root store drains.
+                    self.eng.stats.simple_runahead_entries += 1;
+                    self.drain_all_rallies(trace);
+                    self.drain_stores(seq, self.eng.frontier);
+                }
+                let fwd = if fwd.must_stall {
+                    self.sbuf.forward(addr & !7, self.sbuf.ssn_tail())
+                } else {
+                    fwd
+                };
+                if let Some(st) = fwd.store {
+                    let hop_penalty =
+                        fwd.excess_hops * self.eng.cfg.chain_hop_penalty;
+                    if st.poison.is_poisoned() {
+                        // Memory dependence on a poisoned store: slice out.
+                        if self.push_slice(trace, issue, st.poison) {
+                            self.i += 1;
+                        }
+                        return;
+                    }
+                    self.eng.stats.store_forwards += 1;
+                    let completes = issue + l1_lat + hop_penalty;
+                    if let Some(dst) = inst.dst {
+                        self.eng.rf.write(dst, st.value, completes, seq);
+                    }
+                    self.eng.note_completion(completes);
+                    self.i += 1;
+                    return;
+                }
+                // Memory access.
+                let (completes, outcome, mshr) = self.eng.demand_load(addr, issue);
+                let value = self.eng.arch_mem.read(addr);
+                let is_miss = outcome.is_l1_miss() && completes > issue + l1_lat;
+                let tolerated = if !in_advance {
+                    policy.triggers_on(outcome.is_l2_miss())
+                } else if outcome.is_l2_miss() {
+                    true
+                } else {
+                    policy.poisons_secondary_dcache()
+                };
+                if is_miss && tolerated {
+                    if let Some(m) = mshr {
+                        let bit = self.poison_for_miss(m, completes);
+                        // A successful push poisons the destination (inside
+                        // push_slice); a failed push means the instruction
+                        // re-processes from scratch after the stall rally,
+                        // possibly as a plain hit.
+                        if self.push_slice(trace, issue, bit) {
+                            self.i += 1;
+                        }
+                        return;
+                    }
+                }
+                // Hit, prefetch hit, or a miss the policy blocks on.
+                if let Some(dst) = inst.dst {
+                    self.eng.rf.write(dst, value, completes, seq);
+                }
+                self.eng.note_completion(completes);
+            }
+            OpClass::Store => {
+                let addr = inst.addr.expect("store without address");
+                let data = inst
+                    .store_data_reg()
+                    .map(|r| self.eng.rf.value(r))
+                    .unwrap_or(0);
+                self.chain_store(trace, addr, data, PoisonMask::CLEAN, seq, issue);
+                self.eng.note_completion(issue + 1);
+            }
+            OpClass::Branch => {
+                let resolve = issue + inst.latency();
+                self.eng.exec_branch(inst, resolve);
+                self.eng.note_completion(resolve);
+            }
+            _ => {
+                let completes = issue + inst.latency();
+                if let (Some(dst), Some(v)) = (inst.dst, self.eng.compute(inst)) {
+                    self.eng.rf.write(dst, v, completes, seq);
+                }
+                self.eng.note_completion(completes);
+            }
+        }
+        self.i += 1;
+    }
+
+    /// Stalls the pipeline until the misses in `poison` have returned and
+    /// rallied (simple-runahead fallback for un-chainable stores).
+    fn stall_for_poison(&mut self, trace: &Trace, poison: PoisonMask) {
+        let mut guard = 0usize;
+        while guard < 64 {
+            guard += 1;
+            let Some(k) = self
+                .rallies
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.bit.intersects(poison))
+                .min_by_key(|(_, r)| r.returns_at)
+                .map(|(k, _)| k)
+                .or_else(|| self.earliest_rally())
+            else {
+                break;
+            };
+            let ret = self.rallies[k].returns_at;
+            self.eng.stats.resource_stall_cycles += ret.saturating_sub(self.eng.frontier);
+            self.eng.frontier = self.eng.frontier.max(ret);
+            let r = self.rallies.swap_remove(k);
+            self.run_rally(trace, r);
+            if self.rallies.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Runs every pending rally to completion (limited-forwarding stall path).
+    fn drain_all_rallies(&mut self, trace: &Trace) {
+        while let Some(k) = self.earliest_rally() {
+            let ret = self.rallies[k].returns_at;
+            self.eng.frontier = self.eng.frontier.max(ret);
+            let r = self.rallies.swap_remove(k);
+            self.run_rally(trace, r);
+        }
+    }
+
+    /// Executes the rally for the returning miss `r` (Section 3.4): the
+    /// active slice entries whose poison intersects the returning bit
+    /// re-execute in program order; entries that depend on a *different*
+    /// pending miss are re-poisoned in place and stay for a later pass.
+    ///
+    /// Poison bits are a *finite* namespace (width ≤ 16) shared round-robin
+    /// by misses, so an entry can carry a bit whose miss has already rallied.
+    /// If the last pending rally would end the episode with entries still
+    /// active, cleanup passes over *all* active entries run until the episode
+    /// is quiescent (each pass resolves in program order, so producer chains
+    /// always make progress; a load that misses again spawns a fresh rally
+    /// and the episode continues normally).
+    fn run_rally(&mut self, trace: &Trace, r: PendingRally) {
+        self.palloc.release(r.mshr);
+        self.rally_pass(trace, r.bit, r.returns_at);
+        let mut guard = 0u32;
+        while self.rallies.is_empty() && !self.slice.no_active() {
+            let before = self.slice.active_len();
+            self.rally_pass(trace, PoisonMask::all_bits(), self.eng.frontier);
+            guard += 1;
+            debug_assert!(
+                self.slice.active_len() < before || !self.rallies.is_empty(),
+                "episode cleanup made no progress"
+            );
+            if guard > 4096 || (self.slice.active_len() >= before && self.rallies.is_empty()) {
+                break;
+            }
+        }
+        if self.rallies.is_empty() && self.slice.no_active() {
+            // Episode over: speculative state retires.
+            self.in_episode = false;
+            self.eng.stats.slice_peak =
+                self.eng.stats.slice_peak.max(self.slice.peak() as u64);
+            self.slice.clear();
+            self.slice_values.clear();
+            self.producers.clear();
+            self.palloc.clear();
+            self.eng.rf.release_checkpoint();
+        }
+    }
+
+    /// One pass over the active slice entries selected by `select`.
+    fn rally_pass(&mut self, trace: &Trace, select: PoisonMask, returns_at: Cycle) {
+        self.eng.stats.rally_passes += 1;
+        let start = self.eng.frontier.max(returns_at);
+        let l1_lat = self.eng.cfg.mem.l1_hit_latency;
+        let nonblocking = self.eng.cfg.features.nonblocking_rallies;
+        let multithreaded = self.eng.cfg.features.multithreaded_rally;
+
+        // Other rallies' bits still pending (for re-poisoning decisions).
+        let mut pending_bits = PoisonMask::CLEAN;
+        for p in &self.rallies {
+            pending_bits |= p.bit;
+        }
+
+        self.slice
+            .entries_for_rally_into(select, &mut self.rally_scratch);
+
+        let mut rally_frontier = start;
+        let mut rally_end = start;
+        for k in 0..self.rally_scratch.len() {
+            let e = self.rally_scratch[k];
+            let inst = &trace.as_slice()[e.trace_idx];
+            let seq = e.trace_idx as InstSeq;
+            self.eng.stats.rally_instructions += 1;
+
+            // Resolve operands: captured side inputs or slice data storage.
+            let (p1, p2) = self.producers_of(e.trace_idx);
+            let mut vals = [0u64; 2];
+            let mut ready = rally_frontier;
+            let mut unresolved = PoisonMask::CLEAN;
+            for (n, (src, cap, prod)) in [
+                (inst.src1, e.src1_value, p1),
+                (inst.src2, e.src2_value, p2),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if src.is_none() {
+                    continue;
+                }
+                if let Some(v) = cap {
+                    vals[n] = v;
+                } else if let Some((v, c)) = self.slice_values.get(prod) {
+                    vals[n] = v;
+                    ready = ready.max(c);
+                } else {
+                    // Producer has not rallied yet: it belongs to a different
+                    // pending miss.  Re-poison with the producer's bits.
+                    let pb = self
+                        .slice
+                        .entry_poison(prod)
+                        .unwrap_or(pending_bits)
+                        .without(select);
+                    unresolved |= if pb.is_clean() { pending_bits } else { pb };
+                }
+            }
+            if unresolved.is_poisoned() && !self.rallies.is_empty() {
+                // Entry waits for another miss (non-blocking rally).
+                let np = e.poison.without(select).union(unresolved);
+                self.slice.repoison(e.trace_idx, np);
+                if let Some(dst) = inst.dst {
+                    if self.eng.rf.entry(dst).last_writer == Some(seq) {
+                        self.eng.rf.poison_write(dst, np, seq);
+                    }
+                }
+                continue;
+            }
+
+            let issue = self.eng.issue_at(inst.class(), ready.max(rally_frontier));
+            rally_frontier = issue + 1;
+
+            let (value, completes) = match inst.class() {
+                OpClass::Load => {
+                    let addr = inst.addr.expect("load without address");
+                    let fwd = self.sbuf.forward(addr & !7, e.store_color);
+                    self.eng.stats.chain_hops += fwd.excess_hops;
+                    if let Some(st) = fwd.store {
+                        if st.poison.is_poisoned() {
+                            // Forwarding store still poisoned by another miss.
+                            let np = e.poison.without(select).union(st.poison.without(select));
+                            let np = if np.is_clean() { pending_bits } else { np };
+                            if np.is_poisoned() && !self.rallies.is_empty() {
+                                self.slice.repoison(e.trace_idx, np);
+                                continue;
+                            }
+                            // No other pending miss can resolve it — the store
+                            // resolves within this very pass; fall through and
+                            // read architectural memory after drain.
+                            (Some(self.eng.arch_mem.read(addr)), issue + l1_lat)
+                        } else {
+                            self.eng.stats.store_forwards += 1;
+                            let hop = fwd.excess_hops * self.eng.cfg.chain_hop_penalty;
+                            (Some(st.value), issue + l1_lat + hop)
+                        }
+                    } else {
+                        let (completes, outcome, mshr) = self.eng.demand_load(addr, issue);
+                        // The line's data is not yet available — a genuine
+                        // re-miss, or (poison-bit aliasing) a hit under a fill
+                        // owned by a *different* in-flight miss that shares
+                        // this rally's bit.  Either way the MSHR holding the
+                        // line is returned, so the entry defers to it instead
+                        // of blocking this rally.
+                        let _ = outcome;
+                        let still_in_flight = completes > issue + l1_lat;
+                        if still_in_flight && nonblocking {
+                            if let Some(m) = mshr {
+                                // The line is gone again: hand the entry to a
+                                // new rally instead of blocking this one.
+                                let bit = self.poison_for_miss(m, completes);
+                                let np = e.poison.without(select).union(bit);
+                                self.slice.repoison(e.trace_idx, np);
+                                if let Some(dst) = inst.dst {
+                                    if self.eng.rf.entry(dst).last_writer == Some(seq) {
+                                        self.eng.rf.poison_write(dst, np, seq);
+                                    }
+                                }
+                                continue;
+                            }
+                        }
+                        // Blocking rally (or unmissable): wait it out.
+                        (Some(self.eng.arch_mem.read(addr)), completes)
+                    }
+                }
+                OpClass::Store => {
+                    let v = if let Some(data) = inst.store_data_reg() {
+                        let (dp1, dp2) = (p1, p2);
+                        // Store data is src2 (falling back to src1).
+                        let (cap, prod) = if inst.src2.is_some() {
+                            (e.src2_value, dp2)
+                        } else {
+                            (e.src1_value, dp1)
+                        };
+                        cap.or_else(|| self.slice_values.get(prod).map(|(v, _)| v))
+                            .unwrap_or_else(|| self.eng.rf.value(data))
+                    } else {
+                        0
+                    };
+                    self.sbuf.resolve_value(seq, v);
+                    (None, issue + 1)
+                }
+                OpClass::Branch => {
+                    let resolve = issue + 1;
+                    self.eng.exec_branch(inst, resolve);
+                    (None, resolve)
+                }
+                _ => {
+                    let v = exec::compute(inst, vals[0], vals[1], |a| self.eng.arch_mem.read(a));
+                    (v, issue + inst.latency())
+                }
+            };
+            if let (Some(dst), Some(v)) = (inst.dst, value) {
+                self.slice_values.set(e.trace_idx, v, completes);
+                self.eng.rf.rally_write(dst, v, completes, seq);
+            }
+            rally_end = rally_end.max(completes);
+            self.eng.note_completion(completes);
+            self.slice.retire(e.trace_idx);
+        }
+        self.slice.reclaim_head();
+
+        // Drain stores unblocked by this rally.
+        self.drain_stores(self.i as InstSeq, rally_frontier);
+
+        if !multithreaded {
+            // Single-threaded rally: tail execution stalls behind the rally.
+            self.eng.frontier = self.eng.frontier.max(rally_end);
+            self.eng.fetch.stall_until(rally_end);
+        }
+        if !self.eng.cfg.features.chained_store_buffer {
+            // SRL-style memory system: the program-order drain blocks the
+            // tail (one store per cycle), as in SLTP.
+            let drain_cycles = self.drain_scratch.len() as u64;
+            self.eng.frontier = self.eng.frontier.max(start + drain_cycles);
+        }
+    }
+
+    /// Finalises the run.
+    pub fn finish(mut self, trace: &Trace) -> RunResult {
+        self.retire_all_stores();
+        self.eng.stats.slice_peak = self.eng.stats.slice_peak.max(self.slice.peak() as u64);
+        self.eng.stats.chain_hops = self.eng.stats.chain_hops.max(self.sbuf.total_excess_hops());
+        self.eng.finish("icfp", trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::golden_final_state;
+    use crate::config::StoreBufferKind;
+    use crate::inorder::InOrderCore;
+    use crate::runahead::RunaheadCore;
+    use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+
+    fn run_icfp(t: &Trace) -> RunResult {
+        IcfpCore::new(CoreConfig::paper_default()).run(t)
+    }
+
+    fn assert_golden(t: &Trace, r: &RunResult) {
+        let (regs, mem) = golden_final_state(t);
+        assert_eq!(r.final_regs, regs, "register state diverged");
+        assert_eq!(r.final_mem, mem, "memory state diverged");
+    }
+
+    fn lone_miss_trace() -> Trace {
+        let mut b = TraceBuilder::new("lone-miss");
+        b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x100000));
+        b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), 1));
+        for j in 0..40u64 {
+            b.push(DynInst::alu_imm(Op::Mul, Reg::int(4), Reg::int(4), j | 1));
+        }
+        b.build()
+    }
+
+    fn independent_miss_trace(n: usize) -> Trace {
+        let mut b = TraceBuilder::new("indep");
+        for k in 0..n {
+            let base = 0x100000 + (k as u64) * 0x4000;
+            b.push(DynInst::load(Reg::int(1), Reg::int(2), base));
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), 1));
+            for j in 0..6u64 {
+                b.push(DynInst::alu_imm(Op::Add, Reg::int(4), Reg::int(5), j));
+            }
+        }
+        b.build()
+    }
+
+    fn dependent_chain_trace() -> Trace {
+        // A -> B -> C chained misses plus independent work: multiple rallies,
+        // each spawning the next.
+        let mut b = TraceBuilder::new("chain");
+        b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x100000));
+        b.push(DynInst::load(Reg::int(3), Reg::int(1), 0x200000));
+        b.push(DynInst::load(Reg::int(4), Reg::int(3), 0x300000));
+        b.push(DynInst::alu_imm(Op::Add, Reg::int(5), Reg::int(4), 1));
+        for j in 0..30u64 {
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(6), Reg::int(6), j));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn icfp_matches_golden_state_on_a_lone_miss() {
+        let t = lone_miss_trace();
+        let r = run_icfp(&t);
+        assert_golden(&t, &r);
+        assert!(r.stats.advance_episodes >= 1);
+        assert!(r.stats.rally_passes >= 1);
+    }
+
+    #[test]
+    fn icfp_commits_independent_work_and_only_rallies_the_slice() {
+        let t = lone_miss_trace();
+        let r = run_icfp(&t);
+        assert!(
+            r.stats.sliced_instructions <= 4,
+            "only the load and its dependent should slice, got {}",
+            r.stats.sliced_instructions
+        );
+        let base = InOrderCore::new(CoreConfig::paper_default()).run(&t);
+        assert!(
+            r.stats.cycles < base.stats.cycles,
+            "icfp {} should beat in-order {} on a lone miss",
+            r.stats.cycles,
+            base.stats.cycles
+        );
+    }
+
+    #[test]
+    fn icfp_overlaps_independent_misses_and_beats_runahead() {
+        let t = independent_miss_trace(10);
+        let r = run_icfp(&t);
+        assert_golden(&t, &r);
+        let base = InOrderCore::new(CoreConfig::paper_default()).run(&t);
+        let ra = RunaheadCore::new(CoreConfig::runahead_default()).run(&t);
+        assert!(r.stats.cycles < base.stats.cycles);
+        assert!(
+            r.stats.cycles <= ra.stats.cycles,
+            "icfp {} should not lose to runahead {}",
+            r.stats.cycles,
+            ra.stats.cycles
+        );
+    }
+
+    #[test]
+    fn dependent_miss_chain_matches_golden_and_spawns_rallies() {
+        let t = dependent_chain_trace();
+        let r = run_icfp(&t);
+        assert_golden(&t, &r);
+        assert!(
+            r.stats.rally_passes >= 3,
+            "each chained miss needs its own rally, got {}",
+            r.stats.rally_passes
+        );
+    }
+
+    #[test]
+    fn advance_stores_forward_and_drain_in_program_order() {
+        let mut b = TraceBuilder::new("adv-stores");
+        b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x100000));
+        b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), 1)); // dependent
+        b.push(DynInst::store(Reg::int(3), Reg::int(5), 0x400)); // poisoned data
+        b.push(DynInst::alu_imm(Op::Add, Reg::int(4), Reg::int(4), 9)); // independent
+        b.push(DynInst::store(Reg::int(4), Reg::int(5), 0x400)); // younger, clean
+        b.push(DynInst::store(Reg::int(4), Reg::int(5), 0x500));
+        b.push(DynInst::load(Reg::int(6), Reg::int(5), 0x500)); // forwards
+        b.push(DynInst::load(Reg::int(7), Reg::int(5), 0x400)); // youngest store wins
+        let t = b.build();
+        let r = run_icfp(&t);
+        assert_golden(&t, &r);
+        assert!(r.stats.store_forwards >= 1);
+    }
+
+    #[test]
+    fn store_with_poisoned_address_falls_back_to_simple_runahead() {
+        let mut b = TraceBuilder::new("poison-addr-store");
+        b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x100000));
+        // Store whose *base* register is the missing load's destination.
+        b.push(DynInst::store(Reg::int(4), Reg::int(1), 0x600));
+        b.push(DynInst::load(Reg::int(5), Reg::int(2), 0x600));
+        let t = b.build();
+        let r = run_icfp(&t);
+        assert_golden(&t, &r);
+        assert!(r.stats.simple_runahead_entries >= 1);
+    }
+
+    #[test]
+    fn all_store_buffer_kinds_match_golden() {
+        let t = {
+            let mut b = TraceBuilder::new("kinds");
+            for k in 0..8u64 {
+                b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x100000 + k * 0x4000));
+                b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), k));
+                b.push(DynInst::store(Reg::int(3), Reg::int(5), 0x400 + (k % 3) * 64));
+                b.push(DynInst::load(Reg::int(6), Reg::int(5), 0x400 + (k % 3) * 64));
+            }
+            b.build()
+        };
+        for kind in [
+            StoreBufferKind::Chained,
+            StoreBufferKind::FullyAssociative,
+            StoreBufferKind::IndexedLimited,
+        ] {
+            let cfg = CoreConfig::paper_default().with_store_buffer_kind(kind);
+            let r = IcfpCore::new(cfg).run(&t);
+            assert_golden(&t, &r);
+        }
+    }
+
+    #[test]
+    fn figure7_feature_builds_all_match_golden() {
+        let t = independent_miss_trace(6);
+        for (name, features) in crate::config::IcfpFeatures::build_steps() {
+            let cfg = CoreConfig::paper_default().with_features(features);
+            let r = IcfpCore::new(cfg).run(&t);
+            let (regs, mem) = golden_final_state(&t);
+            assert_eq!(r.final_regs, regs, "register state diverged for {name}");
+            assert_eq!(r.final_mem, mem, "memory state diverged for {name}");
+        }
+    }
+
+    #[test]
+    fn machine_stepping_equals_whole_run() {
+        let t = independent_miss_trace(8);
+        let whole = run_icfp(&t);
+        let cfg = CoreConfig::paper_default();
+        let mut m = IcfpMachine::new(&cfg);
+        let mut steps = 0usize;
+        while m.step(&t) {
+            steps += 1;
+            assert!(steps < 1_000_000, "machine did not terminate");
+        }
+        let stepped = m.finish(&t);
+        assert_eq!(stepped.stats.cycles, whole.stats.cycles);
+        assert_eq!(stepped.final_regs, whole.final_regs);
+        assert_eq!(stepped.final_mem, whole.final_mem);
+    }
+
+    #[test]
+    fn slice_buffer_overflow_stalls_but_stays_correct() {
+        // Tiny slice buffer, long dependent chain: the overflow fallback must
+        // stall (never drop) and the final state must stay golden.
+        let mut cfg = CoreConfig::paper_default();
+        cfg.slice_buffer_entries = 8;
+        let mut b = TraceBuilder::new("overflow");
+        for k in 0..12u64 {
+            b.push(DynInst::load(Reg::int(1), Reg::int(1), 0x100000 + k * 0x4000));
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(2), Reg::int(1), 1));
+            b.push(DynInst::alu(Op::Xor, Reg::int(3), Reg::int(2), Reg::int(3)));
+        }
+        let t = b.build();
+        let r = IcfpCore::new(cfg).run(&t);
+        assert_golden(&t, &r);
+        assert!(r.stats.simple_runahead_entries > 0);
+    }
+
+    #[test]
+    fn rally_stats_are_populated() {
+        let t = independent_miss_trace(5);
+        let r = run_icfp(&t);
+        assert!(r.stats.slice_peak > 0);
+        assert!(r.stats.advance_instructions > 0);
+        assert_eq!(r.core, "icfp");
+    }
+}

@@ -52,7 +52,7 @@ pub mod storebuf;
 
 pub use common::Engine;
 pub use config::{AdvancePolicy, CoreConfig, IcfpFeatures, StoreBufferKind};
-pub use icfp::IcfpCore;
+pub use icfp::{IcfpCore, IcfpMachine};
 pub use inorder::InOrderCore;
 pub use multipass::MultipassCore;
 pub use runahead::RunaheadCore;

@@ -12,7 +12,7 @@
 //! the overhead iCFP and SLTP avoid.
 
 use crate::common::Engine;
-use crate::config::{AdvancePolicy, CoreConfig};
+use crate::config::CoreConfig;
 use crate::storebuf::RunaheadCache;
 use crate::Core;
 use icfp_isa::{Cycle, OpClass, Trace};
@@ -27,7 +27,7 @@ pub struct RunaheadCore {
 
 impl RunaheadCore {
     /// Creates a Runahead core.  The paper's default advance policy for
-    /// Runahead is [`AdvancePolicy::L2Only`]; use
+    /// Runahead is [`crate::AdvancePolicy::L2Only`]; use
     /// [`CoreConfig::runahead_default`] for that.
     pub fn new(cfg: CoreConfig) -> Self {
         RunaheadCore { cfg }
@@ -321,6 +321,7 @@ fn finish_episode(
 mod tests {
     use super::*;
     use crate::common::golden_final_state;
+    use crate::config::AdvancePolicy;
     use crate::inorder::InOrderCore;
     use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
 

@@ -52,6 +52,9 @@ impl std::error::Error for SliceBufferFull {}
 pub struct SliceBuffer {
     entries: VecDeque<SliceEntry>,
     capacity: usize,
+    /// Number of entries with `active == true` (kept in sync by
+    /// push/retire/clear so occupancy queries are O(1) on the hot path).
+    active: usize,
     /// Peak occupancy over the run (for diagnostics).
     peak: usize,
     /// Total entries ever inserted.
@@ -69,6 +72,7 @@ impl SliceBuffer {
         SliceBuffer {
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            active: 0,
             peak: 0,
             inserted: 0,
         }
@@ -84,14 +88,14 @@ impl SliceBuffer {
         self.entries.is_empty()
     }
 
-    /// Number of entries still awaiting execution.
+    /// Number of entries still awaiting execution.  O(1).
     pub fn active_len(&self) -> usize {
-        self.entries.iter().filter(|e| e.active).count()
+        self.active
     }
 
-    /// True if there is no active entry left.
+    /// True if there is no active entry left.  O(1).
     pub fn no_active(&self) -> bool {
-        self.entries.iter().all(|e| !e.active)
+        self.active == 0
     }
 
     /// True if the buffer cannot accept another entry.
@@ -122,6 +126,7 @@ impl SliceBuffer {
         if self.is_full() {
             return Err(SliceBufferFull);
         }
+        self.active += usize::from(entry.active);
         self.entries.push_back(entry);
         self.inserted += 1;
         self.peak = self.peak.max(self.entries.len());
@@ -143,19 +148,64 @@ impl SliceBuffer {
 
     /// Active entries whose poison mask intersects `returning` — the entries a
     /// rally pass for that returning miss must process (Section 3.4).
+    ///
+    /// Allocates a fresh `Vec` per call; the simulation hot path uses
+    /// [`SliceBuffer::entries_for_rally_into`] (scratch-buffer reuse) or
+    /// [`SliceBuffer::rally_iter`] instead.
     pub fn entries_for_rally(&self, returning: PoisonMask) -> Vec<SliceEntry> {
+        let mut out = Vec::new();
+        self.entries_for_rally_into(returning, &mut out);
+        out
+    }
+
+    /// Zero-allocation form of [`SliceBuffer::entries_for_rally`]: appends the
+    /// selected entries to `out` (cleared first), reusing its capacity.
+    pub fn entries_for_rally_into(&self, returning: PoisonMask, out: &mut Vec<SliceEntry>) {
+        out.clear();
+        out.extend(self.rally_iter(returning));
+    }
+
+    /// Borrowing iterator over the entries a rally for `returning` must
+    /// process, in program order.
+    pub fn rally_iter(&self, returning: PoisonMask) -> impl Iterator<Item = SliceEntry> + '_ {
         self.entries
             .iter()
-            .filter(|e| e.active && e.poison.intersects(returning))
+            .filter(move |e| e.active && e.poison.intersects(returning))
             .copied()
-            .collect()
+    }
+
+    /// Deque position of the entry for `trace_idx`.  Entries are appended in
+    /// trace order and never reordered, so the buffer is sorted by
+    /// `trace_idx` and lookups binary-search in O(log n).
+    fn position_of(&self, trace_idx: usize) -> Option<usize> {
+        let n = self.entries.len();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.entries[mid].trace_idx < trace_idx {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < n && self.entries[lo].trace_idx == trace_idx).then_some(lo)
+    }
+
+    /// The current poison mask of the *active* entry for `trace_idx`, if any.
+    pub fn entry_poison(&self, trace_idx: usize) -> Option<PoisonMask> {
+        self.position_of(trace_idx)
+            .map(|p| &self.entries[p])
+            .filter(|e| e.active)
+            .map(|e| e.poison)
     }
 
     /// Marks the entry for `trace_idx` as retired (executed successfully).
     pub fn retire(&mut self, trace_idx: usize) -> bool {
-        for e in self.entries.iter_mut() {
-            if e.trace_idx == trace_idx && e.active {
+        if let Some(p) = self.position_of(trace_idx) {
+            let e = &mut self.entries[p];
+            if e.active {
                 e.active = false;
+                self.active -= 1;
                 return true;
             }
         }
@@ -165,8 +215,9 @@ impl SliceBuffer {
     /// Re-poisons the entry for `trace_idx` in place (it depends on a miss
     /// that is still outstanding); the entry stays active for a later pass.
     pub fn repoison(&mut self, trace_idx: usize, poison: PoisonMask) -> bool {
-        for e in self.entries.iter_mut() {
-            if e.trace_idx == trace_idx && e.active {
+        if let Some(p) = self.position_of(trace_idx) {
+            let e = &mut self.entries[p];
+            if e.active {
                 e.poison = poison;
                 return true;
             }
@@ -174,16 +225,10 @@ impl SliceBuffer {
         false
     }
 
-    /// Updates a captured source value of an active entry (used when a rally
-    /// resolves a value that a younger slice entry captured as "pending from
-    /// slice").
-    pub fn entry_mut(&mut self, trace_idx: usize) -> Option<&mut SliceEntry> {
-        self.entries.iter_mut().find(|e| e.trace_idx == trace_idx)
-    }
-
     /// Clears the buffer entirely (squash).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.active = 0;
     }
 }
 
@@ -242,6 +287,32 @@ mod tests {
         // But a retired entry in the middle cannot be reclaimed.
         sb.retire(2);
         assert!(sb.push(entry(3, PoisonMask::bit(0))).is_err());
+    }
+
+    #[test]
+    fn rally_selection_apis_are_equivalent() {
+        // The scratch-buffer and iterator forms must select exactly what the
+        // allocating form does, and the scratch must reuse its capacity.
+        let mut sb = SliceBuffer::new(16);
+        for k in 0..12usize {
+            sb.push(entry(k, PoisonMask::bit((k % 3) as u8))).unwrap();
+        }
+        sb.retire(3);
+        sb.retire(6);
+        let mut scratch = Vec::new();
+        for bit in 0..3u8 {
+            let select = PoisonMask::bit(bit);
+            let allocated = sb.entries_for_rally(select);
+            sb.entries_for_rally_into(select, &mut scratch);
+            assert_eq!(allocated, scratch);
+            let iterated: Vec<SliceEntry> = sb.rally_iter(select).collect();
+            assert_eq!(allocated, iterated);
+        }
+        let warmed = scratch.capacity();
+        for _ in 0..50 {
+            sb.entries_for_rally_into(PoisonMask::bit(0), &mut scratch);
+            assert_eq!(scratch.capacity(), warmed, "scratch must not reallocate");
+        }
     }
 
     #[test]

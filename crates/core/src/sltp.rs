@@ -68,12 +68,13 @@ impl Core for SltpCore {
             // return, or when the trace has run out.
             if let Some(ep) = episode {
                 if eng.frontier >= ep.trigger_return || i >= trace.len() {
+                    let rally_start = ep.trigger_return;
                     let rally_end = run_blocking_rally(
                         &mut eng,
                         trace,
                         &mut slice,
                         &mut srl,
-                        ep.trigger_return.max(eng.frontier.min(ep.trigger_return)),
+                        rally_start,
                         l1_lat,
                     );
                     episode = None;

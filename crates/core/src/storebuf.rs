@@ -306,8 +306,20 @@ impl ChainedStoreBuffer {
     /// `< completed_seq` and whose data is not poisoned, stopping at the first
     /// store that cannot drain.  Returns the drained `(addr, value)` pairs so
     /// the caller can write them to the data cache / architectural memory.
+    ///
+    /// Allocates a fresh `Vec` per call; the simulation hot path uses
+    /// [`ChainedStoreBuffer::drain_completed_into`] with a reused scratch
+    /// buffer instead.
     pub fn drain_completed(&mut self, completed_seq: InstSeq) -> Vec<(Addr, Value)> {
         let mut drained = Vec::new();
+        self.drain_completed_into(completed_seq, &mut drained);
+        drained
+    }
+
+    /// Zero-allocation form of [`ChainedStoreBuffer::drain_completed`]:
+    /// appends the drained `(addr, value)` pairs to `out` (which the caller
+    /// clears), reusing its capacity across cycles.
+    pub fn drain_completed_into(&mut self, completed_seq: InstSeq, out: &mut Vec<(Addr, Value)>) {
         while let Some(front) = self.entries.front() {
             if front.seq < completed_seq && front.poison.is_clean() {
                 let e = self.entries.pop_front().expect("front exists");
@@ -317,33 +329,41 @@ impl ChainedStoreBuffer {
                 if self.chain_table[h] == e.ssn {
                     self.chain_table[h] = 0;
                 }
-                drained.push((e.addr, e.value));
+                out.push((e.addr, e.value));
             } else {
                 break;
             }
         }
-        drained
     }
 
     /// Drains everything unconditionally (end of an episode where all stores
     /// are known complete).  Poisoned stores are dropped — callers only do
     /// this after a squash, when those stores are architecturally dead.
+    ///
+    /// Allocating wrapper over [`ChainedStoreBuffer::drain_all_into`].
     pub fn drain_all(&mut self) -> Vec<(Addr, Value)> {
         let mut drained = Vec::new();
+        self.drain_all_into(&mut drained);
+        drained
+    }
+
+    /// Zero-allocation form of [`ChainedStoreBuffer::drain_all`]: appends to
+    /// `out` (which the caller clears), reusing its capacity.
+    pub fn drain_all_into(&mut self, out: &mut Vec<(Addr, Value)>) {
         while let Some(e) = self.entries.pop_front() {
             self.ssn_complete = e.ssn;
             if e.poison.is_clean() {
-                drained.push((e.addr, e.value));
+                out.push((e.addr, e.value));
             }
         }
         for slot in &mut self.chain_table {
             *slot = 0;
         }
-        drained
     }
 
-    /// Iterates over the buffered stores, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &StoreEntry> {
+    /// Iterates over the buffered stores, oldest first.  Double-ended so
+    /// consumers can scan youngest-first for forwarding.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &StoreEntry> {
         self.entries.iter()
     }
 }
@@ -464,8 +484,9 @@ impl StoreRedoLog {
         self.entries.drain(..).map(|(s, a, v, _)| (s, a, v)).collect()
     }
 
-    /// Iterates over logged stores, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &(InstSeq, Addr, Value, PoisonMask)> {
+    /// Iterates over logged stores, oldest first.  Double-ended so consumers
+    /// can scan youngest-first for forwarding.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &(InstSeq, Addr, Value, PoisonMask)> {
         self.entries.iter()
     }
 }
@@ -573,6 +594,68 @@ mod tests {
         let drained = sb.drain_completed(9);
         assert_eq!(drained.len(), 1);
         assert_eq!(sb.len(), 1);
+    }
+
+    #[test]
+    fn drain_into_is_equivalent_to_allocating_drain() {
+        // Two identical buffers, one drained through the allocating API and
+        // one through the scratch-buffer API: outputs and end states agree.
+        let fill = |sb: &mut ChainedStoreBuffer| {
+            for k in 0..12u64 {
+                let poison = if k % 5 == 3 {
+                    PoisonMask::bit(0)
+                } else {
+                    PoisonMask::CLEAN
+                };
+                sb.push(k, 0x40 + (k % 6) * 8, k * 10, poison).unwrap();
+            }
+        };
+        let mut a = chained(16, 64);
+        let mut b = chained(16, 64);
+        fill(&mut a);
+        fill(&mut b);
+        let mut scratch = Vec::new();
+        b.drain_completed_into(8, &mut scratch);
+        assert_eq!(a.drain_completed(8), scratch);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.ssn_tail(), b.ssn_tail());
+        scratch.clear();
+        b.drain_all_into(&mut scratch);
+        assert_eq!(a.drain_all(), scratch);
+        assert!(a.is_empty() && b.is_empty());
+        // Both paths must also leave forwarding in the same (empty) state.
+        assert!(a.forward(0x40, a.ssn_tail()).store.is_none());
+        assert!(b.forward(0x40, b.ssn_tail()).store.is_none());
+    }
+
+    #[test]
+    fn drain_scratch_capacity_is_reused_across_cycles() {
+        // Steady-state guarantee for the simulation hot loop: after a warm-up
+        // round, repeated push/drain cycles through the same scratch buffer
+        // never grow it again — no per-cycle heap allocation.
+        let mut sb = chained(32, 64);
+        let mut scratch: Vec<(u64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut round = |sb: &mut ChainedStoreBuffer, scratch: &mut Vec<(u64, u64)>| {
+            for _ in 0..24u64 {
+                sb.push(seq, 0x40 + (seq % 16) * 8, seq, PoisonMask::CLEAN)
+                    .unwrap();
+                seq += 1;
+            }
+            scratch.clear();
+            sb.drain_completed_into(seq, scratch);
+            assert_eq!(scratch.len(), 24);
+        };
+        round(&mut sb, &mut scratch);
+        let warmed = scratch.capacity();
+        for _ in 0..100 {
+            round(&mut sb, &mut scratch);
+            assert_eq!(
+                scratch.capacity(),
+                warmed,
+                "drain scratch must not reallocate in steady state"
+            );
+        }
     }
 
     #[test]

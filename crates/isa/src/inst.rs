@@ -6,6 +6,7 @@ use std::fmt;
 
 /// Memory access width for loads and stores, in bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum MemWidth {
     /// 1-byte access.
     B1,
@@ -14,6 +15,7 @@ pub enum MemWidth {
     /// 4-byte access.
     B4,
     /// 8-byte access.
+    #[default]
     B8,
 }
 
@@ -29,11 +31,6 @@ impl MemWidth {
     }
 }
 
-impl Default for MemWidth {
-    fn default() -> Self {
-        MemWidth::B8
-    }
-}
 
 /// Opcodes of SimISA.
 ///
@@ -454,7 +451,7 @@ mod tests {
         assert_eq!(st.addr_base_reg(), Some(Reg::int(2)));
         let br = DynInst::branch(Reg::int(4), true, 0x40, 0.9);
         assert!(br.is_branch());
-        assert_eq!(br.branch.unwrap().taken, true);
+        assert!(br.branch.unwrap().taken);
     }
 
     #[test]

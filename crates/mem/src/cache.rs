@@ -112,10 +112,12 @@ impl CacheStats {
 /// A small fully-associative victim buffer.
 ///
 /// Holds recently evicted lines; a probe hit returns the line to the caller
-/// (who normally re-fills it into the main array).
+/// (who normally re-fills it into the main array).  Each entry keeps the
+/// line's fill-ready cycle: a line evicted while its fill is still in flight
+/// must not supply data before that fill would have arrived.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VictimBuffer {
-    entries: Vec<(Addr, bool)>, // (line address, dirty)
+    entries: Vec<(Addr, bool, Cycle)>, // (line address, dirty, data ready at)
     capacity: usize,
 }
 
@@ -130,12 +132,12 @@ impl VictimBuffer {
 
     /// Inserts an evicted line, displacing the oldest entry if full.
     /// Returns the displaced line, if any, so dirty victims can be written back.
-    pub fn insert(&mut self, line_addr: Addr, dirty: bool) -> Option<Evicted> {
+    pub fn insert(&mut self, line_addr: Addr, dirty: bool, ready_at: Cycle) -> Option<Evicted> {
         if self.capacity == 0 {
             return Some(Evicted { line_addr, dirty });
         }
         let displaced = if self.entries.len() == self.capacity {
-            let (a, d) = self.entries.remove(0);
+            let (a, d, _) = self.entries.remove(0);
             Some(Evicted {
                 line_addr: a,
                 dirty: d,
@@ -143,15 +145,16 @@ impl VictimBuffer {
         } else {
             None
         };
-        self.entries.push((line_addr, dirty));
+        self.entries.push((line_addr, dirty, ready_at));
         displaced
     }
 
-    /// Probes for a line; on a hit the entry is removed and its dirtiness
-    /// returned (the caller re-fills it into the main array).
-    pub fn take(&mut self, line_addr: Addr) -> Option<bool> {
-        if let Some(pos) = self.entries.iter().position(|&(a, _)| a == line_addr) {
-            Some(self.entries.remove(pos).1)
+    /// Probes for a line; on a hit the entry is removed and its dirtiness and
+    /// data-ready cycle returned (the caller re-fills it into the main array).
+    pub fn take(&mut self, line_addr: Addr) -> Option<(bool, Cycle)> {
+        if let Some(pos) = self.entries.iter().position(|&(a, _, _)| a == line_addr) {
+            let (_, dirty, ready_at) = self.entries.remove(pos);
+            Some((dirty, ready_at))
         } else {
             None
         }
@@ -229,11 +232,14 @@ impl Cache {
                 ready_at: line.ready_at.max(now),
             };
         }
-        // Victim buffer probe: hit moves the line back into the array.
-        if let Some(dirty) = self.victim.take(line_addr) {
+        // Victim buffer probe: hit moves the line back into the array.  The
+        // line keeps its original fill time: a victim evicted mid-fill still
+        // cannot supply data before the fill arrives.
+        if let Some((dirty, ready_at)) = self.victim.take(line_addr) {
             self.stats.victim_hits += 1;
-            self.fill_internal(line_addr, now, now, dirty || is_write);
-            return ProbeResult::Hit { ready_at: now };
+            let ready_at = ready_at.max(now);
+            self.fill_internal(line_addr, now, ready_at, dirty || is_write);
+            return ProbeResult::Hit { ready_at };
         }
         self.stats.misses += 1;
         ProbeResult::Miss
@@ -288,7 +294,7 @@ impl Cache {
             }
             // Displaced lines go to the victim buffer; whatever the victim
             // buffer displaces in turn is reported to the caller.
-            return self.victim.insert(old.tag, old.dirty);
+            return self.victim.insert(old.tag, old.dirty, old.ready_at);
         }
         None
     }
@@ -389,8 +395,8 @@ mod tests {
     #[test]
     fn victim_buffer_overflow_reports_displaced_line() {
         let mut vb = VictimBuffer::new(1);
-        assert!(vb.insert(0x40, false).is_none());
-        let displaced = vb.insert(0x80, true).expect("should displace");
+        assert!(vb.insert(0x40, false, 0).is_none());
+        let displaced = vb.insert(0x80, true, 0).expect("should displace");
         assert_eq!(displaced.line_addr, 0x40);
         assert_eq!(vb.len(), 1);
     }
@@ -398,10 +404,26 @@ mod tests {
     #[test]
     fn zero_capacity_victim_buffer_passes_through() {
         let mut vb = VictimBuffer::new(0);
-        let d = vb.insert(0x40, true).unwrap();
+        let d = vb.insert(0x40, true, 0).unwrap();
         assert_eq!(d.line_addr, 0x40);
         assert!(d.dirty);
         assert!(vb.is_empty());
+    }
+
+    #[test]
+    fn victim_hit_preserves_in_flight_fill_time() {
+        // Fill a line whose data arrives at cycle 500, evict it while the
+        // fill is still in flight, then re-access it via the victim buffer:
+        // the data must still not be available before cycle 500.
+        let mut c = tiny();
+        c.fill(0x0000, 0, 500, false);
+        c.fill(0x0100, 1, 1, false);
+        c.fill(0x0200, 2, 2, false); // evicts 0x0000 (LRU) to the victim buffer
+        assert!(!c.peek(0x0000));
+        match c.access(0x0000, 10, false) {
+            ProbeResult::Hit { ready_at } => assert_eq!(ready_at, 500),
+            _ => panic!("expected victim-buffer hit"),
+        }
     }
 
     #[test]

@@ -7,7 +7,6 @@ use crate::mshr::{MshrFile, MshrId, MshrRequest};
 use crate::prefetch::StreamPrefetcher;
 use crate::stats::MemStats;
 use icfp_isa::{Addr, Cycle};
-use std::collections::HashMap;
 use std::fmt;
 
 /// How a demand access was serviced.
@@ -105,8 +104,11 @@ pub struct MemoryHierarchy {
     prefetcher: StreamPrefetcher,
     stats: MemStats,
     /// Outcome of the primary miss held by each outstanding MSHR, so merged
-    /// references can report the same outcome.
-    mshr_outcome: HashMap<MshrId, AccessOutcome>,
+    /// references can report the same outcome.  Slot-indexed flat table keyed
+    /// by [`MshrId::slot`]; the stored id guards against stale generations.
+    /// Fixed-size, so the per-access hot path performs no heap allocation and
+    /// no hashing.
+    mshr_outcome: Vec<Option<(MshrId, AccessOutcome)>>,
 }
 
 impl MemoryHierarchy {
@@ -135,7 +137,7 @@ impl MemoryHierarchy {
             bus,
             prefetcher,
             stats: MemStats::default(),
-            mshr_outcome: HashMap::new(),
+            mshr_outcome: vec![None; config.max_outstanding_misses],
             config,
         }
     }
@@ -234,7 +236,6 @@ impl MemoryHierarchy {
     ) -> Result<(Cycle, AccessOutcome, Option<MshrId>), MemError> {
         let l1_lat = self.config.l1_hit_latency;
         self.mshrs.retire_completed(now);
-        self.prune_mshr_outcomes(now);
 
         // 1. L1 probe.
         if let ProbeResult::Hit { ready_at } = self.l1d.access(addr, now, is_write) {
@@ -260,10 +261,10 @@ impl MemoryHierarchy {
         let l1_line = self.l1d.line_addr(addr);
         let mshr_id = match self.mshrs.request(l1_line, now, false) {
             MshrRequest::Merged { id, completes_at } => {
-                let outcome = *self
-                    .mshr_outcome
-                    .get(&id)
-                    .unwrap_or(&AccessOutcome::L1MissL2Hit);
+                let outcome = match self.mshr_outcome[id.slot()] {
+                    Some((owner, o)) if owner == id => o,
+                    _ => AccessOutcome::L1MissL2Hit,
+                };
                 if is_write {
                     // Mark the line dirty once it arrives.
                     self.l1d.fill(addr, now, completes_at, true);
@@ -295,7 +296,8 @@ impl MemoryHierarchy {
         self.stats.l1d_mlp.record(now, completes);
         self.l1d.fill(addr, now, completes, is_write);
         self.mshrs.set_completion(mshr_id, completes);
-        self.mshr_outcome.insert(mshr_id, outcome);
+        // Slot reuse overwrites stale generations; no pruning pass needed.
+        self.mshr_outcome[mshr_id.slot()] = Some((mshr_id, outcome));
 
         // 6. Train the stream prefetcher on the demand miss.
         let reqs = self.prefetcher.on_demand_miss(addr, now);
@@ -308,14 +310,21 @@ impl MemoryHierarchy {
 
     fn issue_prefetch(&mut self, req: crate::prefetch::PrefetchRequest, now: Cycle) {
         // Prefetches that already hit on-chip are free; only memory-bound
-        // prefetches consume bus bandwidth.
+        // prefetches consume bus bandwidth — and only *spare* bandwidth: a
+        // prefetch the bus cannot accept promptly is dropped, never queued
+        // ahead of future demand misses.
         let arrival = if self.l1d.peek(req.block_addr) {
             now
         } else if self.l2.peek(req.block_addr) {
             now + self.config.l2_hit_latency
         } else {
+            let Some(t) = self.bus.schedule_prefetch(now + self.config.l2_hit_latency) else {
+                // Dropped: roll the stream back so the block is re-requested
+                // later instead of becoming a permanent hole.
+                self.prefetcher.record_drop(req);
+                return;
+            };
             self.stats.prefetches_issued += 1;
-            let t = self.bus.schedule(now + self.config.l2_hit_latency);
             // Prefetched lines are installed in the L2 as well, modelling the
             // common install-on-prefetch policy.
             self.l2.fill(req.block_addr, now, t.line_complete_at, false);
@@ -324,17 +333,6 @@ impl MemoryHierarchy {
         self.prefetcher.record_arrival(req, arrival);
     }
 
-    fn prune_mshr_outcomes(&mut self, now: Cycle) {
-        if self.mshr_outcome.len() > 4 * self.config.max_outstanding_misses {
-            let live: Vec<MshrId> = self
-                .mshrs
-                .iter_outstanding()
-                .filter(|&(_, c, _)| c > now)
-                .map(|(_, _, id)| id)
-                .collect();
-            self.mshr_outcome.retain(|id, _| live.contains(id));
-        }
-    }
 }
 
 #[cfg(test)]
@@ -429,6 +427,49 @@ mod tests {
     }
 
     #[test]
+    fn merged_access_reports_primary_outcome_via_flat_slot_table() {
+        let mut m = hier();
+        let a = m.load(0x4000, 0).unwrap();
+        assert_eq!(a.outcome, AccessOutcome::L2Miss);
+        let a_id = a.mshr.expect("primary miss holds an MSHR");
+        // Thrash the line's L1 set (stride = sets × line bytes = 8192) hard
+        // enough to push it out of the array *and* the victim buffer while
+        // its fill is still in flight (12 evictions > 4 ways + 8 victims).
+        for i in 1..=12u64 {
+            m.load(0x4000 + i * 8192, 1).unwrap();
+        }
+        // Re-access: the line is gone from the L1 but its MSHR is live — the
+        // access merges, and the slot-indexed outcome table must report the
+        // *primary* miss's outcome and completion, not a default.
+        let r = m.load(0x4000, 20).unwrap();
+        assert_eq!(r.mshr, Some(a_id));
+        assert_eq!(r.outcome, AccessOutcome::L2Miss);
+        assert_eq!(r.completes_at, a.completes_at.max(20 + 3));
+    }
+
+    #[test]
+    fn mshr_slot_recycling_keeps_outcomes_fresh() {
+        // One MSHR: every miss reuses slot 0, exercising the generation guard
+        // on the flat outcome table.
+        let mut m = MemoryHierarchy::new(MemConfig {
+            max_outstanding_misses: 1,
+            ..MemConfig::paper_default().with_prefetch(false)
+        });
+        let a = m.load(0x4000, 0).unwrap();
+        let a_id = a.mshr.unwrap();
+        let b = m.load(0x20000, a.completes_at + 1).unwrap();
+        let b_id = b.mshr.unwrap();
+        assert_eq!(b_id.slot(), a_id.slot(), "the single slot must be reused");
+        assert_ne!(b_id, a_id, "generation must advance on slot reuse");
+        assert_eq!(b.outcome, AccessOutcome::L2Miss);
+        // A hit-under-fill on the recycled slot's line sees the new owner's
+        // completion time and MSHR id, not the stale generation's.
+        let r = m.load(0x20000 + 8, a.completes_at + 2).unwrap();
+        assert_eq!(r.mshr, Some(b_id));
+        assert_eq!(r.completes_at, b.completes_at.max(a.completes_at + 2 + 3));
+    }
+
+    #[test]
     fn stores_write_allocate_and_dirty_lines() {
         let mut m = hier();
         let s = m.store(0x4000, 0).unwrap();
@@ -447,10 +488,10 @@ mod tests {
         for i in 0..64u64 {
             let r = m.load(0x100000 + i * 64, now).unwrap();
             outcomes.push(r.outcome);
-            now = now + 4; // keep issuing; do not wait for data
+            now += 4; // keep issuing; do not wait for data
         }
         assert!(
-            outcomes.iter().any(|o| *o == AccessOutcome::PrefetchHit),
+            outcomes.contains(&AccessOutcome::PrefetchHit),
             "expected some prefetch hits on a sequential stream: {outcomes:?}"
         );
     }

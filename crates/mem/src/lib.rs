@@ -44,6 +44,6 @@ pub use bus::MemoryBus;
 pub use cache::{Cache, CacheConfig, VictimBuffer};
 pub use config::MemConfig;
 pub use hierarchy::{AccessOutcome, LoadResponse, MemError, MemoryHierarchy, StoreResponse};
-pub use mshr::{MshrFile, MshrId};
+pub use mshr::{MshrFile, MshrId, MshrRequest};
 pub use prefetch::StreamPrefetcher;
 pub use stats::{MemStats, MlpTracker};

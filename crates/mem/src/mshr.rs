@@ -10,10 +10,33 @@
 use icfp_isa::{Addr, Cycle};
 use serde::{Deserialize, Serialize};
 
-/// Identifier of an allocated MSHR entry.  Monotonically increasing across a
-/// run so that entries are never confused even after reuse of a slot.
+/// Identifier of an allocated MSHR entry.
+///
+/// The low [`MshrId::SLOT_BITS`] bits encode the *slot* the entry occupies in
+/// the MSHR file; the remaining bits are a monotonically increasing
+/// generation, so ids are never confused even after a slot is recycled.  The
+/// slot encoding lets consumers (the memory hierarchy's per-miss outcome
+/// table, poison allocators, ...) key flat fixed-size arrays by MSHR instead
+/// of hash maps — the id *is* the index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MshrId(pub u64);
+
+impl MshrId {
+    /// Number of low bits that encode the slot index (supports files of up to
+    /// 65 536 entries — far above any realistic configuration).
+    pub const SLOT_BITS: u32 = 16;
+
+    /// The slot this entry occupies in its MSHR file.  Stable for the
+    /// lifetime of the entry; reused (with a new generation) after retirement.
+    pub fn slot(self) -> usize {
+        (self.0 & ((1 << Self::SLOT_BITS) - 1)) as usize
+    }
+
+    /// The allocation generation (increases monotonically across a run).
+    pub fn generation(self) -> u64 {
+        self.0 >> Self::SLOT_BITS
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct MshrEntry {
@@ -39,11 +62,17 @@ pub struct MshrStats {
 }
 
 /// A finite file of MSHRs with merge-on-same-line semantics.
+///
+/// Storage is *slot-indexed*: entry `k` lives in `slots[k]` for its entire
+/// lifetime and its [`MshrId`] encodes `k`, so completion updates and
+/// per-miss side tables are O(1) array accesses.  Lookups by line address
+/// scan the (small, fixed) slot array, which is cache-friendly and
+/// allocation-free.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MshrFile {
-    entries: Vec<MshrEntry>,
-    capacity: usize,
-    next_id: u64,
+    slots: Vec<Option<MshrEntry>>,
+    outstanding: usize,
+    next_gen: u64,
     stats: MshrStats,
 }
 
@@ -70,10 +99,14 @@ pub enum MshrRequest {
 impl MshrFile {
     /// Creates an MSHR file with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity < (1 << MshrId::SLOT_BITS),
+            "MSHR capacity exceeds slot encoding"
+        );
         MshrFile {
-            entries: Vec::with_capacity(capacity),
-            capacity,
-            next_id: 0,
+            slots: vec![None; capacity],
+            outstanding: 0,
+            next_gen: 0,
             stats: MshrStats::default(),
         }
     }
@@ -83,25 +116,36 @@ impl MshrFile {
         &self.stats
     }
 
+    /// Number of slots (the configured capacity).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Number of currently outstanding misses.
     pub fn outstanding(&self) -> usize {
-        self.entries.len()
+        self.outstanding
     }
 
     /// True if no misses are outstanding.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.outstanding == 0
     }
 
     /// Retires every entry whose miss has completed by `now`.
     pub fn retire_completed(&mut self, now: Cycle) {
-        self.entries.retain(|e| e.completes_at > now);
+        for s in &mut self.slots {
+            if matches!(s, Some(e) if e.completes_at <= now) {
+                *s = None;
+                self.outstanding -= 1;
+            }
+        }
     }
 
     /// Looks up an outstanding miss covering `line_addr`.
     pub fn lookup(&self, line_addr: Addr) -> Option<(MshrId, Cycle)> {
-        self.entries
+        self.slots
             .iter()
+            .flatten()
             .find(|e| e.line_addr == line_addr)
             .map(|e| (e.id, e.completes_at))
     }
@@ -113,32 +157,40 @@ impl MshrFile {
     /// the completion cycle.
     pub fn request(&mut self, line_addr: Addr, now: Cycle, prefetch: bool) -> MshrRequest {
         self.retire_completed(now);
-        if let Some(e) = self.entries.iter_mut().find(|e| e.line_addr == line_addr) {
-            e.references += 1;
-            // A demand reference upgrades a prefetch-initiated miss.
-            if !prefetch {
-                e.prefetch = false;
+        let mut free = None;
+        for (k, s) in self.slots.iter_mut().enumerate() {
+            match s {
+                Some(e) if e.line_addr == line_addr => {
+                    e.references += 1;
+                    // A demand reference upgrades a prefetch-initiated miss.
+                    if !prefetch {
+                        e.prefetch = false;
+                    }
+                    self.stats.merges += 1;
+                    return MshrRequest::Merged {
+                        id: e.id,
+                        completes_at: e.completes_at,
+                    };
+                }
+                None if free.is_none() => free = Some(k),
+                _ => {}
             }
-            self.stats.merges += 1;
-            return MshrRequest::Merged {
-                id: e.id,
-                completes_at: e.completes_at,
-            };
         }
-        if self.entries.len() >= self.capacity {
+        let Some(slot) = free else {
             self.stats.full_stalls += 1;
             let retry_at = self
-                .entries
+                .slots
                 .iter()
+                .flatten()
                 .map(|e| e.completes_at)
                 .min()
                 .unwrap_or(now + 1);
             return MshrRequest::Full { retry_at };
-        }
-        let id = MshrId(self.next_id);
-        self.next_id += 1;
+        };
+        let id = MshrId((self.next_gen << MshrId::SLOT_BITS) | slot as u64);
+        self.next_gen += 1;
         self.stats.allocations += 1;
-        self.entries.push(MshrEntry {
+        self.slots[slot] = Some(MshrEntry {
             id,
             line_addr,
             allocated_at: now,
@@ -146,27 +198,29 @@ impl MshrFile {
             references: 1,
             prefetch,
         });
+        self.outstanding += 1;
         MshrRequest::Allocated(id)
     }
 
-    /// Records the completion cycle of a previously allocated miss.
+    /// Records the completion cycle of a previously allocated miss.  O(1):
+    /// the id's slot encoding indexes the file directly.
     ///
     /// # Panics
     ///
     /// Panics if `id` does not refer to an outstanding MSHR.
     pub fn set_completion(&mut self, id: MshrId, completes_at: Cycle) {
-        let e = self
-            .entries
-            .iter_mut()
-            .find(|e| e.id == id)
+        let e = self.slots[id.slot()]
+            .as_mut()
+            .filter(|e| e.id == id)
             .expect("set_completion on unknown MSHR");
         e.completes_at = completes_at;
     }
 
     /// Iterates over `(line_addr, completes_at, id)` of outstanding misses.
     pub fn iter_outstanding(&self) -> impl Iterator<Item = (Addr, Cycle, MshrId)> + '_ {
-        self.entries
+        self.slots
             .iter()
+            .flatten()
             .map(|e| (e.line_addr, e.completes_at, e.id))
     }
 }

@@ -181,6 +181,18 @@ impl StreamPrefetcher {
         }
     }
 
+    /// Records that a previously generated prefetch request was refused (the
+    /// bus dropped it).  The stream rolls its high-water mark back to the
+    /// dropped block so a later extension re-requests it, instead of leaving
+    /// a permanent hole the stream believes it has covered.
+    pub fn record_drop(&mut self, req: PrefetchRequest) {
+        if let Some(buf) = self.buffers.get_mut(req.buffer) {
+            if buf.active {
+                buf.next_block = buf.next_block.min(req.block_addr);
+            }
+        }
+    }
+
     /// Number of blocks currently held or in flight across all buffers.
     pub fn blocks_in_flight(&self) -> usize {
         self.buffers.iter().map(|b| b.blocks.len()).sum()
@@ -229,6 +241,19 @@ mod tests {
         p.record_arrival(reqs[0], 500);
         let (hit, _) = p.probe(0x1080, 100);
         assert_eq!(hit, Some(500));
+    }
+
+    #[test]
+    fn dropped_request_rolls_the_stream_back() {
+        let mut p = pf();
+        let reqs = p.on_demand_miss(0x1000, 0); // 0x1080, 0x1100, 0x1180, 0x1200
+        p.record_arrival(reqs[0], 500);
+        p.record_drop(reqs[1]); // bus refused 0x1100
+        // Consuming a buffered block extends the stream from the dropped
+        // block, not from beyond the hole.
+        let (hit, ext) = p.probe(0x1080, 600);
+        assert!(hit.is_some());
+        assert_eq!(ext.expect("stream should extend").block_addr, 0x1100);
     }
 
     #[test]

@@ -164,9 +164,11 @@ mod tests {
 
     #[test]
     fn mpki_helpers() {
-        let mut s = MemStats::default();
-        s.l1d_misses = 23;
-        s.l2_misses = 5;
+        let s = MemStats {
+            l1d_misses: 23,
+            l2_misses: 5,
+            ..MemStats::default()
+        };
         assert!((s.l1d_mpki(1000) - 23.0).abs() < 1e-12);
         assert!((s.l2_mpki(1000) - 5.0).abs() < 1e-12);
         assert_eq!(s.l1d_mpki(0), 0.0);

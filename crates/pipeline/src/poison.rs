@@ -32,6 +32,11 @@ impl PoisonMask {
         PoisonMask(1 << bit)
     }
 
+    /// The mask with every representable bit set (matches any poison).
+    pub fn all_bits() -> Self {
+        PoisonMask(u16::MAX)
+    }
+
     /// True if no poison bit is set.
     pub fn is_clean(self) -> bool {
         self.0 == 0

@@ -39,6 +39,16 @@ pub struct RunStats {
     /// Cycles spent stalled because a structural resource (slice buffer,
     /// store buffer, MSHRs) was full.
     pub resource_stall_cycles: u64,
+    /// Peak slice-buffer occupancy over the run (iCFP/SLTP; 0 otherwise).
+    pub slice_peak: u64,
+    /// Demand loads issued to the memory hierarchy (copied from `MemStats`).
+    pub mem_loads: u64,
+    /// Demand stores issued to the memory hierarchy (copied from `MemStats`).
+    pub mem_stores: u64,
+    /// L1 data-cache misses (copied from `MemStats` at the end of the run).
+    pub l1d_misses: u64,
+    /// L2 misses (copied from `MemStats` at the end of the run).
+    pub l2_misses: u64,
 }
 
 impl RunStats {
@@ -58,6 +68,24 @@ impl RunStats {
             0.0
         } else {
             self.rally_instructions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// L1 data-cache misses per 1000 committed instructions.
+    pub fn l1d_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// L2 misses per 1000 committed instructions.
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.instructions as f64
         }
     }
 

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`.
+//!
+//! This build environment has no access to crates.io, and the workspace uses
+//! serde only as `#[derive(Serialize, Deserialize)]` annotations on plain
+//! data types — nothing calls `serde_json` or any serializer.  This crate
+//! satisfies those imports with no-op derive macros so the workspace builds
+//! hermetically.  If the real `serde` becomes available, delete `crates/serde`
+//! and `crates/serde_derive` and add the registry dependency instead; no
+//! source changes are required.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! See `crates/serde` for why this exists.  The derives expand to nothing:
+//! the workspace only uses them as annotations, never through serde's trait
+//! machinery.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,15 @@
+use icfp_sim::{CoreModel, SimConfig, Simulator};
+fn main() {
+    for t in icfp_workloads::standard_suite(8000, 7) {
+        let mut line = format!("{:<14}", t.name());
+        let mut digests = vec![];
+        for m in CoreModel::ALL {
+            let r = Simulator::new(SimConfig::new(m)).run(&t);
+            line += &format!(" {}={:>8}", m.name(), r.cycles);
+            digests.push((m.name(), r.state_digest));
+        }
+        let ok = digests.windows(2).all(|w| w[0].1 == w[1].1);
+        println!("{line}  state-match={ok}");
+        if !ok { println!("  digests: {digests:?}"); }
+    }
+}

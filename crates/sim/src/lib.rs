@@ -1,1 +1,461 @@
-//! placeholder
+//! # icfp-sim — the cycle-driven simulation engine
+//!
+//! [`Simulator`] is the top-level driver the rest of the workspace (the
+//! benchmark harness, the quickstart example, future sweep tooling) talks to.
+//! It owns the selected core model — and, through it, the pipeline substrate
+//! and memory hierarchy — and exposes two ways to run a trace:
+//!
+//! * [`Simulator::run`] — simulate a whole trace, returning a [`SimReport`]
+//!   with timing statistics *and* simulation-throughput figures (host
+//!   seconds, simulated MIPS);
+//! * [`Simulator::load`] + [`Simulator::step_n`] — batched stepping with a
+//!   cycle budget, for interleaving simulation with other work (progress
+//!   reporting, multi-config round-robin, cancellation).
+//!
+//! ## Throughput
+//!
+//! The engine's inner loop is allocation-free in steady state: the iCFP
+//! machine reuses rally/drain scratch buffers, the MSHR outcome table is a
+//! flat slot-indexed array, and the trace is decoded once into a contiguous
+//! arena (`Vec<DynInst>` inside [`icfp_isa::Trace`]) that every pass replays
+//! by reference.  `BENCH_sim.json` (written by `icfp-bench`) tracks the
+//! resulting simulated-instructions-per-host-second so regressions are caught
+//! in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use icfp_core::{
+    Core, CoreConfig, IcfpCore, IcfpMachine, InOrderCore, MultipassCore, RunaheadCore, SltpCore,
+};
+use icfp_isa::{Cycle, Trace};
+use icfp_pipeline::RunResult;
+use std::fmt;
+use std::time::Instant;
+
+/// Which core model the simulator drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreModel {
+    /// Vanilla in-order baseline.
+    InOrder,
+    /// Runahead execution.
+    Runahead,
+    /// Multipass pipelining.
+    Multipass,
+    /// SLTP.
+    Sltp,
+    /// iCFP (the paper's mechanism; supports incremental stepping).
+    Icfp,
+}
+
+impl CoreModel {
+    /// All models, in the paper's presentation order.
+    pub const ALL: [CoreModel; 5] = [
+        CoreModel::InOrder,
+        CoreModel::Runahead,
+        CoreModel::Multipass,
+        CoreModel::Sltp,
+        CoreModel::Icfp,
+    ];
+
+    /// The model's short name (matches `RunResult::core`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreModel::InOrder => "in-order",
+            CoreModel::Runahead => "runahead",
+            CoreModel::Multipass => "multipass",
+            CoreModel::Sltp => "sltp",
+            CoreModel::Icfp => "icfp",
+        }
+    }
+
+    /// Parses a model name (accepts the short names above).
+    pub fn parse(s: &str) -> Option<CoreModel> {
+        Self::ALL.into_iter().find(|m| m.name() == s)
+    }
+
+    /// The paper's per-design default configuration for this model.
+    pub fn default_config(self) -> CoreConfig {
+        match self {
+            CoreModel::InOrder | CoreModel::Icfp => CoreConfig::paper_default(),
+            CoreModel::Runahead => CoreConfig::runahead_default(),
+            CoreModel::Multipass => CoreConfig::multipass_default(),
+            CoreModel::Sltp => CoreConfig::sltp_default(),
+        }
+    }
+}
+
+impl fmt::Display for CoreModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of a [`Simulator`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Core model to drive.
+    pub core: CoreModel,
+    /// Microarchitectural configuration.
+    pub cfg: CoreConfig,
+}
+
+impl SimConfig {
+    /// The paper-default configuration for `core`.
+    pub fn new(core: CoreModel) -> Self {
+        SimConfig {
+            cfg: core.default_config(),
+            core,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new(CoreModel::Icfp)
+    }
+}
+
+/// The result of simulating one trace, including simulation-throughput
+/// figures for the benchmark harness.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Core model name.
+    pub core: String,
+    /// Workload name.
+    pub workload: String,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions per simulated cycle.
+    pub ipc: f64,
+    /// L1 data-cache misses per 1000 instructions.
+    pub l1d_mpki: f64,
+    /// L2 misses per 1000 instructions.
+    pub l2_mpki: f64,
+    /// Branch mispredictions.
+    pub branch_mispredicts: u64,
+    /// Loads forwarded from a store buffer.
+    pub store_forwards: u64,
+    /// Advance episodes entered.
+    pub advance_episodes: u64,
+    /// Rally passes performed.
+    pub rally_passes: u64,
+    /// Peak slice-buffer occupancy (iCFP/SLTP).
+    pub slice_peak: u64,
+    /// Host wall-clock seconds spent simulating (excludes trace generation).
+    pub host_seconds: f64,
+    /// Simulated instructions per host second, in millions.
+    pub mips: f64,
+    /// FNV-1a digest of the final architectural state (registers + memory),
+    /// for cheap determinism / cross-model equivalence checks.
+    pub state_digest: u64,
+    /// The full run result (final state, all counters).
+    pub result: RunResult,
+}
+
+impl SimReport {
+    fn from_result(result: RunResult, host_seconds: f64) -> Self {
+        let s = &result.stats;
+        SimReport {
+            core: result.core.clone(),
+            workload: result.workload.clone(),
+            instructions: s.instructions,
+            cycles: s.cycles,
+            ipc: s.ipc(),
+            l1d_mpki: s.l1d_mpki(),
+            l2_mpki: s.l2_mpki(),
+            branch_mispredicts: s.branch_mispredicts,
+            store_forwards: s.store_forwards,
+            advance_episodes: s.advance_episodes,
+            rally_passes: s.rally_passes,
+            slice_peak: s.slice_peak,
+            host_seconds,
+            mips: if host_seconds > 0.0 {
+                s.instructions as f64 / host_seconds / 1.0e6
+            } else {
+                0.0
+            },
+            state_digest: state_digest(&result),
+            result,
+        }
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<14} {:<10} {:>9} inst {:>10} cyc  ipc {:>5.2}  l1d-mpki {:>6.1}  l2-mpki {:>5.1}  {:>8.2} MIPS",
+            self.workload,
+            self.core,
+            self.instructions,
+            self.cycles,
+            self.ipc,
+            self.l1d_mpki,
+            self.l2_mpki,
+            self.mips
+        )
+    }
+}
+
+/// FNV-1a over the final architectural state of a run.
+pub fn state_digest(r: &RunResult) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for &v in &r.final_regs {
+        eat(v);
+    }
+    for &(a, v) in &r.final_mem {
+        eat(a);
+        eat(v);
+    }
+    h
+}
+
+/// Progress of a batched [`Simulator::step_n`] call.
+#[derive(Debug, Clone)]
+pub enum StepStatus {
+    /// The cycle budget was consumed; the run continues.
+    Running {
+        /// Current simulated cycle.
+        cycle: Cycle,
+        /// Dynamic instructions processed so far (first pass).
+        processed: usize,
+    },
+    /// The trace retired; the report is final.
+    Done(Box<SimReport>),
+}
+
+enum Backend {
+    Idle,
+    /// Incremental iCFP machine plus the loaded trace and accumulated host
+    /// simulation time.
+    Stepping {
+        machine: Box<IcfpMachine>,
+        trace: Trace,
+        host_seconds: f64,
+    },
+    /// A loaded trace for a whole-trace-sweep model (everything but iCFP);
+    /// the first `step_n` call simulates it to completion.
+    Pending { trace: Trace },
+}
+
+/// The top-level simulation driver.  See the crate docs for the two usage
+/// modes.
+pub struct Simulator {
+    config: SimConfig,
+    backend: Backend,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator {
+            config,
+            backend: Backend::Idle,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn run_model(&self, trace: &Trace) -> RunResult {
+        match self.config.core {
+            CoreModel::InOrder => InOrderCore::new(self.config.cfg.clone()).run(trace),
+            CoreModel::Runahead => RunaheadCore::new(self.config.cfg.clone()).run(trace),
+            CoreModel::Multipass => MultipassCore::new(self.config.cfg.clone()).run(trace),
+            CoreModel::Sltp => SltpCore::new(self.config.cfg.clone()).run(trace),
+            CoreModel::Icfp => IcfpCore::new(self.config.cfg.clone()).run(trace),
+        }
+    }
+
+    /// Simulates `trace` to completion and reports timing plus throughput.
+    pub fn run(&mut self, trace: &Trace) -> SimReport {
+        let t0 = Instant::now();
+        let result = self.run_model(trace);
+        SimReport::from_result(result, t0.elapsed().as_secs_f64())
+    }
+
+    /// Loads a trace for batched stepping.  The iCFP model steps
+    /// incrementally; the other models — whole-trace sweeps in the seed —
+    /// simulate to completion on the first [`Simulator::step_n`] call.
+    pub fn load(&mut self, trace: Trace) {
+        self.backend = match self.config.core {
+            CoreModel::Icfp => Backend::Stepping {
+                machine: Box::new(IcfpMachine::new(&self.config.cfg)),
+                trace,
+                host_seconds: 0.0,
+            },
+            _ => Backend::Pending { trace },
+        };
+    }
+
+    /// Advances the loaded run by (at least) `cycles` simulated cycles, or to
+    /// completion, whichever comes first.  Granularity is one instruction /
+    /// rally pass, so the machine may overshoot the budget slightly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trace is loaded.
+    pub fn step_n(&mut self, cycles: Cycle) -> StepStatus {
+        match &mut self.backend {
+            Backend::Idle => panic!("step_n without a loaded trace; call Simulator::load first"),
+            Backend::Pending { .. } => {
+                let Backend::Pending { trace } =
+                    std::mem::replace(&mut self.backend, Backend::Idle)
+                else {
+                    unreachable!()
+                };
+                let t0 = Instant::now();
+                let result = self.run_model(&trace);
+                StepStatus::Done(Box::new(SimReport::from_result(
+                    result,
+                    t0.elapsed().as_secs_f64(),
+                )))
+            }
+            Backend::Stepping {
+                machine,
+                trace,
+                host_seconds,
+            } => {
+                let t0 = Instant::now();
+                let target = machine.cycle().saturating_add(cycles);
+                let mut alive = true;
+                while machine.cycle() < target {
+                    if !machine.step(trace) {
+                        alive = false;
+                        break;
+                    }
+                }
+                *host_seconds += t0.elapsed().as_secs_f64();
+                if alive {
+                    return StepStatus::Running {
+                        cycle: machine.cycle(),
+                        processed: machine.processed(),
+                    };
+                }
+                let Backend::Stepping {
+                    machine,
+                    trace,
+                    host_seconds,
+                } = std::mem::replace(&mut self.backend, Backend::Idle)
+                else {
+                    unreachable!()
+                };
+                let result = machine.finish(&trace);
+                StepStatus::Done(Box::new(SimReport::from_result(result, host_seconds)))
+            }
+        }
+    }
+
+    /// True if a batched run is in progress.
+    pub fn is_loaded(&self) -> bool {
+        !matches!(self.backend, Backend::Idle)
+    }
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("core", &self.config.core)
+            .field("loaded", &self.is_loaded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+
+    fn small_trace() -> Trace {
+        let mut b = TraceBuilder::new("sim-test");
+        for k in 0..20u64 {
+            b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x100000 + k * 0x4000));
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), 1));
+            b.push(DynInst::store(Reg::int(3), Reg::int(4), 0x8000 + k * 8));
+            for j in 0..5u64 {
+                b.push(DynInst::alu_imm(Op::Add, Reg::int(4), Reg::int(5), j));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let r = sim.run(&small_trace());
+        assert_eq!(r.core, "icfp");
+        assert_eq!(r.instructions, small_trace().len() as u64);
+        assert!(r.cycles > 0);
+        assert!(r.ipc > 0.0);
+        assert!(r.host_seconds >= 0.0);
+    }
+
+    #[test]
+    fn all_models_agree_on_final_state() {
+        let t = small_trace();
+        let digests: Vec<(_, _)> = CoreModel::ALL
+            .into_iter()
+            .map(|m| {
+                let mut sim = Simulator::new(SimConfig::new(m));
+                (m.name(), sim.run(&t).state_digest)
+            })
+            .collect();
+        for w in digests.windows(2) {
+            assert_eq!(
+                w[0].1, w[1].1,
+                "{} and {} disagree on final state",
+                w[0].0, w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn step_n_reaches_the_same_result_as_run() {
+        let t = small_trace();
+        let mut whole = Simulator::new(SimConfig::default());
+        let full = whole.run(&t);
+
+        let mut stepped = Simulator::new(SimConfig::default());
+        stepped.load(t);
+        let mut batches = 0;
+        let report = loop {
+            match stepped.step_n(100) {
+                StepStatus::Running { .. } => batches += 1,
+                StepStatus::Done(r) => break r,
+            }
+            assert!(batches < 10_000, "stepping did not terminate");
+        };
+        assert!(batches > 1, "budget of 100 cycles should take several batches");
+        assert_eq!(report.cycles, full.cycles);
+        assert_eq!(report.state_digest, full.state_digest);
+        assert!(!stepped.is_loaded());
+    }
+
+    #[test]
+    fn non_steppable_models_finish_on_first_step() {
+        let t = small_trace();
+        let mut sim = Simulator::new(SimConfig::new(CoreModel::InOrder));
+        sim.load(t);
+        match sim.step_n(1) {
+            StepStatus::Done(r) => assert_eq!(r.core, "in-order"),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_parsing_round_trips() {
+        for m in CoreModel::ALL {
+            assert_eq!(CoreModel::parse(m.name()), Some(m));
+        }
+        assert_eq!(CoreModel::parse("bogus"), None);
+    }
+}
