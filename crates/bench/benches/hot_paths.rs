@@ -5,8 +5,9 @@
 
 use icfp_bench::time_ns_per_iter;
 use icfp_core::{ChainedStoreBuffer, SliceBuffer, SliceEntry, StoreBufferKind};
+use icfp_isa::Reg;
 use icfp_mem::{MemConfig, MemoryHierarchy, MshrFile, MshrRequest};
-use icfp_pipeline::PoisonMask;
+use icfp_pipeline::{PoisonMask, TimedRegFile};
 
 fn report(name: &str, ns: f64) {
     println!("{name:<44} {ns:>10.1} ns/iter");
@@ -51,7 +52,7 @@ fn bench_storebuf_forward() {
     report("storebuf/forward_hit", ns);
 }
 
-fn bench_slicebuf_rally_selection() {
+fn filled_slicebuf(bit_of: impl Fn(usize) -> u8) -> SliceBuffer {
     let mut sb = SliceBuffer::new(128);
     for k in 0..128usize {
         sb.push(SliceEntry {
@@ -60,21 +61,91 @@ fn bench_slicebuf_rally_selection() {
             src1_value: Some(1),
             src2_value: None,
             store_color: 0,
-            poison: PoisonMask::bit((k % 8) as u8),
+            poison: PoisonMask::bit(bit_of(k)),
             active: true,
         })
         .unwrap();
     }
-    let mut scratch = Vec::with_capacity(128);
+    sb
+}
+
+fn bench_slicebuf_rally_selection() {
+    // Two poison layouts: interleaved (worst case for the word scan — every
+    // other packed word holds a matching lane) and clustered (the common
+    // case — a miss's forward slice is a contiguous run of entries, so most
+    // packed words are skipped with a single compare).  Each is measured
+    // against the per-entry bit-loop reference (`rally_iter`) back-to-back,
+    // so the word-level speedup is read off the same process and host state.
+    for (label, sb) in [
+        ("interleaved", filled_slicebuf(|k| (k % 8) as u8)),
+        ("clustered", filled_slicebuf(|k| (k / 16) as u8)),
+    ] {
+        let mut scratch = Vec::with_capacity(128);
+        let words = time_ns_per_iter(
+            || {
+                sb.entries_for_rally_into(PoisonMask::bit(3), &mut scratch);
+                assert_eq!(scratch.len(), 16);
+            },
+            20_000,
+            5,
+        );
+        let bitloop = time_ns_per_iter(
+            || {
+                scratch.clear();
+                scratch.extend(sb.rally_iter(PoisonMask::bit(3)));
+                assert_eq!(scratch.len(), 16);
+            },
+            20_000,
+            5,
+        );
+        report(&format!("slicebuf/rally_select_words({label})"), words);
+        report(&format!("slicebuf/rally_select_bitloop({label})"), bitloop);
+    }
+}
+
+fn bench_regfile_poison_plane() {
+    // The register file's poison plane: word-level "clear this returning
+    // miss's bits everywhere" + "anything still poisoned?" over 64 registers
+    // (the per-cycle pattern of the single-bit clearing schemes).
+    let mut rf = TimedRegFile::new();
+    for k in 0..16usize {
+        rf.poison_write(Reg::int(2 * k), PoisonMask::bit((k % 8) as u8), k as u64);
+    }
+    let mut bit = 0u8;
     let ns = time_ns_per_iter(
         || {
-            sb.entries_for_rally_into(PoisonMask::bit(3), &mut scratch);
-            assert_eq!(scratch.len(), 16);
+            rf.clear_poison_bits(PoisonMask::bit(bit % 8).union(PoisonMask::bit(8 + bit % 8)));
+            assert!(rf.any_poisoned() || rf.poisoned_count() == 0);
+            // Re-poison so the plane never drains over the benchmark.
+            rf.poison_write(Reg::int((bit % 30) as usize), PoisonMask::bit(bit % 8), bit as u64);
+            bit = bit.wrapping_add(1);
         },
         20_000,
         5,
     );
-    report("slicebuf/entries_for_rally_into(128)", ns);
+    report("regfile/clear_bits+any_poisoned(64regs)", ns);
+
+    // Whole-file poison union: the packed word reduce vs the per-register
+    // bit loop it replaced, back-to-back for a host-noise-immune comparison.
+    let words = time_ns_per_iter(
+        || {
+            assert!(rf.poison_union().is_poisoned());
+        },
+        50_000,
+        5,
+    );
+    let bitloop = time_ns_per_iter(
+        || {
+            let union = Reg::all()
+                .map(|r| rf.poison(r))
+                .fold(PoisonMask::CLEAN, PoisonMask::union);
+            assert!(union.is_poisoned());
+        },
+        50_000,
+        5,
+    );
+    report("regfile/poison_union_words(64regs)", words);
+    report("regfile/poison_union_bitloop(64regs)", bitloop);
 }
 
 fn bench_mshr_request_retire() {
@@ -133,6 +204,7 @@ fn main() {
     bench_storebuf_drain();
     bench_storebuf_forward();
     bench_slicebuf_rally_selection();
+    bench_regfile_poison_plane();
     bench_mshr_request_retire();
     bench_hierarchy_hit_loop();
     bench_end_to_end_icfp();

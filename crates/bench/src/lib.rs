@@ -8,9 +8,10 @@
 //! request/retire).
 //!
 //! The harness is self-contained (no criterion): this build environment is
-//! offline, so the crate ships a small measure-repeat-report loop with
-//! best-of-N semantics instead.  The JSON writer is hand-rolled for the same
-//! reason; the schema is flat and stable:
+//! offline, so the crate ships a small measure-repeat-report loop — one
+//! untimed warmup then the *median* of N timed repetitions — instead.  The
+//! JSON writer is hand-rolled for the same reason; the schema is flat and
+//! stable:
 //!
 //! ```json
 //! {
@@ -26,7 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use icfp_sim::{CoreModel, SimConfig, SimReport, Simulator};
+use icfp_sim::{CoreModel, SimConfig, SimReport};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -35,7 +36,8 @@ use std::time::Instant;
 pub struct BenchRun {
     /// The simulator's report (includes host seconds and MIPS).
     pub report: SimReport,
-    /// Number of timing repetitions taken (the report is the fastest).
+    /// Number of timed repetitions taken (the report is the one with the
+    /// median host time; a warmup rep runs untimed beforehand).
     pub reps: u32,
 }
 
@@ -97,24 +99,51 @@ impl BenchSession {
     }
 }
 
-/// Runs `trace` on `core` `reps` times and keeps the fastest run (standard
-/// best-of-N to suppress host noise).
+/// Runs `trace` on `core` through the shared warmup + median-of-N timing
+/// protocol ([`icfp_sim::median_run`]).
 pub fn bench_trace(core: CoreModel, trace: &icfp_isa::Trace, reps: u32) -> BenchRun {
-    let mut best: Option<SimReport> = None;
-    for _ in 0..reps.max(1) {
-        let mut sim = Simulator::new(SimConfig::new(core));
-        let report = sim.run(trace);
-        if best
-            .as_ref()
-            .is_none_or(|b| report.host_seconds < b.host_seconds)
-        {
-            best = Some(report);
-        }
-    }
     BenchRun {
-        report: best.expect("at least one rep"),
+        report: icfp_sim::median_run(&SimConfig::new(core), trace, reps),
         reps: reps.max(1),
     }
+}
+
+/// Extracts the `aggregate_mips` figure from a `BENCH_sim.json` /
+/// `BENCH_sweep.json` document (hand-rolled scan: the build environment has
+/// no JSON parser dependency, and the schema is flat and stable).
+pub fn parse_aggregate_mips(json: &str) -> Option<f64> {
+    let key = "\"aggregate_mips\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The perf-regression gate: fails if `current` MIPS has regressed more than
+/// `max_regress_pct` percent below `baseline` MIPS.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the regression.
+pub fn check_against_baseline(
+    current: f64,
+    baseline: f64,
+    max_regress_pct: f64,
+) -> Result<(), String> {
+    if baseline <= 0.0 {
+        return Err(format!("baseline aggregate MIPS is not positive: {baseline}"));
+    }
+    let floor = baseline * (1.0 - max_regress_pct / 100.0);
+    if current < floor {
+        return Err(format!(
+            "aggregate MIPS regressed {:.1}% (current {current:.3} vs baseline {baseline:.3}, \
+             allowed floor {floor:.3})",
+            (1.0 - current / baseline) * 100.0
+        ));
+    }
+    Ok(())
 }
 
 /// A tiny best-of-N timing loop for micro-benchmarks (`benches/hot_paths.rs`).
@@ -138,6 +167,7 @@ pub fn time_ns_per_iter<F: FnMut()>(mut f: F, iters: u32, reps: u32) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use icfp_sim::Simulator;
 
     #[test]
     fn bench_session_json_is_well_formed() {
@@ -178,6 +208,38 @@ mod tests {
         assert_eq!(a.slice_peak, b.slice_peak);
         assert_eq!(a.result.final_regs, b.result.final_regs);
         assert_eq!(a.result.final_mem, b.result.final_mem);
+    }
+
+    #[test]
+    fn aggregate_mips_parses_from_json() {
+        let trace = icfp_workloads::branchy(300, 1);
+        let session = BenchSession {
+            mode: "smoke".into(),
+            runs: vec![bench_trace(CoreModel::InOrder, &trace, 1)],
+        };
+        let json = session.to_json();
+        let parsed = parse_aggregate_mips(&json).expect("figure present");
+        assert!((parsed - session.aggregate_mips()).abs() < 0.002, "{parsed}");
+        assert_eq!(parse_aggregate_mips("{}"), None);
+        assert_eq!(parse_aggregate_mips("\"aggregate_mips\": 12.5"), Some(12.5));
+    }
+
+    #[test]
+    fn baseline_gate_trips_only_past_the_threshold() {
+        assert!(check_against_baseline(1.0, 1.0, 20.0).is_ok());
+        assert!(check_against_baseline(0.81, 1.0, 20.0).is_ok());
+        assert!(check_against_baseline(2.0, 1.0, 20.0).is_ok(), "speedups pass");
+        let err = check_against_baseline(0.79, 1.0, 20.0).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        assert!(check_against_baseline(1.0, 0.0, 20.0).is_err());
+    }
+
+    #[test]
+    fn bench_trace_reports_requested_reps() {
+        let trace = icfp_workloads::branchy(300, 1);
+        let run = bench_trace(CoreModel::InOrder, &trace, 3);
+        assert_eq!(run.reps, 3);
+        assert!(run.report.host_seconds >= 0.0);
     }
 
     #[test]

@@ -1,17 +1,26 @@
 //! `icfp-bench` — measures simulation throughput (simulated MIPS) over the
-//! standard synthetic workloads and writes `BENCH_sim.json`.
+//! standard synthetic workloads and writes `BENCH_sim.json`; with `--sweep`
+//! it runs a multi-configuration grid through `icfp-sweep` on a thread pool
+//! and writes `BENCH_sweep.json` plus an aligned IPC matrix.
 //!
 //! ```text
 //! icfp-bench [--smoke] [--insts N] [--reps N] [--seed N]
 //!            [--core NAME[,NAME...]] [--workload NAME[,NAME...]]
-//!            [--out PATH]
+//!            [--out PATH] [--baseline PATH] [--max-regress-pct P]
+//!            [--sweep] [--sweep-slice N[,N...]] [--sweep-mshr N[,N...]]
+//!            [--sweep-l2 N[,N...]] [--threads N]
 //! ```
 //!
 //! `--smoke` selects a small instruction budget (CI-friendly, a few seconds);
 //! the default "full" mode uses a larger budget for stable MIPS numbers.
+//! Every cell reports the *median* host time over `--reps` repetitions
+//! (default 3) after one untimed warmup.  `--baseline` compares the run's
+//! aggregate MIPS against a checked-in `BENCH_baseline.json` and exits
+//! non-zero past `--max-regress-pct` (default 20).
 
-use icfp_bench::{bench_trace, BenchSession};
+use icfp_bench::{bench_trace, check_against_baseline, parse_aggregate_mips, BenchSession};
 use icfp_sim::CoreModel;
+use icfp_sweep::{run_sweep, SweepSpec};
 
 struct Args {
     smoke: bool,
@@ -20,7 +29,23 @@ struct Args {
     seed: u64,
     cores: Vec<CoreModel>,
     workloads: Vec<String>,
-    out: String,
+    out: Option<String>,
+    baseline: Option<String>,
+    max_regress_pct: f64,
+    sweep: bool,
+    sweep_slice: Vec<usize>,
+    sweep_mshr: Vec<usize>,
+    sweep_l2: Vec<u64>,
+    threads: usize,
+}
+
+fn parse_list<T: std::str::FromStr>(name: &str, v: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.split(',')
+        .map(|s| s.trim().parse::<T>().map_err(|e| format!("{name}: {e}")))
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,7 +59,14 @@ fn parse_args() -> Result<Args, String> {
             .iter()
             .map(|s| s.to_string())
             .collect(),
-        out: "BENCH_sim.json".to_string(),
+        out: None,
+        baseline: None,
+        max_regress_pct: 20.0,
+        sweep: false,
+        sweep_slice: vec![64, 128],
+        sweep_mshr: vec![64],
+        sweep_l2: vec![20],
+        threads: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -44,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match arg.as_str() {
             "--smoke" => a.smoke = true,
+            "--sweep" => a.sweep = true,
             "--insts" => {
                 a.insts = val("--insts")?
                     .parse()
@@ -63,18 +96,44 @@ fn parse_args() -> Result<Args, String> {
                 a.cores = val("--core")?
                     .split(',')
                     .map(|s| {
-                        CoreModel::parse(s).ok_or_else(|| format!("unknown core model {s:?}"))
+                        CoreModel::parse(s.trim()).ok_or_else(|| {
+                            format!(
+                                "unknown core model {s:?}; valid models: {}",
+                                CoreModel::valid_names()
+                            )
+                        })
                     })
                     .collect::<Result<_, _>>()?;
             }
             "--workload" => {
                 a.workloads = val("--workload")?.split(',').map(str::to_string).collect();
             }
-            "--out" => a.out = val("--out")?,
+            "--out" => a.out = Some(val("--out")?),
+            "--baseline" => a.baseline = Some(val("--baseline")?),
+            "--max-regress-pct" => {
+                a.max_regress_pct = val("--max-regress-pct")?
+                    .parse()
+                    .map_err(|e| format!("--max-regress-pct: {e}"))?
+            }
+            "--sweep-slice" => a.sweep_slice = parse_list("--sweep-slice", &val("--sweep-slice")?)?,
+            "--sweep-mshr" => a.sweep_mshr = parse_list("--sweep-mshr", &val("--sweep-mshr")?)?,
+            "--sweep-l2" => a.sweep_l2 = parse_list("--sweep-l2", &val("--sweep-l2")?)?,
+            "--threads" => {
+                a.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: icfp-bench [--smoke] [--insts N] [--reps N] [--seed N] \
-                     [--core NAMES] [--workload NAMES] [--out PATH]"
+                     [--core NAMES] [--workload NAMES] [--out PATH] \
+                     [--baseline PATH] [--max-regress-pct P] \
+                     [--sweep] [--sweep-slice NS] [--sweep-mshr NS] [--sweep-l2 NS] \
+                     [--threads N]\n\
+                     core models: {}\n\
+                     workloads:   {}",
+                    CoreModel::valid_names(),
+                    icfp_workloads::STANDARD_NAMES.join(", ")
                 );
                 std::process::exit(0);
             }
@@ -85,20 +144,88 @@ fn parse_args() -> Result<Args, String> {
         a.insts = if a.smoke { 20_000 } else { 200_000 };
     }
     if a.reps == 0 {
-        a.reps = if a.smoke { 1 } else { 3 };
+        a.reps = 3;
+    }
+    if a.threads == 0 {
+        a.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     }
     Ok(a)
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
+/// Applies the `--baseline` gate to a freshly produced aggregate figure.
+fn gate_on_baseline(args: &Args, current: f64) {
+    let Some(path) = &args.baseline else { return };
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("icfp-bench: reading baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(baseline) = parse_aggregate_mips(&doc) else {
+        eprintln!("icfp-bench: baseline {path} has no aggregate_mips figure");
+        std::process::exit(1);
+    };
+    match check_against_baseline(current, baseline, args.max_regress_pct) {
+        Ok(()) => println!(
+            "baseline gate: ok ({current:.3} vs {baseline:.3} MIPS, \
+             -{:.0}% allowed)",
+            args.max_regress_pct
+        ),
+        Err(e) => {
+            eprintln!("icfp-bench: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn write_out(path: &str, doc: &str) {
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("icfp-bench: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}
+
+fn run_sweep_mode(args: &Args) {
+    let mut spec = SweepSpec::new(
+        args.cores.clone(),
+        args.workloads.clone(),
+        args.insts,
+        args.seed,
+    );
+    spec.slice_buffer_entries = args.sweep_slice.clone();
+    spec.mshr_counts = args.sweep_mshr.clone();
+    spec.l2_hit_latencies = args.sweep_l2.clone();
+    spec.reps = args.reps;
+    println!(
+        "sweep: {} cells ({} models x {} configs x {} workloads) on {} threads",
+        spec.cell_count(),
+        spec.models.len(),
+        spec.slice_buffer_entries.len() * spec.mshr_counts.len() * spec.l2_hit_latencies.len(),
+        spec.workloads.len(),
+        args.threads
+    );
+    let report = match run_sweep(&spec, args.threads) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("icfp-bench: {e}");
             std::process::exit(2);
         }
     };
+    print!("{}", report.render_matrix());
+    println!(
+        "aggregate: {:.2} MIPS over {} cells  (report digest {:#018x})",
+        report.aggregate_mips(),
+        report.cells.len(),
+        report.digest()
+    );
+    let out = args.out.as_deref().unwrap_or("BENCH_sweep.json");
+    write_out(out, &report.to_json());
+    gate_on_baseline(args, report.aggregate_mips());
+}
 
+fn run_standard_mode(args: &Args) {
     let mode = if args.smoke { "smoke" } else { "full" };
     println!(
         "icfp-bench: mode={mode} insts={} reps={} seed={:#x}",
@@ -111,7 +238,10 @@ fn main() {
     };
     for wl in &args.workloads {
         let Some(trace) = icfp_workloads::by_name(wl, args.insts, args.seed) else {
-            eprintln!("icfp-bench: unknown workload {wl:?}");
+            eprintln!(
+                "icfp-bench: unknown workload {wl:?}; valid workloads: {}",
+                icfp_workloads::STANDARD_NAMES.join(", ")
+            );
             std::process::exit(2);
         };
         for &core in &args.cores {
@@ -121,10 +251,24 @@ fn main() {
         }
     }
 
-    println!("aggregate: {:.2} MIPS over {} runs", session.aggregate_mips(), session.runs.len());
-    if let Err(e) = std::fs::write(&args.out, session.to_json()) {
-        eprintln!("icfp-bench: writing {}: {e}", args.out);
-        std::process::exit(1);
+    let aggregate = session.aggregate_mips();
+    println!("aggregate: {aggregate:.2} MIPS over {} runs", session.runs.len());
+    let out = args.out.as_deref().unwrap_or("BENCH_sim.json");
+    write_out(out, &session.to_json());
+    gate_on_baseline(args, aggregate);
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("icfp-bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.sweep {
+        run_sweep_mode(&args);
+    } else {
+        run_standard_mode(&args);
     }
-    println!("wrote {}", args.out);
 }

@@ -1,0 +1,415 @@
+//! The unified core-engine abstraction and model registry.
+//!
+//! Every driver in the workspace — the simulator (`icfp-sim`), the benchmark
+//! harness (`icfp-bench`), the sweep executor (`icfp-sweep`) — used to carry
+//! its own five-way `match` over the core models.  [`CoreModel::engine`] is
+//! now the single dispatch point: it returns an object-safe [`CoreEngine`]
+//! that any driver steps, drains and digests uniformly.
+//!
+//! The iCFP model steps incrementally (one instruction or rally pass per
+//! [`CoreEngine::step`]); the four whole-trace comparison models are adapted
+//! by [`WholeTraceEngine`], which simulates to completion on the first step.
+//! Either way the trait contract is the same: call `step` until it returns
+//! `false`, then `drain` exactly once for the [`RunResult`].
+
+use crate::config::CoreConfig;
+use crate::icfp::IcfpMachine;
+use crate::inorder::InOrderCore;
+use crate::multipass::MultipassCore;
+use crate::runahead::RunaheadCore;
+use crate::sltp::SltpCore;
+use crate::Core;
+use icfp_isa::{Cycle, Trace};
+use icfp_pipeline::{RunResult, RunStats};
+use std::fmt;
+
+/// Which core model a driver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreModel {
+    /// Vanilla in-order baseline.
+    InOrder,
+    /// Runahead execution.
+    Runahead,
+    /// Multipass pipelining.
+    Multipass,
+    /// SLTP.
+    Sltp,
+    /// iCFP (the paper's mechanism; supports incremental stepping).
+    Icfp,
+}
+
+impl CoreModel {
+    /// All models, in the paper's presentation order.
+    pub const ALL: [CoreModel; 5] = [
+        CoreModel::InOrder,
+        CoreModel::Runahead,
+        CoreModel::Multipass,
+        CoreModel::Sltp,
+        CoreModel::Icfp,
+    ];
+
+    /// The model's short name (matches `RunResult::core`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreModel::InOrder => "in-order",
+            CoreModel::Runahead => "runahead",
+            CoreModel::Multipass => "multipass",
+            CoreModel::Sltp => "sltp",
+            CoreModel::Icfp => "icfp",
+        }
+    }
+
+    /// Parses a model name (accepts the short names above).
+    pub fn parse(s: &str) -> Option<CoreModel> {
+        Self::ALL.into_iter().find(|m| m.name() == s)
+    }
+
+    /// The valid model names, comma-separated — for error messages when
+    /// [`CoreModel::parse`] fails.
+    pub fn valid_names() -> String {
+        Self::ALL
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// The paper's per-design default configuration for this model.
+    pub fn default_config(self) -> CoreConfig {
+        match self {
+            CoreModel::InOrder | CoreModel::Icfp => CoreConfig::paper_default(),
+            CoreModel::Runahead => CoreConfig::runahead_default(),
+            CoreModel::Multipass => CoreConfig::multipass_default(),
+            CoreModel::Sltp => CoreConfig::sltp_default(),
+        }
+    }
+
+    /// Builds an engine for this model — the workspace's single model
+    /// dispatch point (the registry).
+    pub fn engine(self, cfg: &CoreConfig) -> Box<dyn CoreEngine> {
+        match self {
+            CoreModel::Icfp => Box::new(IcfpEngine::new(cfg)),
+            CoreModel::InOrder => {
+                WholeTraceEngine::boxed(self, Box::new(InOrderCore::new(cfg.clone())))
+            }
+            CoreModel::Runahead => {
+                WholeTraceEngine::boxed(self, Box::new(RunaheadCore::new(cfg.clone())))
+            }
+            CoreModel::Multipass => {
+                WholeTraceEngine::boxed(self, Box::new(MultipassCore::new(cfg.clone())))
+            }
+            CoreModel::Sltp => WholeTraceEngine::boxed(self, Box::new(SltpCore::new(cfg.clone()))),
+        }
+    }
+
+    /// True if the model supports genuinely incremental stepping (others run
+    /// whole-trace on the first [`CoreEngine::step`] call).
+    pub fn steps_incrementally(self) -> bool {
+        matches!(self, CoreModel::Icfp)
+    }
+}
+
+impl fmt::Display for CoreModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An object-safe, `Send` core engine: the uniform surface every driver
+/// (simulator, bench harness, sweep pool) programs against.
+///
+/// Lifecycle: [`CoreEngine::step`] until it returns `false`, then
+/// [`CoreEngine::drain`] exactly once.
+pub trait CoreEngine: Send {
+    /// Which model this engine runs.
+    fn model(&self) -> CoreModel;
+
+    /// Advances the engine by one unit of work (an instruction or a rally
+    /// pass for incremental models; the whole trace for the others).
+    /// Returns `false` once the trace is fully retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`CoreEngine::drain`].
+    fn step(&mut self, trace: &Trace) -> bool;
+
+    /// The current simulated cycle (final cycle count once finished).
+    fn cycle(&self) -> Cycle;
+
+    /// Dynamic instructions whose first pass has been processed.
+    fn processed(&self) -> usize;
+
+    /// Live statistics, if the model exposes them before completion
+    /// (whole-trace models report `None` until they have run).
+    fn stats(&self) -> Option<&RunStats>;
+
+    /// Finalises the run (completing it first if necessary) and returns the
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    fn drain(&mut self, trace: &Trace) -> RunResult;
+
+    /// Digest of a result's final architectural state — identical across
+    /// models and drivers so sweeps can compare cells cheaply.
+    fn digest(&self, result: &RunResult) -> u64 {
+        result.state_digest()
+    }
+}
+
+/// [`CoreEngine`] adapter for the incremental [`IcfpMachine`].
+struct IcfpEngine {
+    machine: Option<IcfpMachine>,
+    /// Cycle/instruction counts cached at drain time so the accessors stay
+    /// valid afterwards.
+    final_cycle: Cycle,
+    final_processed: usize,
+}
+
+impl IcfpEngine {
+    fn new(cfg: &CoreConfig) -> Self {
+        IcfpEngine {
+            machine: Some(IcfpMachine::new(cfg)),
+            final_cycle: 0,
+            final_processed: 0,
+        }
+    }
+}
+
+impl CoreEngine for IcfpEngine {
+    fn model(&self) -> CoreModel {
+        CoreModel::Icfp
+    }
+
+    fn step(&mut self, trace: &Trace) -> bool {
+        self.machine
+            .as_mut()
+            .expect("CoreEngine::step after drain")
+            .step(trace)
+    }
+
+    fn cycle(&self) -> Cycle {
+        self.machine
+            .as_ref()
+            .map_or(self.final_cycle, |m| m.cycle())
+    }
+
+    fn processed(&self) -> usize {
+        self.machine
+            .as_ref()
+            .map_or(self.final_processed, |m| m.processed())
+    }
+
+    fn stats(&self) -> Option<&RunStats> {
+        self.machine.as_ref().map(|m| &m.engine().stats)
+    }
+
+    fn drain(&mut self, trace: &Trace) -> RunResult {
+        let mut machine = self.machine.take().expect("CoreEngine::drain called twice");
+        while machine.step(trace) {}
+        self.final_cycle = machine.cycle();
+        self.final_processed = machine.processed();
+        let result = machine.finish(trace);
+        self.final_cycle = self.final_cycle.max(result.stats.cycles);
+        result
+    }
+}
+
+/// [`CoreEngine`] adapter for the whole-trace comparison models: the first
+/// [`CoreEngine::step`] simulates the trace to completion.
+struct WholeTraceEngine {
+    model: CoreModel,
+    core: Box<dyn Core + Send>,
+    result: Option<RunResult>,
+    drained: bool,
+    /// Cycle/instruction counts cached at drain time so the accessors stay
+    /// valid afterwards (same contract as `IcfpEngine`).
+    final_cycle: Cycle,
+    final_processed: usize,
+}
+
+impl WholeTraceEngine {
+    fn boxed(model: CoreModel, core: Box<dyn Core + Send>) -> Box<dyn CoreEngine> {
+        Box::new(WholeTraceEngine {
+            model,
+            core,
+            result: None,
+            drained: false,
+            final_cycle: 0,
+            final_processed: 0,
+        })
+    }
+
+    fn run_once(&mut self, trace: &Trace) {
+        if self.result.is_none() {
+            self.result = Some(self.core.run(trace));
+        }
+    }
+}
+
+impl CoreEngine for WholeTraceEngine {
+    fn model(&self) -> CoreModel {
+        self.model
+    }
+
+    fn step(&mut self, trace: &Trace) -> bool {
+        assert!(!self.drained, "CoreEngine::step after drain");
+        self.run_once(trace);
+        false
+    }
+
+    fn cycle(&self) -> Cycle {
+        self.result
+            .as_ref()
+            .map_or(self.final_cycle, |r| r.stats.cycles)
+    }
+
+    fn processed(&self) -> usize {
+        self.result
+            .as_ref()
+            .map_or(self.final_processed, |r| r.stats.instructions as usize)
+    }
+
+    fn stats(&self) -> Option<&RunStats> {
+        self.result.as_ref().map(|r| &r.stats)
+    }
+
+    fn drain(&mut self, trace: &Trace) -> RunResult {
+        assert!(!self.drained, "CoreEngine::drain called twice");
+        self.run_once(trace);
+        self.drained = true;
+        let result = self.result.take().expect("result just computed");
+        self.final_cycle = result.stats.cycles;
+        self.final_processed = result.stats.instructions as usize;
+        result
+    }
+}
+
+/// Runs `trace` to completion on `model` under `cfg` through the registry —
+/// the convenience entry point shared by drivers that do not need stepping.
+pub fn run_model(model: CoreModel, cfg: &CoreConfig, trace: &Trace) -> RunResult {
+    let mut engine = model.engine(cfg);
+    while engine.step(trace) {}
+    engine.drain(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+
+    fn trace() -> Trace {
+        let mut b = TraceBuilder::new("engine-test");
+        for k in 0..12u64 {
+            b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x100000 + k * 0x4000));
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), 1));
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(4), Reg::int(5), k));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn registry_covers_every_model_and_matches_direct_runs() {
+        let t = trace();
+        for m in CoreModel::ALL {
+            let cfg = m.default_config();
+            let via_registry = run_model(m, &cfg, &t);
+            let direct: RunResult = match m {
+                CoreModel::InOrder => InOrderCore::new(cfg.clone()).run(&t),
+                CoreModel::Runahead => RunaheadCore::new(cfg.clone()).run(&t),
+                CoreModel::Multipass => MultipassCore::new(cfg.clone()).run(&t),
+                CoreModel::Sltp => SltpCore::new(cfg.clone()).run(&t),
+                CoreModel::Icfp => crate::icfp::IcfpCore::new(cfg.clone()).run(&t),
+            };
+            assert_eq!(via_registry.core, m.name());
+            assert_eq!(via_registry.stats.cycles, direct.stats.cycles, "{m}");
+            assert_eq!(via_registry.final_regs, direct.final_regs, "{m}");
+            assert_eq!(via_registry.final_mem, direct.final_mem, "{m}");
+        }
+    }
+
+    #[test]
+    fn icfp_engine_steps_incrementally_and_exposes_live_stats() {
+        let t = trace();
+        let cfg = CoreModel::Icfp.default_config();
+        let mut e = CoreModel::Icfp.engine(&cfg);
+        assert!(CoreModel::Icfp.steps_incrementally());
+        let mut steps = 0usize;
+        while e.step(&t) {
+            steps += 1;
+            assert!(steps < 1_000_000, "engine did not terminate");
+        }
+        assert!(steps > 1, "icfp must take many steps");
+        assert!(e.stats().is_some(), "live stats before drain");
+        let r = e.drain(&t);
+        assert_eq!(r.stats.instructions, t.len() as u64);
+        assert_eq!(e.cycle(), r.stats.cycles, "cycle cached after drain");
+        assert_eq!(e.processed(), t.len());
+    }
+
+    #[test]
+    fn whole_trace_engines_finish_on_first_step() {
+        let t = trace();
+        let cfg = CoreModel::InOrder.default_config();
+        let mut e = CoreModel::InOrder.engine(&cfg);
+        assert!(!CoreModel::InOrder.steps_incrementally());
+        assert_eq!(e.cycle(), 0, "no work before the first step");
+        assert!(!e.step(&t), "whole-trace models complete on the first step");
+        assert!(e.cycle() > 0);
+        assert!(e.stats().is_some());
+        let r = e.drain(&t);
+        assert_eq!(r.core, "in-order");
+        assert_eq!(e.cycle(), r.stats.cycles, "cycle cached after drain");
+        assert_eq!(e.processed(), r.stats.instructions as usize);
+    }
+
+    #[test]
+    fn drain_without_step_runs_the_trace() {
+        let t = trace();
+        for m in CoreModel::ALL {
+            let cfg = m.default_config();
+            let mut e = m.engine(&cfg);
+            let r = e.drain(&t);
+            assert_eq!(r.stats.instructions, t.len() as u64, "{m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drain called twice")]
+    fn double_drain_panics() {
+        let t = trace();
+        let cfg = CoreModel::InOrder.default_config();
+        let mut e = CoreModel::InOrder.engine(&cfg);
+        let _ = e.drain(&t);
+        let _ = e.drain(&t);
+    }
+
+    #[test]
+    fn digest_is_stable_across_models() {
+        let t = trace();
+        let mut digests = Vec::new();
+        for m in CoreModel::ALL {
+            let cfg = m.default_config();
+            let mut e = m.engine(&cfg);
+            let r = e.drain(&t);
+            digests.push(e.digest(&r));
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "all models must agree on final state: {digests:?}"
+        );
+    }
+
+    #[test]
+    fn model_parsing_round_trips_and_lists_names() {
+        for m in CoreModel::ALL {
+            assert_eq!(CoreModel::parse(m.name()), Some(m));
+        }
+        assert_eq!(CoreModel::parse("bogus"), None);
+        let names = CoreModel::valid_names();
+        for m in CoreModel::ALL {
+            assert!(names.contains(m.name()), "{names}");
+        }
+    }
+}

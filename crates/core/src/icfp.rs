@@ -238,9 +238,8 @@ impl IcfpMachine {
     fn record_producers(&mut self, inst: &DynInst, trace_idx: usize) {
         let prod = |r: Option<icfp_isa::Reg>| -> usize {
             r.map_or(usize::MAX, |r| {
-                let e = self.eng.rf.entry(r);
-                if e.poison.is_poisoned() {
-                    e.last_writer.map_or(usize::MAX, |s| s as usize)
+                if self.eng.rf.poison(r).is_poisoned() {
+                    self.eng.rf.last_writer(r).map_or(usize::MAX, |s| s as usize)
                 } else {
                     usize::MAX
                 }

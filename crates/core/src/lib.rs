@@ -21,6 +21,11 @@
 //! produces a [`icfp_pipeline::RunResult`] whose final architectural state is
 //! checked against the functional golden model in the integration tests.
 //!
+//! Drivers (the simulator, the bench harness, the sweep executor) do not
+//! dispatch over models themselves: [`CoreModel::engine`] — the registry in
+//! [`engine`] — hands them an object-safe [`CoreEngine`] they step, drain and
+//! digest uniformly.
+//!
 //! ```
 //! use icfp_core::{Core, CoreConfig, InOrderCore, IcfpCore};
 //! use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
@@ -41,6 +46,7 @@
 
 pub mod common;
 pub mod config;
+pub mod engine;
 pub mod icfp;
 pub mod inorder;
 pub mod multipass;
@@ -52,6 +58,7 @@ pub mod storebuf;
 
 pub use common::Engine;
 pub use config::{AdvancePolicy, CoreConfig, IcfpFeatures, StoreBufferKind};
+pub use engine::{run_model, CoreEngine, CoreModel};
 pub use icfp::{IcfpCore, IcfpMachine};
 pub use inorder::InOrderCore;
 pub use multipass::MultipassCore;

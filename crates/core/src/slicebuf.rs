@@ -6,11 +6,17 @@
 //! capacity is reclaimed incrementally from the head (Section 3.4, "Slice
 //! buffer management").  That behaviour is reproduced here because it is what
 //! bounds slice-buffer occupancy and triggers the simple-runahead fallback.
+//!
+//! Storage is a fixed-capacity ring with a packed side index: every slot's
+//! poison mask is mirrored into a [`PoisonVec`] *plane* (four 16-bit lanes per
+//! `u64` word, lanes of retired slots cleared), so rally selection — "which
+//! active entries depend on this returning miss" — scans `capacity / 4` words
+//! and only touches the entries that actually match, instead of testing every
+//! entry's mask in a bit loop.
 
 use icfp_isa::{InstSeq, Value};
-use icfp_pipeline::PoisonMask;
+use icfp_pipeline::{lane_range_mask, PoisonMask, PoisonVec, POISON_LANES_PER_WORD};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// A deferred (sliced-out) instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,6 +41,21 @@ pub struct SliceEntry {
     pub active: bool,
 }
 
+impl SliceEntry {
+    /// Placeholder for an unoccupied ring slot.
+    fn vacant() -> Self {
+        SliceEntry {
+            trace_idx: usize::MAX,
+            seq_from_ckpt: 0,
+            src1_value: None,
+            src2_value: None,
+            store_color: 0,
+            poison: PoisonMask::CLEAN,
+            active: false,
+        }
+    }
+}
+
 /// Error returned when the slice buffer is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SliceBufferFull;
@@ -48,9 +69,18 @@ impl std::fmt::Display for SliceBufferFull {
 impl std::error::Error for SliceBufferFull {}
 
 /// The slice buffer.
+///
+/// A fixed ring of `capacity` slots (`head` is the physical index of the
+/// oldest occupied slot) plus a packed poison plane mirroring the *active*
+/// slots' masks, kept in sync by push/retire/repoison/clear so that rally
+/// selection runs at word granularity.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SliceBuffer {
-    entries: VecDeque<SliceEntry>,
+    slots: Vec<SliceEntry>,
+    /// Packed per-slot poison; lanes of retired or vacant slots are clean.
+    plane: PoisonVec,
+    head: usize,
+    len: usize,
     capacity: usize,
     /// Number of entries with `active == true` (kept in sync by
     /// push/retire/clear so occupancy queries are O(1) on the hot path).
@@ -70,7 +100,10 @@ impl SliceBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "slice buffer capacity must be positive");
         SliceBuffer {
-            entries: VecDeque::with_capacity(capacity),
+            slots: vec![SliceEntry::vacant(); capacity],
+            plane: PoisonVec::new(capacity),
+            head: 0,
+            len: 0,
             capacity,
             active: 0,
             peak: 0,
@@ -78,14 +111,25 @@ impl SliceBuffer {
         }
     }
 
+    /// Physical slot of the `logical`-th oldest entry.
+    #[inline]
+    fn phys(&self, logical: usize) -> usize {
+        let p = self.head + logical;
+        if p >= self.capacity {
+            p - self.capacity
+        } else {
+            p
+        }
+    }
+
     /// Number of occupied slots (active or not yet reclaimed).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True if no slots are occupied.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Number of entries still awaiting execution.  O(1).
@@ -100,7 +144,7 @@ impl SliceBuffer {
 
     /// True if the buffer cannot accept another entry.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.capacity
     }
 
     /// Peak occupancy observed.
@@ -126,32 +170,50 @@ impl SliceBuffer {
         if self.is_full() {
             return Err(SliceBufferFull);
         }
+        let slot = self.phys(self.len);
         self.active += usize::from(entry.active);
-        self.entries.push_back(entry);
+        self.plane.set(
+            slot,
+            if entry.active { entry.poison } else { PoisonMask::CLEAN },
+        );
+        self.slots[slot] = entry;
+        self.len += 1;
         self.inserted += 1;
-        self.peak = self.peak.max(self.entries.len());
+        self.peak = self.peak.max(self.len);
         Ok(())
     }
 
     /// Reclaims retired entries from the head (the only form of compaction
     /// the paper's design performs).
     pub fn reclaim_head(&mut self) {
-        while matches!(self.entries.front(), Some(e) if !e.active) {
-            self.entries.pop_front();
+        while self.len > 0 && !self.slots[self.head].active {
+            // Retire already cleared the plane lane; vacate the slot.
+            self.slots[self.head] = SliceEntry::vacant();
+            self.head = if self.head + 1 == self.capacity {
+                0
+            } else {
+                self.head + 1
+            };
+            self.len -= 1;
+        }
+        if self.len == 0 {
+            self.head = 0;
         }
     }
 
     /// Iterates over the *active* entries in program order.
     pub fn active_entries(&self) -> impl Iterator<Item = &SliceEntry> {
-        self.entries.iter().filter(|e| e.active)
+        (0..self.len)
+            .map(|l| &self.slots[self.phys(l)])
+            .filter(|e| e.active)
     }
 
     /// Active entries whose poison mask intersects `returning` — the entries a
     /// rally pass for that returning miss must process (Section 3.4).
     ///
     /// Allocates a fresh `Vec` per call; the simulation hot path uses
-    /// [`SliceBuffer::entries_for_rally_into`] (scratch-buffer reuse) or
-    /// [`SliceBuffer::rally_iter`] instead.
+    /// [`SliceBuffer::entries_for_rally_into`] (scratch-buffer reuse, word
+    /// scan) or [`SliceBuffer::rally_iter`] instead.
     pub fn entries_for_rally(&self, returning: PoisonMask) -> Vec<SliceEntry> {
         let mut out = Vec::new();
         self.entries_for_rally_into(returning, &mut out);
@@ -160,52 +222,112 @@ impl SliceBuffer {
 
     /// Zero-allocation form of [`SliceBuffer::entries_for_rally`]: appends the
     /// selected entries to `out` (cleared first), reusing its capacity.
+    ///
+    /// This is the word-level hot path: the packed poison plane is scanned
+    /// four entries per `u64` word (`returning` broadcast into every lane), so
+    /// words with no intersecting lane are skipped with a single compare.
     pub fn entries_for_rally_into(&self, returning: PoisonMask, out: &mut Vec<SliceEntry>) {
         out.clear();
-        out.extend(self.rally_iter(returning));
+        if self.len == 0 || returning.is_clean() {
+            return;
+        }
+        let tail = self.head + self.len;
+        // The ring occupies [head, min(tail, capacity)) and, when it wraps,
+        // [0, tail - capacity).  Scan both physical segments in order: within
+        // a segment, ascending slot order is program order, and the first
+        // segment holds the logically older entries.
+        self.scan_segment(self.head, tail.min(self.capacity), returning, out);
+        if tail > self.capacity {
+            self.scan_segment(0, tail - self.capacity, returning, out);
+        }
+    }
+
+    /// Word-scans physical slots `[lo, hi)` for lanes intersecting
+    /// `returning`, appending the matching entries in slot order.  The
+    /// broadcast comparand is hoisted and only the two edge words pay for
+    /// lane masking; zero words (no intersecting entry among four) are
+    /// skipped with a single compare.
+    fn scan_segment(&self, lo: usize, hi: usize, returning: PoisonMask, out: &mut Vec<SliceEntry>) {
+        if lo >= hi {
+            return;
+        }
+        let comparand = returning.broadcast();
+        let first_word = lo / POISON_LANES_PER_WORD;
+        let last_word = (hi - 1) / POISON_LANES_PER_WORD;
+        let words = &self.plane.words()[first_word..=last_word];
+        for (k, &word) in words.iter().enumerate() {
+            let mut hits = word & comparand;
+            if hits == 0 {
+                continue;
+            }
+            let w = first_word + k;
+            let base = w * POISON_LANES_PER_WORD;
+            if w == first_word && lo > base {
+                hits &= lane_range_mask(lo - base, POISON_LANES_PER_WORD);
+            }
+            if w == last_word && hi < base + POISON_LANES_PER_WORD {
+                hits &= lane_range_mask(0, hi - base);
+            }
+            // Collapse each non-zero 16-bit lane to its MSB (SWAR: adding
+            // 0x7FFF to the low 15 bits carries into bit 15 iff any is set;
+            // OR-ing the original covers lanes with only bit 15).  The
+            // extraction loop is then one ctz + one clear per matching entry.
+            const LANE_LOW: u64 = 0x7FFF_7FFF_7FFF_7FFF;
+            const LANE_MSB: u64 = 0x8000_8000_8000_8000;
+            let mut lanes = ((hits & LANE_LOW).wrapping_add(LANE_LOW) | hits) & LANE_MSB;
+            while lanes != 0 {
+                let lane = lanes.trailing_zeros() as usize >> 4;
+                lanes &= lanes - 1;
+                out.push(self.slots[base + lane]);
+            }
+        }
     }
 
     /// Borrowing iterator over the entries a rally for `returning` must
-    /// process, in program order.
+    /// process, in program order.  This is the reference (per-entry) path the
+    /// word scan is checked against; prefer
+    /// [`SliceBuffer::entries_for_rally_into`] on hot paths.
     pub fn rally_iter(&self, returning: PoisonMask) -> impl Iterator<Item = SliceEntry> + '_ {
-        self.entries
-            .iter()
+        (0..self.len)
+            .map(|l| &self.slots[self.phys(l)])
             .filter(move |e| e.active && e.poison.intersects(returning))
             .copied()
     }
 
-    /// Deque position of the entry for `trace_idx`.  Entries are appended in
+    /// Logical position of the entry for `trace_idx`.  Entries are appended in
     /// trace order and never reordered, so the buffer is sorted by
     /// `trace_idx` and lookups binary-search in O(log n).
     fn position_of(&self, trace_idx: usize) -> Option<usize> {
-        let n = self.entries.len();
+        let n = self.len;
         let (mut lo, mut hi) = (0usize, n);
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if self.entries[mid].trace_idx < trace_idx {
+            if self.slots[self.phys(mid)].trace_idx < trace_idx {
                 lo = mid + 1;
             } else {
                 hi = mid;
             }
         }
-        (lo < n && self.entries[lo].trace_idx == trace_idx).then_some(lo)
+        (lo < n && self.slots[self.phys(lo)].trace_idx == trace_idx).then_some(lo)
     }
 
     /// The current poison mask of the *active* entry for `trace_idx`, if any.
     pub fn entry_poison(&self, trace_idx: usize) -> Option<PoisonMask> {
         self.position_of(trace_idx)
-            .map(|p| &self.entries[p])
+            .map(|l| &self.slots[self.phys(l)])
             .filter(|e| e.active)
             .map(|e| e.poison)
     }
 
     /// Marks the entry for `trace_idx` as retired (executed successfully).
     pub fn retire(&mut self, trace_idx: usize) -> bool {
-        if let Some(p) = self.position_of(trace_idx) {
-            let e = &mut self.entries[p];
+        if let Some(l) = self.position_of(trace_idx) {
+            let slot = self.phys(l);
+            let e = &mut self.slots[slot];
             if e.active {
                 e.active = false;
                 self.active -= 1;
+                self.plane.clear_lane(slot);
                 return true;
             }
         }
@@ -215,10 +337,12 @@ impl SliceBuffer {
     /// Re-poisons the entry for `trace_idx` in place (it depends on a miss
     /// that is still outstanding); the entry stays active for a later pass.
     pub fn repoison(&mut self, trace_idx: usize, poison: PoisonMask) -> bool {
-        if let Some(p) = self.position_of(trace_idx) {
-            let e = &mut self.entries[p];
+        if let Some(l) = self.position_of(trace_idx) {
+            let slot = self.phys(l);
+            let e = &mut self.slots[slot];
             if e.active {
                 e.poison = poison;
+                self.plane.set(slot, poison);
                 return true;
             }
         }
@@ -227,7 +351,12 @@ impl SliceBuffer {
 
     /// Clears the buffer entirely (squash).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        for slot in &mut self.slots {
+            *slot = SliceEntry::vacant();
+        }
+        self.plane.clear_all();
+        self.head = 0;
+        self.len = 0;
         self.active = 0;
     }
 }
@@ -291,8 +420,9 @@ mod tests {
 
     #[test]
     fn rally_selection_apis_are_equivalent() {
-        // The scratch-buffer and iterator forms must select exactly what the
-        // allocating form does, and the scratch must reuse its capacity.
+        // The scratch-buffer (word-scan) and iterator (per-entry) forms must
+        // select exactly what the allocating form does, and the scratch must
+        // reuse its capacity.
         let mut sb = SliceBuffer::new(16);
         for k in 0..12usize {
             sb.push(entry(k, PoisonMask::bit((k % 3) as u8))).unwrap();
@@ -313,6 +443,56 @@ mod tests {
             sb.entries_for_rally_into(PoisonMask::bit(0), &mut scratch);
             assert_eq!(scratch.capacity(), warmed, "scratch must not reallocate");
         }
+    }
+
+    #[test]
+    fn word_scan_matches_bit_loop_on_randomized_ring_states() {
+        // Drive the ring through randomized push/retire/repoison churn (so the
+        // buffer wraps and fragments) and check the word-level selection
+        // against the per-entry rally_iter reference on every step.
+        let mut state = 0x5EEDu64;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 16
+        };
+        let mut sb = SliceBuffer::new(13); // odd capacity: exercises wrap lanes
+        let mut next_idx = 0usize;
+        let mut scratch = Vec::new();
+        for _ in 0..400 {
+            match lcg() % 4 {
+                0 | 1 => {
+                    let mask = PoisonMask::from_bits((lcg() % 0xFFFF) as u16 | 1);
+                    if sb.push(entry(next_idx, mask)).is_ok() {
+                        next_idx += 1;
+                    } else {
+                        // Full of active entries: retire the head to make room.
+                        let head_idx = sb.active_entries().next().unwrap().trace_idx;
+                        sb.retire(head_idx);
+                    }
+                }
+                2 => {
+                    if let Some(e) = sb.active_entries().last() {
+                        let idx = e.trace_idx;
+                        sb.repoison(idx, PoisonMask::from_bits((lcg() % 0xFFFF) as u16 | 2));
+                    }
+                }
+                _ => {
+                    let actives: Vec<usize> =
+                        sb.active_entries().map(|e| e.trace_idx).collect();
+                    if !actives.is_empty() {
+                        let pick = actives[(lcg() % actives.len() as u64) as usize];
+                        sb.retire(pick);
+                    }
+                }
+            }
+            for bit in 0..16u8 {
+                let select = PoisonMask::bit(bit);
+                sb.entries_for_rally_into(select, &mut scratch);
+                let reference: Vec<SliceEntry> = sb.rally_iter(select).collect();
+                assert_eq!(scratch, reference, "selection diverged for bit {bit}");
+            }
+        }
+        assert!(next_idx > 20, "churn should have inserted entries");
     }
 
     #[test]

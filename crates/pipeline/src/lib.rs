@@ -2,9 +2,10 @@
 //!
 //! Everything the five core models (`icfp-core`) have in common lives here:
 //!
-//! * [`PoisonMask`] / [`PoisonAllocator`] — the per-register / per-entry
-//!   poison *bitvectors* of paper Section 3.4, including the degenerate 1-bit
-//!   case used by the baseline mechanisms;
+//! * [`PoisonMask`] / [`PoisonAllocator`] / [`PoisonVec`] — the per-register /
+//!   per-entry poison *bitvectors* of paper Section 3.4 (including the
+//!   degenerate 1-bit case used by the baseline mechanisms) and the packed
+//!   word-level poison plane bulk operations run on;
 //! * [`TimedRegFile`] — a register file whose entries carry a value, a
 //!   ready-cycle (scoreboard), a poison mask and a *last-writer sequence
 //!   number* (the enhanced dependence-tracking scheme of Section 3.1), plus a
@@ -35,6 +36,6 @@ pub mod stats;
 pub use config::PipelineConfig;
 pub use frontend::FetchEngine;
 pub use issue::IssueSchedule;
-pub use poison::{PoisonAllocator, PoisonMask};
+pub use poison::{lane_range_mask, PoisonAllocator, PoisonMask, PoisonVec, POISON_LANES_PER_WORD};
 pub use regfile::{Checkpoint, RegEntry, TimedRegFile};
 pub use stats::{RunResult, RunStats};

@@ -6,7 +6,11 @@
 //! extends the single poison bit to a small *bitvector* (8 bits by default):
 //! each outstanding miss (MSHR) is assigned one bit, so that when a particular
 //! miss returns, a rally can skip slice-buffer entries whose poison does not
-//! include that bit.  This module provides both.
+//! include that bit.  This module provides both, plus [`PoisonVec`]: a packed
+//! *plane* of poison masks (four 16-bit lanes per `u64` word) covering a whole
+//! register file or slice buffer, so bulk operations — union, clear-bits,
+//! any-poisoned, rally selection — run as word operations instead of
+//! per-entry bit loops.
 
 use icfp_mem::MshrId;
 use serde::{Deserialize, Serialize};
@@ -71,6 +75,19 @@ impl PoisonMask {
     /// Raw bit representation.
     pub fn bits(self) -> u16 {
         self.0
+    }
+
+    /// Reconstructs a mask from its raw bit representation.
+    pub fn from_bits(bits: u16) -> Self {
+        PoisonMask(bits)
+    }
+
+    /// This mask replicated into all four 16-bit lanes of a `u64` word — the
+    /// comparand for word-granular [`PoisonVec`] scans (hoist it out of the
+    /// scan loop).
+    #[inline]
+    pub fn broadcast(self) -> u64 {
+        broadcast(self.0)
     }
 }
 
@@ -168,6 +185,158 @@ impl PoisonAllocator {
     }
 }
 
+/// Poison masks per lane packed into `u64` words.
+pub const POISON_LANES_PER_WORD: usize = 4;
+
+const LANE_BITS: usize = 16;
+const LANE_ONES: u64 = 0xFFFF;
+
+/// Replicates a 16-bit mask into all four lanes of a word.
+#[inline]
+fn broadcast(bits: u16) -> u64 {
+    bits as u64 * 0x0001_0001_0001_0001
+}
+
+/// A packed plane of [`PoisonMask`]es: one 16-bit lane per entry, four lanes
+/// per `u64` word.  This is the storage behind the register file's poison
+/// state and the slice buffer's rally-selection index; whole-structure
+/// operations (clear returning bits everywhere, "is anything poisoned",
+/// "which entries intersect this mask") touch `len/4` words instead of
+/// looping over `len` entries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoisonVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PoisonVec {
+    /// Creates a plane of `len` clean lanes.
+    pub fn new(len: usize) -> Self {
+        PoisonVec {
+            words: vec![0; len.div_ceil(POISON_LANES_PER_WORD)],
+            len,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the plane has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mask in lane `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> PoisonMask {
+        debug_assert!(i < self.len);
+        let w = self.words[i / POISON_LANES_PER_WORD];
+        PoisonMask::from_bits(((w >> ((i % POISON_LANES_PER_WORD) * LANE_BITS)) & LANE_ONES) as u16)
+    }
+
+    /// Overwrites lane `i` with `mask`.
+    #[inline]
+    pub fn set(&mut self, i: usize, mask: PoisonMask) {
+        debug_assert!(i < self.len);
+        let shift = (i % POISON_LANES_PER_WORD) * LANE_BITS;
+        let w = &mut self.words[i / POISON_LANES_PER_WORD];
+        *w = (*w & !(LANE_ONES << shift)) | ((mask.bits() as u64) << shift);
+    }
+
+    /// Unions `mask` into lane `i`.
+    #[inline]
+    pub fn or(&mut self, i: usize, mask: PoisonMask) {
+        debug_assert!(i < self.len);
+        let shift = (i % POISON_LANES_PER_WORD) * LANE_BITS;
+        self.words[i / POISON_LANES_PER_WORD] |= (mask.bits() as u64) << shift;
+    }
+
+    /// Clears lane `i`.
+    #[inline]
+    pub fn clear_lane(&mut self, i: usize) {
+        self.set(i, PoisonMask::CLEAN);
+    }
+
+    /// True if any lane is poisoned.  One compare per word.
+    pub fn any_poisoned(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Removes `mask`'s bits from every lane (a returning miss un-poisons the
+    /// whole structure).  One AND per word.
+    pub fn clear_bits(&mut self, mask: PoisonMask) {
+        let keep = !broadcast(mask.bits());
+        for w in &mut self.words {
+            *w &= keep;
+        }
+    }
+
+    /// Clears every lane.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Union of all lanes.  One OR per word plus a lane fold.
+    pub fn union_all(&self) -> PoisonMask {
+        let mut acc = 0u64;
+        for &w in &self.words {
+            acc |= w;
+        }
+        acc |= acc >> 32;
+        acc |= acc >> 16;
+        PoisonMask::from_bits((acc & LANE_ONES) as u16)
+    }
+
+    /// Number of poisoned (non-clean) lanes.
+    pub fn count_poisoned(&self) -> usize {
+        let mut n = 0usize;
+        for &w in &self.words {
+            if w == 0 {
+                continue;
+            }
+            for lane in 0..POISON_LANES_PER_WORD {
+                n += usize::from((w >> (lane * LANE_BITS)) & LANE_ONES != 0);
+            }
+        }
+        n
+    }
+
+    /// The raw packed words (read-only), for external word-granular scans
+    /// such as the slice buffer's rally selection.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Word `w` ANDed with `mask` broadcast to every lane: non-zero 16-bit
+    /// lanes are the entries whose poison intersects `mask`.  Callers locate
+    /// them with `trailing_zeros() / 16` and strip lanes with
+    /// [`lane_range_mask`].
+    #[inline]
+    pub fn select_word(&self, w: usize, mask: PoisonMask) -> u64 {
+        self.words[w] & broadcast(mask.bits())
+    }
+}
+
+/// A word mask covering lanes `lane_lo..lane_hi` (for restricting a
+/// [`PoisonVec::select_word`] scan to a partial word at a segment edge).
+#[inline]
+pub fn lane_range_mask(lane_lo: usize, lane_hi: usize) -> u64 {
+    debug_assert!(lane_lo <= lane_hi && lane_hi <= POISON_LANES_PER_WORD);
+    let lo = if lane_lo >= POISON_LANES_PER_WORD {
+        0
+    } else {
+        u64::MAX << (lane_lo * LANE_BITS)
+    };
+    let hi = if lane_hi >= POISON_LANES_PER_WORD {
+        u64::MAX
+    } else {
+        !(u64::MAX << (lane_hi * LANE_BITS))
+    };
+    lo & hi
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +419,99 @@ mod tests {
     #[should_panic(expected = "poison width")]
     fn zero_width_panics() {
         let _ = PoisonAllocator::new(0);
+    }
+
+    /// Tiny deterministic generator for the randomized equivalence tests.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state >> 16
+    }
+
+    /// A naive per-entry model of what the packed plane must compute.
+    struct NaivePlane(Vec<PoisonMask>);
+
+    impl NaivePlane {
+        fn any(&self) -> bool {
+            self.0.iter().any(|m| m.is_poisoned())
+        }
+        fn clear_bits(&mut self, m: PoisonMask) {
+            for e in &mut self.0 {
+                *e = e.without(m);
+            }
+        }
+        fn union_all(&self) -> PoisonMask {
+            self.0.iter().copied().fold(PoisonMask::CLEAN, PoisonMask::union)
+        }
+        fn count(&self) -> usize {
+            self.0.iter().filter(|m| m.is_poisoned()).count()
+        }
+        fn intersecting(&self, m: PoisonMask) -> Vec<usize> {
+            (0..self.0.len()).filter(|&i| self.0[i].intersects(m)).collect()
+        }
+    }
+
+    #[test]
+    fn poison_vec_matches_bit_loop_on_randomized_masks() {
+        let mut seed = 0x1CF9u64 ^ 0xA5A5_5A5A;
+        for round in 0..50 {
+            let len = 1 + (lcg(&mut seed) % 130) as usize;
+            let mut vec = PoisonVec::new(len);
+            let mut naive = NaivePlane(vec![PoisonMask::CLEAN; len]);
+            // Random writes: set / or / clear_lane.
+            for _ in 0..3 * len {
+                let i = (lcg(&mut seed) % len as u64) as usize;
+                let m = PoisonMask::from_bits(lcg(&mut seed) as u16);
+                match lcg(&mut seed) % 3 {
+                    0 => {
+                        vec.set(i, m);
+                        naive.0[i] = m;
+                    }
+                    1 => {
+                        vec.or(i, m);
+                        naive.0[i] = naive.0[i].union(m);
+                    }
+                    _ => {
+                        vec.clear_lane(i);
+                        naive.0[i] = PoisonMask::CLEAN;
+                    }
+                }
+            }
+            // Whole-plane word ops must agree with the per-entry loop.
+            assert_eq!(vec.any_poisoned(), naive.any(), "round {round}");
+            assert_eq!(vec.union_all(), naive.union_all(), "round {round}");
+            assert_eq!(vec.count_poisoned(), naive.count(), "round {round}");
+            for i in 0..len {
+                assert_eq!(vec.get(i), naive.0[i], "round {round} lane {i}");
+            }
+            // Word-granular selection scan must find exactly the intersecting
+            // lanes, in ascending order.
+            let probe = PoisonMask::from_bits(lcg(&mut seed) as u16 | 1);
+            let mut scanned = Vec::new();
+            for w in 0..len.div_ceil(POISON_LANES_PER_WORD) {
+                let hi = (len - w * POISON_LANES_PER_WORD).min(POISON_LANES_PER_WORD);
+                let mut hits = vec.select_word(w, probe) & lane_range_mask(0, hi);
+                while hits != 0 {
+                    let lane = hits.trailing_zeros() as usize / 16;
+                    hits &= !(0xFFFFu64 << (lane * 16));
+                    scanned.push(w * POISON_LANES_PER_WORD + lane);
+                }
+            }
+            assert_eq!(scanned, naive.intersecting(probe), "round {round}");
+            // Bulk clear of a random returning mask.
+            let clear = PoisonMask::from_bits(lcg(&mut seed) as u16);
+            vec.clear_bits(clear);
+            naive.clear_bits(clear);
+            for i in 0..len {
+                assert_eq!(vec.get(i), naive.0[i], "round {round} post-clear lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_range_mask_edges() {
+        assert_eq!(lane_range_mask(0, 4), u64::MAX);
+        assert_eq!(lane_range_mask(0, 1), 0xFFFF);
+        assert_eq!(lane_range_mask(3, 4), 0xFFFF_0000_0000_0000);
+        assert_eq!(lane_range_mask(2, 2), 0);
     }
 }

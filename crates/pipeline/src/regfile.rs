@@ -9,20 +9,26 @@
 //! instruction updates the main register file only if the register's
 //! last-writer stamp equals its own sequence number, which prevents
 //! write-after-write violations without renaming.
+//!
+//! Poison is stored as a packed [`PoisonVec`] *plane* (four registers per
+//! `u64` word) rather than per-entry bits, so whole-file operations —
+//! "any register poisoned?", "clear this returning miss's bits everywhere",
+//! episode-end scrubbing — are word operations over `NUM_ARCH_REGS / 4`
+//! words instead of per-register loops.
 
-use crate::poison::PoisonMask;
+use crate::poison::{PoisonMask, PoisonVec};
 use icfp_isa::{Cycle, InstSeq, Reg, Value, NUM_ARCH_REGS};
 use serde::{Deserialize, Serialize};
 
-/// One architectural register's simulator state.
+/// One architectural register's simulator state (value, scoreboard and
+/// last-writer stamp; the poison plane lives in [`TimedRegFile`] as a packed
+/// [`PoisonVec`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RegEntry {
     /// Architectural value.
     pub value: Value,
     /// Cycle at which the value becomes available to dependents (scoreboard).
     pub ready_at: Cycle,
-    /// Poison bitvector.
-    pub poison: PoisonMask,
     /// Sequence number (distance from the checkpoint) of the last writer, or
     /// `None` if the register has not been written since the checkpoint.
     pub last_writer: Option<InstSeq>,
@@ -33,7 +39,6 @@ impl RegEntry {
         RegEntry {
             value,
             ready_at: 0,
-            poison: PoisonMask::CLEAN,
             last_writer: None,
         }
     }
@@ -50,11 +55,12 @@ pub struct Checkpoint {
     pub at_seq: InstSeq,
 }
 
-/// A register file with values, readiness, poison and last-writer tracking,
-/// plus one checkpoint.
+/// A register file with values, readiness, a packed poison plane and
+/// last-writer tracking, plus one checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimedRegFile {
     regs: Vec<RegEntry>,
+    poison: PoisonVec,
     checkpoint: Option<Checkpoint>,
 }
 
@@ -73,6 +79,7 @@ impl TimedRegFile {
             regs: (0..NUM_ARCH_REGS as u64)
                 .map(|i| RegEntry::new(icfp_isa::exec::background_value(i.wrapping_mul(0x1001))))
                 .collect(),
+            poison: PoisonVec::new(NUM_ARCH_REGS),
             checkpoint: None,
         }
     }
@@ -87,6 +94,7 @@ impl TimedRegFile {
         assert_eq!(values.len(), NUM_ARCH_REGS, "snapshot must cover all registers");
         TimedRegFile {
             regs: values.iter().map(|&v| RegEntry::new(v)).collect(),
+            poison: PoisonVec::new(NUM_ARCH_REGS),
             checkpoint: None,
         }
     }
@@ -112,13 +120,29 @@ impl TimedRegFile {
     }
 
     /// The poison mask of `r`.
+    #[inline]
     pub fn poison(&self, r: Reg) -> PoisonMask {
-        self.regs[r.index()].poison
+        self.poison.get(r.index())
     }
 
-    /// True if any register is poisoned.
+    /// The last-writer stamp of `r`.
+    pub fn last_writer(&self, r: Reg) -> Option<InstSeq> {
+        self.regs[r.index()].last_writer
+    }
+
+    /// True if any register is poisoned.  One compare per packed word.
     pub fn any_poisoned(&self) -> bool {
-        self.regs.iter().any(|e| e.poison.is_poisoned())
+        self.poison.any_poisoned()
+    }
+
+    /// Union of every register's poison mask (word-level OR reduce).
+    pub fn poison_union(&self) -> PoisonMask {
+        self.poison.union_all()
+    }
+
+    /// Read access to the packed poison plane.
+    pub fn poison_plane(&self) -> &PoisonVec {
+        &self.poison
     }
 
     /// Writes `r` as a normal (non-poisoned) result available at `ready_at`,
@@ -127,9 +151,9 @@ impl TimedRegFile {
         self.regs[r.index()] = RegEntry {
             value,
             ready_at,
-            poison: PoisonMask::CLEAN,
             last_writer: Some(seq),
         };
+        self.poison.clear_lane(r.index());
     }
 
     /// Poisons `r` with `mask`, stamping the last-writer sequence number.  The
@@ -137,9 +161,9 @@ impl TimedRegFile {
     /// reader sees the poison).
     pub fn poison_write(&mut self, r: Reg, mask: PoisonMask, seq: InstSeq) {
         let e = &mut self.regs[r.index()];
-        e.poison = mask;
         e.last_writer = Some(seq);
         e.ready_at = 0;
+        self.poison.set(r.index(), mask);
     }
 
     /// Gated rally update (paper Section 3.1): writes `r` only if its
@@ -150,7 +174,7 @@ impl TimedRegFile {
         if e.last_writer == Some(seq) {
             e.value = value;
             e.ready_at = ready_at;
-            e.poison = PoisonMask::CLEAN;
+            self.poison.clear_lane(r.index());
             true
         } else {
             false
@@ -158,17 +182,16 @@ impl TimedRegFile {
     }
 
     /// Removes the given poison bits from every register (used when a miss
-    /// returns under single-bit schemes that clear optimistically).
+    /// returns under single-bit schemes that clear optimistically).  One AND
+    /// per packed word.
     pub fn clear_poison_bits(&mut self, bits: PoisonMask) {
-        for e in &mut self.regs {
-            e.poison = e.poison.without(bits);
-        }
+        self.poison.clear_bits(bits);
     }
 
     /// Clears all poison and last-writer state (end of an advance episode).
     pub fn clear_speculative_state(&mut self) {
+        self.poison.clear_all();
         for e in &mut self.regs {
-            e.poison = PoisonMask::CLEAN;
             e.last_writer = None;
         }
     }
@@ -208,10 +231,10 @@ impl TimedRegFile {
             *e = RegEntry {
                 value: *v,
                 ready_at: now,
-                poison: PoisonMask::CLEAN,
                 last_writer: None,
             };
         }
+        self.poison.clear_all();
     }
 
     /// Discards the checkpoint without restoring (successful completion of an
@@ -225,9 +248,9 @@ impl TimedRegFile {
         self.regs.iter().map(|e| e.value).collect()
     }
 
-    /// Number of currently poisoned registers.
+    /// Number of currently poisoned registers (word-level count).
     pub fn poisoned_count(&self) -> usize {
-        self.regs.iter().filter(|e| e.poison.is_poisoned()).count()
+        self.poison.count_poisoned()
     }
 }
 
@@ -251,7 +274,7 @@ mod tests {
         assert_eq!(rf.value(Reg::int(5)), 99);
         assert_eq!(rf.ready_at(Reg::int(5)), 42);
         assert!(rf.poison(Reg::int(5)).is_clean());
-        assert_eq!(rf.entry(Reg::int(5)).last_writer, Some(7));
+        assert_eq!(rf.last_writer(Reg::int(5)), Some(7));
     }
 
     #[test]
@@ -261,7 +284,8 @@ mod tests {
         assert!(rf.poison(Reg::int(4)).is_poisoned());
         assert!(rf.any_poisoned());
         assert_eq!(rf.poisoned_count(), 1);
-        assert_eq!(rf.entry(Reg::int(4)).last_writer, Some(8));
+        assert_eq!(rf.last_writer(Reg::int(4)), Some(8));
+        assert_eq!(rf.poison_union(), PoisonMask::bit(2));
     }
 
     #[test]
@@ -337,6 +361,28 @@ mod tests {
         rf.poison_write(Reg::int(1), PoisonMask::bit(3), 5);
         rf.clear_speculative_state();
         assert!(!rf.any_poisoned());
-        assert_eq!(rf.entry(Reg::int(1)).last_writer, None);
+        assert_eq!(rf.last_writer(Reg::int(1)), None);
+    }
+
+    #[test]
+    fn word_ops_agree_with_per_register_loop() {
+        // Poison a scattered set of registers and check the word-level
+        // aggregate queries against a naive re-derivation.
+        let mut rf = TimedRegFile::new();
+        let bits = [0u8, 3, 5, 7, 9, 11];
+        for (k, &b) in bits.iter().enumerate() {
+            rf.poison_write(Reg::int(1 + 5 * k), PoisonMask::bit(b), k as InstSeq);
+        }
+        let naive_union = Reg::all()
+            .map(|r| rf.poison(r))
+            .fold(PoisonMask::CLEAN, PoisonMask::union);
+        assert_eq!(rf.poison_union(), naive_union);
+        let naive_count = Reg::all().filter(|&r| rf.poison(r).is_poisoned()).count();
+        assert_eq!(rf.poisoned_count(), naive_count);
+        rf.clear_poison_bits(PoisonMask::bit(3) | PoisonMask::bit(5));
+        for r in Reg::all() {
+            assert!(!rf.poison(r).intersects(PoisonMask::bit(3) | PoisonMask::bit(5)));
+        }
+        assert!(rf.any_poisoned());
     }
 }

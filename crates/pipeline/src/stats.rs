@@ -144,6 +144,26 @@ impl RunResult {
     pub fn state_matches(&self, other: &RunResult) -> bool {
         self.final_regs == other.final_regs && self.final_mem == other.final_mem
     }
+
+    /// FNV-1a digest of the final architectural state (registers + memory),
+    /// for cheap determinism / cross-model equivalence checks.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for &v in &self.final_regs {
+            eat(v);
+        }
+        for &(a, v) in &self.final_mem {
+            eat(a);
+            eat(v);
+        }
+        h
+    }
 }
 
 /// Geometric mean of a slice of speedups (the paper reports geometric means

@@ -1,9 +1,10 @@
 //! # icfp-sim — the cycle-driven simulation engine
 //!
 //! [`Simulator`] is the top-level driver the rest of the workspace (the
-//! benchmark harness, the quickstart example, future sweep tooling) talks to.
-//! It owns the selected core model — and, through it, the pipeline substrate
-//! and memory hierarchy — and exposes two ways to run a trace:
+//! benchmark harness, the sweep executor, the quickstart example) talks to.
+//! It owns a [`icfp_core::CoreEngine`] obtained from the model registry
+//! ([`CoreModel::engine`]) — there is no per-model dispatch here — and
+//! exposes two ways to run a trace:
 //!
 //! * [`Simulator::run`] — simulate a whole trace, returning a [`SimReport`]
 //!   with timing statistics *and* simulation-throughput figures (host
@@ -16,80 +17,22 @@
 //!
 //! The engine's inner loop is allocation-free in steady state: the iCFP
 //! machine reuses rally/drain scratch buffers, the MSHR outcome table is a
-//! flat slot-indexed array, and the trace is decoded once into a contiguous
-//! arena (`Vec<DynInst>` inside [`icfp_isa::Trace`]) that every pass replays
-//! by reference.  `BENCH_sim.json` (written by `icfp-bench`) tracks the
-//! resulting simulated-instructions-per-host-second so regressions are caught
-//! in CI.
+//! flat slot-indexed array, poison state is packed into word-level planes,
+//! and the trace is decoded once into a contiguous arena (`Vec<DynInst>`
+//! inside [`icfp_isa::Trace`]) that every pass replays by reference.
+//! `BENCH_sim.json` (written by `icfp-bench`) tracks the resulting
+//! simulated-instructions-per-host-second so regressions are caught in CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use icfp_core::{
-    Core, CoreConfig, IcfpCore, IcfpMachine, InOrderCore, MultipassCore, RunaheadCore, SltpCore,
-};
+pub use icfp_core::{CoreEngine, CoreModel};
+
+use icfp_core::CoreConfig;
 use icfp_isa::{Cycle, Trace};
 use icfp_pipeline::RunResult;
 use std::fmt;
 use std::time::Instant;
-
-/// Which core model the simulator drives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CoreModel {
-    /// Vanilla in-order baseline.
-    InOrder,
-    /// Runahead execution.
-    Runahead,
-    /// Multipass pipelining.
-    Multipass,
-    /// SLTP.
-    Sltp,
-    /// iCFP (the paper's mechanism; supports incremental stepping).
-    Icfp,
-}
-
-impl CoreModel {
-    /// All models, in the paper's presentation order.
-    pub const ALL: [CoreModel; 5] = [
-        CoreModel::InOrder,
-        CoreModel::Runahead,
-        CoreModel::Multipass,
-        CoreModel::Sltp,
-        CoreModel::Icfp,
-    ];
-
-    /// The model's short name (matches `RunResult::core`).
-    pub fn name(self) -> &'static str {
-        match self {
-            CoreModel::InOrder => "in-order",
-            CoreModel::Runahead => "runahead",
-            CoreModel::Multipass => "multipass",
-            CoreModel::Sltp => "sltp",
-            CoreModel::Icfp => "icfp",
-        }
-    }
-
-    /// Parses a model name (accepts the short names above).
-    pub fn parse(s: &str) -> Option<CoreModel> {
-        Self::ALL.into_iter().find(|m| m.name() == s)
-    }
-
-    /// The paper's per-design default configuration for this model.
-    pub fn default_config(self) -> CoreConfig {
-        match self {
-            CoreModel::InOrder | CoreModel::Icfp => CoreConfig::paper_default(),
-            CoreModel::Runahead => CoreConfig::runahead_default(),
-            CoreModel::Multipass => CoreConfig::multipass_default(),
-            CoreModel::Sltp => CoreConfig::sltp_default(),
-        }
-    }
-}
-
-impl fmt::Display for CoreModel {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
 
 /// Configuration of a [`Simulator`].
 #[derive(Debug, Clone)]
@@ -107,6 +50,11 @@ impl SimConfig {
             cfg: core.default_config(),
             core,
         }
+    }
+
+    /// A configuration with an explicit microarchitecture (sweep cells).
+    pub fn with_config(core: CoreModel, cfg: CoreConfig) -> Self {
+        SimConfig { core, cfg }
     }
 }
 
@@ -177,7 +125,7 @@ impl SimReport {
             } else {
                 0.0
             },
-            state_digest: state_digest(&result),
+            state_digest: result.state_digest(),
             result,
         }
     }
@@ -199,22 +147,35 @@ impl SimReport {
 }
 
 /// FNV-1a over the final architectural state of a run.
+///
+/// Retained as a free function for existing callers; the digest itself lives
+/// on [`RunResult::state_digest`] so every layer computes it identically.
 pub fn state_digest(r: &RunResult) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut eat = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    };
-    for &v in &r.final_regs {
-        eat(v);
+    r.state_digest()
+}
+
+/// Runs `trace` under `config`: one untimed warmup (host caches, branch
+/// history, allocator), then `reps` timed repetitions, returning the run
+/// with the *median* host time.  Median-of-N is robust to one-sided host
+/// noise in both directions, unlike best-of-N.  This is the one timing
+/// protocol shared by the bench harness and the sweep executor.
+pub fn median_run(config: &SimConfig, trace: &Trace, reps: u32) -> SimReport {
+    let reps = reps.max(1);
+    if reps > 1 {
+        let mut warm = Simulator::new(config.clone());
+        let _ = warm.run(trace);
     }
-    for &(a, v) in &r.final_mem {
-        eat(a);
-        eat(v);
-    }
-    h
+    let mut reports: Vec<SimReport> = (0..reps)
+        .map(|_| Simulator::new(config.clone()).run(trace))
+        .collect();
+    debug_assert!(
+        reports
+            .windows(2)
+            .all(|w| w[0].state_digest == w[1].state_digest),
+        "repetitions of a deterministic run diverged"
+    );
+    reports.sort_by(|a, b| a.host_seconds.total_cmp(&b.host_seconds));
+    reports.swap_remove(reports.len() / 2)
 }
 
 /// Progress of a batched [`Simulator::step_n`] call.
@@ -233,16 +194,13 @@ pub enum StepStatus {
 
 enum Backend {
     Idle,
-    /// Incremental iCFP machine plus the loaded trace and accumulated host
+    /// An engine from the registry plus the loaded trace and accumulated host
     /// simulation time.
-    Stepping {
-        machine: Box<IcfpMachine>,
+    Loaded {
+        engine: Box<dyn CoreEngine>,
         trace: Trace,
         host_seconds: f64,
     },
-    /// A loaded trace for a whole-trace-sweep model (everything but iCFP);
-    /// the first `step_n` call simulates it to completion.
-    Pending { trace: Trace },
 }
 
 /// The top-level simulation driver.  See the crate docs for the two usage
@@ -266,34 +224,23 @@ impl Simulator {
         &self.config
     }
 
-    fn run_model(&self, trace: &Trace) -> RunResult {
-        match self.config.core {
-            CoreModel::InOrder => InOrderCore::new(self.config.cfg.clone()).run(trace),
-            CoreModel::Runahead => RunaheadCore::new(self.config.cfg.clone()).run(trace),
-            CoreModel::Multipass => MultipassCore::new(self.config.cfg.clone()).run(trace),
-            CoreModel::Sltp => SltpCore::new(self.config.cfg.clone()).run(trace),
-            CoreModel::Icfp => IcfpCore::new(self.config.cfg.clone()).run(trace),
-        }
-    }
-
     /// Simulates `trace` to completion and reports timing plus throughput.
     pub fn run(&mut self, trace: &Trace) -> SimReport {
         let t0 = Instant::now();
-        let result = self.run_model(trace);
+        let mut engine = self.config.core.engine(&self.config.cfg);
+        while engine.step(trace) {}
+        let result = engine.drain(trace);
         SimReport::from_result(result, t0.elapsed().as_secs_f64())
     }
 
     /// Loads a trace for batched stepping.  The iCFP model steps
-    /// incrementally; the other models — whole-trace sweeps in the seed —
-    /// simulate to completion on the first [`Simulator::step_n`] call.
+    /// incrementally; the other models — whole-trace designs — simulate to
+    /// completion on the first [`Simulator::step_n`] call.
     pub fn load(&mut self, trace: Trace) {
-        self.backend = match self.config.core {
-            CoreModel::Icfp => Backend::Stepping {
-                machine: Box::new(IcfpMachine::new(&self.config.cfg)),
-                trace,
-                host_seconds: 0.0,
-            },
-            _ => Backend::Pending { trace },
+        self.backend = Backend::Loaded {
+            engine: self.config.core.engine(&self.config.cfg),
+            trace,
+            host_seconds: 0.0,
         };
     }
 
@@ -305,54 +252,42 @@ impl Simulator {
     ///
     /// Panics if no trace is loaded.
     pub fn step_n(&mut self, cycles: Cycle) -> StepStatus {
-        match &mut self.backend {
-            Backend::Idle => panic!("step_n without a loaded trace; call Simulator::load first"),
-            Backend::Pending { .. } => {
-                let Backend::Pending { trace } =
-                    std::mem::replace(&mut self.backend, Backend::Idle)
-                else {
-                    unreachable!()
-                };
-                let t0 = Instant::now();
-                let result = self.run_model(&trace);
-                StepStatus::Done(Box::new(SimReport::from_result(
-                    result,
-                    t0.elapsed().as_secs_f64(),
-                )))
-            }
-            Backend::Stepping {
-                machine,
-                trace,
-                host_seconds,
-            } => {
-                let t0 = Instant::now();
-                let target = machine.cycle().saturating_add(cycles);
-                let mut alive = true;
-                while machine.cycle() < target {
-                    if !machine.step(trace) {
-                        alive = false;
-                        break;
-                    }
-                }
-                *host_seconds += t0.elapsed().as_secs_f64();
-                if alive {
-                    return StepStatus::Running {
-                        cycle: machine.cycle(),
-                        processed: machine.processed(),
-                    };
-                }
-                let Backend::Stepping {
-                    machine,
-                    trace,
-                    host_seconds,
-                } = std::mem::replace(&mut self.backend, Backend::Idle)
-                else {
-                    unreachable!()
-                };
-                let result = machine.finish(&trace);
-                StepStatus::Done(Box::new(SimReport::from_result(result, host_seconds)))
+        let Backend::Loaded {
+            engine,
+            trace,
+            host_seconds,
+        } = &mut self.backend
+        else {
+            panic!("step_n without a loaded trace; call Simulator::load first");
+        };
+        let t0 = Instant::now();
+        let target = engine.cycle().saturating_add(cycles);
+        let mut alive = true;
+        while engine.cycle() < target {
+            if !engine.step(trace) {
+                alive = false;
+                break;
             }
         }
+        *host_seconds += t0.elapsed().as_secs_f64();
+        if alive {
+            return StepStatus::Running {
+                cycle: engine.cycle(),
+                processed: engine.processed(),
+            };
+        }
+        let Backend::Loaded {
+            mut engine,
+            trace,
+            mut host_seconds,
+        } = std::mem::replace(&mut self.backend, Backend::Idle)
+        else {
+            unreachable!()
+        };
+        let t1 = Instant::now();
+        let result = engine.drain(&trace);
+        host_seconds += t1.elapsed().as_secs_f64();
+        StepStatus::Done(Box::new(SimReport::from_result(result, host_seconds)))
     }
 
     /// True if a batched run is in progress.
@@ -457,5 +392,21 @@ mod tests {
             assert_eq!(CoreModel::parse(m.name()), Some(m));
         }
         assert_eq!(CoreModel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn explicit_config_overrides_are_honoured() {
+        let t = small_trace();
+        let mut cfg = CoreModel::Icfp.default_config();
+        cfg.mem.l2_hit_latency = 40;
+        let slow = Simulator::new(SimConfig::with_config(CoreModel::Icfp, cfg)).run(&t);
+        let fast = Simulator::new(SimConfig::new(CoreModel::Icfp)).run(&t);
+        assert_eq!(slow.state_digest, fast.state_digest);
+        assert!(
+            slow.cycles >= fast.cycles,
+            "higher L2 latency cannot be faster: {} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
     }
 }

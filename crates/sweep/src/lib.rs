@@ -1,0 +1,602 @@
+//! # icfp-sweep — parallel multi-configuration sweep orchestration
+//!
+//! The paper's headline results (the Figure 6/7-style comparisons) come from
+//! running one binary's timing models across *many* machine configurations.
+//! This crate is the subsystem that does that at scale:
+//!
+//! * [`SweepSpec`] — a cartesian grid over [`CoreConfig`] axes (slice-buffer
+//!   capacity, MSHR count, L2 hit latency) crossed with core models and
+//!   workloads;
+//! * [`SweepSpec::expand`] — the grid flattened into an ordered list of
+//!   [`SweepJob`]s with *deterministic per-job seeds* (a pure function of the
+//!   spec seed and the workload name, so every cell of a workload column
+//!   simulates the identical trace and cells are comparable);
+//! * [`run_sweep`] — executes the jobs on a `std::thread` pool.  Workers pull
+//!   jobs from an atomic counter and post results back by job index, so the
+//!   assembled [`SweepReport`] is byte-identical regardless of thread count
+//!   or scheduling;
+//! * [`SweepReport`] — one [`SweepCell`] per grid point (IPC, MPKI, MIPS,
+//!   state digest) with a deterministic [`SweepReport::digest`], a
+//!   `BENCH_sweep.json` serializer and an aligned text matrix renderer.
+//!
+//! `icfp-bench --sweep` is the CLI front end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use icfp_core::{CoreConfig, CoreModel};
+use icfp_sim::SimConfig;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// FNV-1a over a byte slice (the digest primitive used throughout).
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// One splitmix64 scramble step (for deriving per-workload trace seeds).
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A cartesian sweep specification: models × config axes × workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Core models to sweep (rows of the matrix).
+    pub models: Vec<CoreModel>,
+    /// Slice-buffer capacities to sweep (Table 1 default: 128).
+    pub slice_buffer_entries: Vec<usize>,
+    /// MSHR counts to sweep (Table 1 default: 64).
+    pub mshr_counts: Vec<usize>,
+    /// L2 hit latencies to sweep (the Figure 6 axis; Table 1 default: 20).
+    pub l2_hit_latencies: Vec<u64>,
+    /// Workload names (columns; resolved via [`icfp_workloads::by_name`]).
+    pub workloads: Vec<String>,
+    /// Dynamic instruction budget per workload trace.
+    pub insts: usize,
+    /// Base seed; per-workload trace seeds are derived from it.
+    pub seed: u64,
+    /// Timing repetitions per cell (the median host time is reported).
+    pub reps: u32,
+}
+
+impl SweepSpec {
+    /// A spec over `models` × `workloads` at the paper-default configuration
+    /// point (single value on every axis).
+    pub fn new(models: Vec<CoreModel>, workloads: Vec<String>, insts: usize, seed: u64) -> Self {
+        SweepSpec {
+            models,
+            slice_buffer_entries: vec![128],
+            mshr_counts: vec![64],
+            l2_hit_latencies: vec![20],
+            workloads,
+            insts,
+            seed,
+            reps: 1,
+        }
+    }
+
+    /// Number of grid cells the spec expands to.
+    pub fn cell_count(&self) -> usize {
+        self.models.len()
+            * self.slice_buffer_entries.len()
+            * self.mshr_counts.len()
+            * self.l2_hit_latencies.len()
+            * self.workloads.len()
+    }
+
+    /// Validates the spec: every axis non-empty, every workload known.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.models.is_empty() {
+            return Err("sweep spec has no models".into());
+        }
+        if self.workloads.is_empty() {
+            return Err("sweep spec has no workloads".into());
+        }
+        if self.slice_buffer_entries.is_empty()
+            || self.mshr_counts.is_empty()
+            || self.l2_hit_latencies.is_empty()
+        {
+            return Err("sweep spec has an empty configuration axis".into());
+        }
+        if self.insts == 0 {
+            return Err("sweep spec has a zero instruction budget".into());
+        }
+        for w in &self.workloads {
+            if icfp_workloads::by_name(w, 1, 0).is_none() {
+                return Err(format!(
+                    "unknown workload {w:?}; valid workloads: {}",
+                    icfp_workloads::STANDARD_NAMES.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The deterministic trace seed for a workload column: a pure function of
+    /// the spec seed and the workload name, so every cell in the column
+    /// simulates the identical trace regardless of job order or thread count.
+    pub fn workload_seed(&self, workload: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fnv1a(&mut h, workload.as_bytes());
+        splitmix(self.seed ^ h)
+    }
+
+    /// Expands the grid into jobs, in deterministic row-major order
+    /// (model, slice buffer, MSHRs, L2 latency, workload — workload
+    /// innermost, so each matrix row is a contiguous run of jobs).
+    pub fn expand(&self) -> Vec<SweepJob> {
+        let mut jobs = Vec::with_capacity(self.cell_count());
+        for &model in &self.models {
+            for &slice in &self.slice_buffer_entries {
+                for &mshrs in &self.mshr_counts {
+                    for &l2 in &self.l2_hit_latencies {
+                        for workload in &self.workloads {
+                            let mut config = model.default_config();
+                            config.slice_buffer_entries = slice;
+                            config.mem.max_outstanding_misses = mshrs;
+                            config.mem.l2_hit_latency = l2;
+                            jobs.push(SweepJob {
+                                index: jobs.len(),
+                                model,
+                                config,
+                                workload: workload.clone(),
+                                insts: self.insts,
+                                seed: self.workload_seed(workload),
+                                reps: self.reps.max(1),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// One grid point, ready to execute.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Position in the expanded job list (and in `SweepReport::cells`).
+    pub index: usize,
+    /// Core model.
+    pub model: CoreModel,
+    /// Fully resolved configuration (model default + axis overrides).
+    pub config: CoreConfig,
+    /// Workload name.
+    pub workload: String,
+    /// Dynamic instruction budget.
+    pub insts: usize,
+    /// Deterministic trace seed (see [`SweepSpec::workload_seed`]).
+    pub seed: u64,
+    /// Timing repetitions (median is kept).
+    pub reps: u32,
+}
+
+impl SweepJob {
+    /// Executes the job: generates the trace and runs it through the shared
+    /// warmup + median-of-N timing protocol ([`icfp_sim::median_run`]).
+    pub fn run(&self) -> SweepCell {
+        let trace = icfp_workloads::by_name(&self.workload, self.insts, self.seed)
+            .expect("workload validated by SweepSpec::validate");
+        let config = SimConfig::with_config(self.model, self.config.clone());
+        let median = icfp_sim::median_run(&config, &trace, self.reps);
+        SweepCell {
+            model: median.core.clone(),
+            workload: median.workload.clone(),
+            slice_buffer_entries: self.config.slice_buffer_entries,
+            mshr_count: self.config.mem.max_outstanding_misses,
+            l2_hit_latency: self.config.mem.l2_hit_latency,
+            seed: self.seed,
+            instructions: median.instructions,
+            cycles: median.cycles,
+            ipc: median.ipc,
+            l1d_mpki: median.l1d_mpki,
+            l2_mpki: median.l2_mpki,
+            host_seconds: median.host_seconds,
+            mips: median.mips,
+            state_digest: median.state_digest,
+        }
+    }
+}
+
+/// One completed grid cell of a [`SweepReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Core model name.
+    pub model: String,
+    /// Workload name.
+    pub workload: String,
+    /// Slice-buffer capacity of this cell's configuration.
+    pub slice_buffer_entries: usize,
+    /// MSHR count of this cell's configuration.
+    pub mshr_count: usize,
+    /// L2 hit latency of this cell's configuration.
+    pub l2_hit_latency: u64,
+    /// Trace seed the cell simulated.
+    pub seed: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions per simulated cycle.
+    pub ipc: f64,
+    /// L1 data-cache misses per 1000 instructions.
+    pub l1d_mpki: f64,
+    /// L2 misses per 1000 instructions.
+    pub l2_mpki: f64,
+    /// Median host seconds over the cell's repetitions.
+    pub host_seconds: f64,
+    /// Simulated MIPS of the median rep.
+    pub mips: f64,
+    /// Digest of the final architectural state.
+    pub state_digest: u64,
+}
+
+impl SweepCell {
+    /// Folds the cell's *deterministic* fields (timing-model outputs, not
+    /// host timing) into an FNV-1a accumulator.
+    fn fold_digest(&self, h: &mut u64) {
+        fnv1a(h, self.model.as_bytes());
+        fnv1a(h, self.workload.as_bytes());
+        for v in [
+            self.slice_buffer_entries as u64,
+            self.mshr_count as u64,
+            self.l2_hit_latency,
+            self.seed,
+            self.instructions,
+            self.cycles,
+            self.state_digest,
+        ] {
+            fnv1a(h, &v.to_le_bytes());
+        }
+    }
+}
+
+/// The assembled result of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Worker threads the sweep ran on (1 = serial; excluded from the
+    /// digest — parallelism must not change results).
+    pub threads: usize,
+    /// Instruction budget per trace.
+    pub insts: usize,
+    /// The spec's base seed.
+    pub seed: u64,
+    /// Timing repetitions per cell.
+    pub reps: u32,
+    /// One cell per grid point, in [`SweepSpec::expand`] order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Deterministic digest over every cell's timing-model outputs.  Two
+    /// sweeps of the same spec — serial or on any number of threads — must
+    /// produce byte-identical digests.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fnv1a(&mut h, &(self.cells.len() as u64).to_le_bytes());
+        fnv1a(&mut h, &(self.insts as u64).to_le_bytes());
+        fnv1a(&mut h, &self.seed.to_le_bytes());
+        for c in &self.cells {
+            c.fold_digest(&mut h);
+        }
+        h
+    }
+
+    /// Aggregate throughput over the sweep: total simulated instructions per
+    /// total host second, in millions.
+    pub fn aggregate_mips(&self) -> f64 {
+        let inst: u64 = self.cells.iter().map(|c| c.instructions).sum();
+        let secs: f64 = self.cells.iter().map(|c| c.host_seconds).sum();
+        if secs > 0.0 {
+            inst as f64 / secs / 1.0e6
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the report as the `BENCH_sweep.json` document
+    /// (schema `icfp-sweep/v1`; hand-rolled writer, flat and stable).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"icfp-sweep/v1\",");
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"insts\": {},", self.insts);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"reps\": {},", self.reps);
+        let _ = writeln!(s, "  \"report_digest\": \"{:#018x}\",", self.digest());
+        s.push_str("  \"cells\": [\n");
+        for (k, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"model\": {:?}, \"workload\": {:?}, \"slice_buffer\": {}, \
+                 \"mshrs\": {}, \"l2_hit_latency\": {}, \"seed\": {}, \
+                 \"instructions\": {}, \"cycles\": {}, \"ipc\": {:.4}, \
+                 \"l1d_mpki\": {:.3}, \"l2_mpki\": {:.3}, \"host_seconds\": {:.6}, \
+                 \"mips\": {:.3}, \"state_digest\": \"{:#018x}\"}}",
+                c.model,
+                c.workload,
+                c.slice_buffer_entries,
+                c.mshr_count,
+                c.l2_hit_latency,
+                c.seed,
+                c.instructions,
+                c.cycles,
+                c.ipc,
+                c.l1d_mpki,
+                c.l2_mpki,
+                c.host_seconds,
+                c.mips,
+                c.state_digest
+            );
+            s.push_str(if k + 1 == self.cells.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(s, "  \"aggregate_mips\": {:.3}", self.aggregate_mips());
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the sweep as an aligned text matrix: one row per
+    /// (model, configuration) point, one IPC column per workload.
+    pub fn render_matrix(&self) -> String {
+        let mut workloads: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !workloads.contains(&c.workload.as_str()) {
+                workloads.push(&c.workload);
+            }
+        }
+        let col = workloads
+            .iter()
+            .map(|w| w.len())
+            .max()
+            .unwrap_or(0)
+            .max(7);
+        let mut rows: Vec<(String, Vec<Option<f64>>)> = Vec::new();
+        for c in &self.cells {
+            let label = format!(
+                "{:<10} sb={:<4} mshr={:<3} l2={:<3}",
+                c.model, c.slice_buffer_entries, c.mshr_count, c.l2_hit_latency
+            );
+            if rows.last().map(|(l, _)| l.as_str()) != Some(label.as_str()) {
+                rows.push((label, vec![None; workloads.len()]));
+            }
+            let wl = workloads.iter().position(|w| *w == c.workload).unwrap();
+            rows.last_mut().unwrap().1[wl] = Some(c.ipc);
+        }
+        let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut s = String::new();
+        let _ = write!(s, "{:<label_w$}", "ipc");
+        for w in &workloads {
+            let _ = write!(s, "  {w:>col$}");
+        }
+        s.push('\n');
+        for (label, vals) in &rows {
+            let _ = write!(s, "{label:<label_w$}");
+            for v in vals {
+                match v {
+                    Some(ipc) => {
+                        let _ = write!(s, "  {ipc:>col$.3}");
+                    }
+                    None => {
+                        let _ = write!(s, "  {:>col$}", "-");
+                    }
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Executes a sweep on `threads` worker threads (1 = serial, in the calling
+/// thread).  The report's cells are in [`SweepSpec::expand`] order and its
+/// digest is independent of `threads`.
+///
+/// # Errors
+///
+/// Returns the [`SweepSpec::validate`] error without running anything.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, String> {
+    spec.validate()?;
+    let jobs = spec.expand();
+    let n = jobs.len();
+    let workers = threads.clamp(1, n.max(1));
+    let mut cells: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
+
+    if workers == 1 {
+        for (k, job) in jobs.iter().enumerate() {
+            cells[k] = Some(job.run());
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, SweepCell)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let jobs = &jobs;
+                scope.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    // A send only fails if the receiver is gone (sweep
+                    // abandoned): stop pulling work.
+                    if tx.send((k, jobs[k].run())).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (k, cell) in rx {
+                cells[k] = Some(cell);
+            }
+        });
+    }
+
+    Ok(SweepReport {
+        threads: workers,
+        insts: spec.insts,
+        seed: spec.seed,
+        reps: spec.reps.max(1),
+        cells: cells
+            .into_iter()
+            .map(|c| c.expect("every job posts exactly one cell"))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        // 2 models × (2 slice × 1 mshr × 2 l2 = 4 configs) × 4 workloads
+        // = 32 cells, small instruction budget to keep the test fast.
+        let mut s = SweepSpec::new(
+            vec![CoreModel::Icfp, CoreModel::InOrder],
+            icfp_workloads::STANDARD_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            600,
+            0xC0DE,
+        );
+        s.slice_buffer_entries = vec![64, 128];
+        s.l2_hit_latencies = vec![10, 20];
+        s
+    }
+
+    #[test]
+    fn expand_is_cartesian_and_ordered() {
+        let spec = tiny_spec();
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), spec.cell_count());
+        assert_eq!(jobs.len(), 32);
+        for (k, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, k);
+        }
+        // Workload is the innermost axis: the first four jobs share a config.
+        assert_eq!(jobs[0].workload, "pointer-chase");
+        assert_eq!(jobs[3].workload, "streaming");
+        assert_eq!(jobs[0].config.slice_buffer_entries, jobs[3].config.slice_buffer_entries);
+        // Same workload column ⇒ same trace seed, across models and configs.
+        let seed0 = jobs[0].seed;
+        for j in jobs.iter().filter(|j| j.workload == "pointer-chase") {
+            assert_eq!(j.seed, seed0);
+        }
+        // Different workloads get different seeds.
+        assert_ne!(jobs[0].seed, jobs[1].seed);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut s = tiny_spec();
+        s.workloads.push("nope".into());
+        assert!(run_sweep(&s, 1).is_err());
+        let mut s = tiny_spec();
+        s.models.clear();
+        assert!(s.validate().is_err());
+        let mut s = tiny_spec();
+        s.l2_hit_latencies.clear();
+        assert!(s.validate().is_err());
+        let mut s = tiny_spec();
+        s.insts = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn same_spec_twice_gives_identical_digests() {
+        let spec = tiny_spec();
+        let a = run_sweep(&spec, 1).unwrap();
+        let b = run_sweep(&spec, 1).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.cycles, cb.cycles);
+            assert_eq!(ca.state_digest, cb.state_digest);
+        }
+    }
+
+    #[test]
+    fn serial_and_eight_thread_pools_agree_byte_for_byte() {
+        // The acceptance grid: 2 models × 4 configs × 4 workloads.
+        let spec = tiny_spec();
+        let serial = run_sweep(&spec, 1).unwrap();
+        let pooled = run_sweep(&spec, 8).unwrap();
+        assert_eq!(serial.digest(), pooled.digest());
+        assert_eq!(serial.cells.len(), pooled.cells.len());
+        for (cs, cp) in serial.cells.iter().zip(&pooled.cells) {
+            assert_eq!(cs.model, cp.model);
+            assert_eq!(cs.workload, cp.workload);
+            assert_eq!(cs.cycles, cp.cycles, "{} {}", cs.model, cs.workload);
+            assert_eq!(cs.ipc, cp.ipc);
+            assert_eq!(cs.state_digest, cp.state_digest);
+        }
+    }
+
+    #[test]
+    fn l2_latency_axis_moves_cycles_monotonically() {
+        let mut spec = tiny_spec();
+        spec.models = vec![CoreModel::InOrder];
+        spec.slice_buffer_entries = vec![128];
+        spec.workloads = vec!["pointer-chase".into()];
+        spec.l2_hit_latencies = vec![10, 40];
+        let r = run_sweep(&spec, 2).unwrap();
+        assert_eq!(r.cells.len(), 2);
+        assert!(
+            r.cells[0].cycles <= r.cells[1].cycles,
+            "higher L2 latency cannot be faster: {} vs {}",
+            r.cells[0].cycles,
+            r.cells[1].cycles
+        );
+        // Same trace either way.
+        assert_eq!(r.cells[0].state_digest, r.cells[1].state_digest);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_carries_the_digest() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec!["branchy".into()];
+        spec.l2_hit_latencies = vec![20];
+        let r = run_sweep(&spec, 2).unwrap();
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"icfp-sweep/v1\""));
+        assert!(json.contains(&format!("{:#018x}", r.digest())));
+        assert!(json.contains("\"workload\": \"branchy\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn matrix_rendering_is_aligned_and_complete() {
+        let spec = tiny_spec();
+        let r = run_sweep(&spec, 4).unwrap();
+        let m = r.render_matrix();
+        let lines: Vec<&str> = m.lines().collect();
+        // Header + one row per (model, config) = 1 + 2*4.
+        assert_eq!(lines.len(), 1 + 8, "{m}");
+        let width = lines[0].len();
+        for l in &lines {
+            assert_eq!(l.len(), width, "misaligned row: {l:?}\n{m}");
+        }
+        for w in icfp_workloads::STANDARD_NAMES {
+            assert!(lines[0].contains(w));
+        }
+        assert!(m.contains("sb=64") && m.contains("sb=128"));
+    }
+
+}

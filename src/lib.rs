@@ -6,4 +6,5 @@ pub use icfp_isa as isa;
 pub use icfp_mem as mem;
 pub use icfp_pipeline as pipeline;
 pub use icfp_sim as sim;
+pub use icfp_sweep as sweep;
 pub use icfp_workloads as workloads;
