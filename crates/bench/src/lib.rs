@@ -17,12 +17,30 @@
 //! {
 //!   "schema": "icfp-bench/v1",
 //!   "mode": "smoke",
+//!   "machine": "linux-x86_64-8cpu",
 //!   "runs": [ { "workload": "...", "core": "...", "instructions": 0,
 //!               "cycles": 0, "ipc": 0.0, "host_seconds": 0.0, "mips": 0.0,
 //!               "state_digest": "0x..." } ],
 //!   "aggregate_mips": 0.0
 //! }
 //! ```
+//!
+//! ## The regression gate
+//!
+//! `--baseline` separates *machine-independent* figures from *host-coupled*
+//! ones, in the spirit of benchmark-methodology work that reports cycles and
+//! digests apart from wall-clock throughput:
+//!
+//! * **deterministic gate (always enforced)** — every baseline cell's
+//!   instruction count, cycle count and state digest must match the current
+//!   run exactly; any difference is a timing-model change and fails CI;
+//! * **throughput gate (host-coupled)** — the >N% aggregate-MIPS check is
+//!   enforced only when the current host's machine class (`os-arch-Ncpu`,
+//!   see [`machine_class`]) equals the class recorded in the baseline; on
+//!   any other machine it is *advisory* — printed, never fatal — because
+//!   comparing wall-clock MIPS across different machines says nothing about
+//!   the code.  To (re-)arm throughput enforcement for a given runner
+//!   class, record the baseline on that class of machine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,12 +81,28 @@ impl BenchSession {
         }
     }
 
+    /// The session's rows as [`DetCell`]s for the deterministic gate.
+    pub fn det_cells(&self) -> Vec<DetCell> {
+        self.runs
+            .iter()
+            .map(|r| DetCell {
+                workload: r.report.workload.clone(),
+                core: r.report.core.clone(),
+                config: String::new(),
+                instructions: r.report.instructions,
+                cycles: r.report.cycles,
+                state_digest: r.report.state_digest,
+            })
+            .collect()
+    }
+
     /// Renders the session as the `BENCH_sim.json` document.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         let _ = writeln!(s, "  \"schema\": \"icfp-bench/v1\",");
         let _ = writeln!(s, "  \"mode\": {:?},", self.mode);
+        let _ = writeln!(s, "  \"machine\": {:?},", machine_class());
         s.push_str("  \"runs\": [\n");
         for (k, r) in self.runs.iter().enumerate() {
             let p = &r.report;
@@ -121,8 +155,237 @@ pub fn parse_aggregate_mips(json: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// The perf-regression gate: fails if `current` MIPS has regressed more than
-/// `max_regress_pct` percent below `baseline` MIPS.
+/// The host's machine class: operating system, CPU architecture and logical
+/// CPU count.  MIPS baselines are only *enforced* between identical classes;
+/// everything else is advisory (a slower runner is not a code regression).
+/// The class is deliberately narrow — os-arch alone would equate a developer
+/// laptop with a CI runner of the same platform, re-coupling the gate to
+/// host speed; when in doubt the gate must err toward advisory.
+pub fn machine_class() -> String {
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    format!(
+        "{}-{}-{cpus}cpu",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
+/// One row of machine-independent figures, from a live session or parsed out
+/// of a baseline document.  `config` disambiguates sweep cells (several per
+/// workload × model); plain bench rows leave it empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetCell {
+    /// Workload name.
+    pub workload: String,
+    /// Core model name.
+    pub core: String,
+    /// Configuration label (`"sb=..,mshr=..,l2=.."` for sweep cells).
+    pub config: String,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Digest of the final architectural state.
+    pub state_digest: u64,
+}
+
+impl DetCell {
+    fn key(&self) -> (&str, &str, &str) {
+        (&self.workload, &self.core, &self.config)
+    }
+}
+
+/// A parsed baseline document (`BENCH_baseline.json`, or any `BENCH_sim` /
+/// `BENCH_sweep` output).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineDoc {
+    /// Machine class recorded at baseline time (absent in pre-gate-fix
+    /// baselines — treated as a mismatch, i.e. MIPS stays advisory).
+    pub machine: Option<String>,
+    /// Aggregate throughput recorded at baseline time.
+    pub aggregate_mips: Option<f64>,
+    /// Per-cell deterministic figures.
+    pub cells: Vec<DetCell>,
+}
+
+/// Extracts the string value of `"key": "value"` from a flat JSON object.
+fn json_str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Extracts the numeric value of `"key": 123` from a flat JSON object.
+fn json_u64_field(obj: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a `"key": "0x..."` hex figure from a flat JSON object.
+fn json_hex_field(obj: &str, key: &str) -> Option<u64> {
+    let s = json_str_field(obj, key)?;
+    u64::from_str_radix(s.trim_start_matches("0x"), 16).ok()
+}
+
+/// Parses the baseline figures out of a `BENCH_sim.json` / `BENCH_sweep.json`
+/// document (hand-rolled: the environment has no JSON parser dependency, and
+/// both writers emit one cell object per line).
+pub fn parse_baseline(doc: &str) -> BaselineDoc {
+    let mut out = BaselineDoc {
+        aggregate_mips: parse_aggregate_mips(doc),
+        ..BaselineDoc::default()
+    };
+    for line in doc.lines() {
+        let t = line.trim();
+        if t.starts_with("\"machine\"") {
+            out.machine = json_str_field(t, "machine");
+        }
+        if !t.contains("\"workload\"") || !t.starts_with('{') {
+            continue;
+        }
+        // Bench rows name the model "core"; sweep cells name it "model" and
+        // carry their configuration axes.
+        let Some(workload) = json_str_field(t, "workload") else {
+            continue;
+        };
+        let Some(core) = json_str_field(t, "core").or_else(|| json_str_field(t, "model")) else {
+            continue;
+        };
+        let config = match (
+            json_u64_field(t, "slice_buffer"),
+            json_u64_field(t, "mshrs"),
+            json_u64_field(t, "l2_hit_latency"),
+        ) {
+            (Some(sb), Some(mshrs), Some(l2)) => format!("sb={sb},mshr={mshrs},l2={l2}"),
+            _ => String::new(),
+        };
+        let (Some(instructions), Some(cycles), Some(state_digest)) = (
+            json_u64_field(t, "instructions"),
+            json_u64_field(t, "cycles"),
+            json_hex_field(t, "state_digest"),
+        ) else {
+            continue;
+        };
+        out.cells.push(DetCell {
+            workload,
+            core,
+            config,
+            instructions,
+            cycles,
+            state_digest,
+        });
+    }
+    out
+}
+
+/// Outcome of the two-part baseline gate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Deterministic-figure mismatches and (same-machine) MIPS regressions:
+    /// any entry here must fail CI.
+    pub hard_errors: Vec<String>,
+    /// Host-coupled observations that must *not* fail CI (MIPS deltas on a
+    /// different machine class, cells absent from the baseline).
+    pub advisory: Vec<String>,
+    /// Whether the MIPS check was enforced (machine classes matched).
+    pub mips_enforced: bool,
+}
+
+impl GateReport {
+    /// True if CI may pass.
+    pub fn is_ok(&self) -> bool {
+        self.hard_errors.is_empty()
+    }
+}
+
+/// The baseline gate: deterministic figures are compared exactly and always
+/// enforced; the aggregate-MIPS regression check is enforced only when
+/// `current_machine` equals the class recorded in the baseline, and demoted
+/// to advisory otherwise.
+pub fn gate_against_baseline(
+    current: &[DetCell],
+    current_mips: f64,
+    current_machine: &str,
+    baseline: &BaselineDoc,
+    max_regress_pct: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+
+    if baseline.cells.is_empty() {
+        report
+            .hard_errors
+            .push("baseline document carries no per-cell deterministic figures".into());
+    }
+    for b in &baseline.cells {
+        let label = if b.config.is_empty() {
+            format!("{}/{}", b.workload, b.core)
+        } else {
+            format!("{}/{} [{}]", b.workload, b.core, b.config)
+        };
+        match current.iter().find(|c| c.key() == b.key()) {
+            None => report
+                .hard_errors
+                .push(format!("baseline cell {label} is missing from the current run")),
+            Some(c) => {
+                if c.instructions != b.instructions {
+                    report.hard_errors.push(format!(
+                        "{label}: instruction count changed {} -> {}",
+                        b.instructions, c.instructions
+                    ));
+                }
+                if c.cycles != b.cycles {
+                    report.hard_errors.push(format!(
+                        "{label}: cycle count changed {} -> {}",
+                        b.cycles, c.cycles
+                    ));
+                }
+                if c.state_digest != b.state_digest {
+                    report.hard_errors.push(format!(
+                        "{label}: state digest changed {:#018x} -> {:#018x}",
+                        b.state_digest, c.state_digest
+                    ));
+                }
+            }
+        }
+    }
+    for c in current {
+        if !baseline.cells.iter().any(|b| b.key() == c.key()) {
+            report.advisory.push(format!(
+                "cell {}/{} has no baseline figure (new cell, not gated)",
+                c.workload, c.core
+            ));
+        }
+    }
+
+    let Some(base_mips) = baseline.aggregate_mips else {
+        report
+            .advisory
+            .push("baseline has no aggregate_mips figure; throughput not checked".into());
+        return report;
+    };
+    report.mips_enforced = baseline.machine.as_deref() == Some(current_machine);
+    match check_against_baseline(current_mips, base_mips, max_regress_pct) {
+        Ok(()) => {}
+        Err(e) if report.mips_enforced => report.hard_errors.push(e),
+        Err(e) => report.advisory.push(format!(
+            "{e} — advisory only: baseline machine class {:?} differs from this host ({current_machine})",
+            baseline.machine.as_deref().unwrap_or("unrecorded")
+        )),
+    }
+    report
+}
+
+/// The aggregate-MIPS comparison: fails if `current` MIPS has regressed more
+/// than `max_regress_pct` percent below `baseline` MIPS.  Whether a failure
+/// is fatal or advisory is decided by [`gate_against_baseline`].
 ///
 /// # Errors
 ///
@@ -194,7 +457,8 @@ mod tests {
         // architectural results (host_seconds/mips are the only wall-clock
         // fields and are excluded).
         let run = || {
-            let trace = icfp_workloads::by_name("dcache-thrash", 2_000, 0xC0DE).unwrap();
+            let trace = icfp_workloads::by_name_or_err("dcache-thrash", 2_000, 0xC0DE)
+                .unwrap_or_else(|e| panic!("{e}"));
             let mut sim = Simulator::new(SimConfig::new(CoreModel::Icfp));
             sim.run(&trace)
         };
@@ -222,6 +486,126 @@ mod tests {
         assert!((parsed - session.aggregate_mips()).abs() < 0.002, "{parsed}");
         assert_eq!(parse_aggregate_mips("{}"), None);
         assert_eq!(parse_aggregate_mips("\"aggregate_mips\": 12.5"), Some(12.5));
+    }
+
+    /// A small real session plus its own JSON as the baseline document.
+    fn session_and_baseline() -> (Vec<DetCell>, f64, String) {
+        let trace = icfp_workloads::branchy(400, 7);
+        let session = BenchSession {
+            mode: "smoke".into(),
+            runs: vec![
+                bench_trace(CoreModel::InOrder, &trace, 1),
+                bench_trace(CoreModel::Icfp, &trace, 1),
+            ],
+        };
+        (session.det_cells(), session.aggregate_mips(), session.to_json())
+    }
+
+    #[test]
+    fn baseline_json_parses_machine_and_cells() {
+        let (cells, _, json) = session_and_baseline();
+        let doc = parse_baseline(&json);
+        assert_eq!(doc.machine.as_deref(), Some(machine_class().as_str()));
+        assert!(doc.aggregate_mips.is_some());
+        assert_eq!(doc.cells, cells);
+    }
+
+    #[test]
+    fn inflated_host_time_baseline_is_advisory_on_another_machine_class() {
+        // The acceptance case: a baseline recorded on a (faster) different
+        // machine claims 100x the throughput.  On a mismatched machine class
+        // the MIPS check must demote to advisory — the gate passes.
+        let (cells, mips, json) = session_and_baseline();
+        let mut doc = parse_baseline(&json);
+        doc.aggregate_mips = Some(mips * 100.0);
+        doc.machine = Some("mars-quantum99".into());
+        let report = gate_against_baseline(&cells, mips, &machine_class(), &doc, 20.0);
+        assert!(report.is_ok(), "hard errors: {:?}", report.hard_errors);
+        assert!(!report.mips_enforced);
+        assert!(
+            report.advisory.iter().any(|a| a.contains("advisory")),
+            "{:?}",
+            report.advisory
+        );
+
+        // Same inflated figure recorded on *this* machine class: enforced.
+        doc.machine = Some(machine_class());
+        let report = gate_against_baseline(&cells, mips, &machine_class(), &doc, 20.0);
+        assert!(!report.is_ok());
+        assert!(report.mips_enforced);
+
+        // Legacy baseline with no machine field: advisory too.
+        doc.machine = None;
+        let report = gate_against_baseline(&cells, mips, &machine_class(), &doc, 20.0);
+        assert!(report.is_ok(), "{:?}", report.hard_errors);
+    }
+
+    #[test]
+    fn single_cell_cycle_change_fails_regardless_of_machine_class() {
+        let (cells, mips, json) = session_and_baseline();
+        let mut doc = parse_baseline(&json);
+        doc.machine = Some("mars-quantum99".into()); // MIPS advisory...
+        doc.cells[1].cycles += 1; // ...but determinism is not.
+        let report = gate_against_baseline(&cells, mips, &machine_class(), &doc, 20.0);
+        assert!(!report.is_ok());
+        assert!(
+            report.hard_errors.iter().any(|e| e.contains("cycle count changed")),
+            "{:?}",
+            report.hard_errors
+        );
+
+        // A digest change is equally fatal.
+        let mut doc = parse_baseline(&json);
+        doc.cells[0].state_digest ^= 1;
+        let report = gate_against_baseline(&cells, mips, &machine_class(), &doc, 20.0);
+        assert!(report
+            .hard_errors
+            .iter()
+            .any(|e| e.contains("state digest changed")));
+
+        // A baseline cell the current run no longer produces is fatal too.
+        let mut doc = parse_baseline(&json);
+        doc.cells.push(DetCell {
+            workload: "pointer-chase".into(),
+            core: "sltp".into(),
+            config: String::new(),
+            instructions: 1,
+            cycles: 1,
+            state_digest: 1,
+        });
+        let report = gate_against_baseline(&cells, mips, &machine_class(), &doc, 20.0);
+        assert!(report.hard_errors.iter().any(|e| e.contains("missing")));
+    }
+
+    #[test]
+    fn baseline_without_cells_is_rejected() {
+        // A pre-fix baseline with only an aggregate figure cannot gate
+        // determinism; the gate must say so rather than silently pass.
+        let (cells, mips, _) = session_and_baseline();
+        let doc = BaselineDoc {
+            machine: None,
+            aggregate_mips: Some(mips),
+            cells: Vec::new(),
+        };
+        let report = gate_against_baseline(&cells, mips, &machine_class(), &doc, 20.0);
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn sweep_cells_parse_with_config_labels() {
+        let mut spec = icfp_sweep::SweepSpec::new(
+            vec![CoreModel::InOrder],
+            vec!["branchy".into()],
+            300,
+            1,
+        );
+        spec.slice_buffer_entries = vec![64, 128];
+        let report = icfp_sweep::run_sweep(&spec, 1).unwrap();
+        let doc = parse_baseline(&report.to_json());
+        assert_eq!(doc.cells.len(), 2);
+        assert!(doc.cells[0].config.starts_with("sb=64,"));
+        assert!(doc.cells[1].config.starts_with("sb=128,"));
+        assert_eq!(doc.cells[0].core, "in-order");
     }
 
     #[test]

@@ -7,19 +7,33 @@
 //! icfp-bench [--smoke] [--insts N] [--reps N] [--seed N]
 //!            [--core NAME[,NAME...]] [--workload NAME[,NAME...]]
 //!            [--out PATH] [--baseline PATH] [--max-regress-pct P]
-//!            [--sweep] [--sweep-slice N[,N...]] [--sweep-mshr N[,N...]]
-//!            [--sweep-l2 N[,N...]] [--threads N]
+//!            [--sweep] [--warm-fork] [--sweep-slice N[,N...]]
+//!            [--sweep-mshr N[,N...]] [--sweep-l2 N[,N...]] [--threads N]
+//!            [--ckpt-smoke]
 //! ```
 //!
 //! `--smoke` selects a small instruction budget (CI-friendly, a few seconds);
 //! the default "full" mode uses a larger budget for stable MIPS numbers.
 //! Every cell reports the *median* host time over `--reps` repetitions
-//! (default 3) after one untimed warmup.  `--baseline` compares the run's
-//! aggregate MIPS against a checked-in `BENCH_baseline.json` and exits
-//! non-zero past `--max-regress-pct` (default 20).
+//! (default 3) after one untimed warmup.
+//!
+//! `--baseline` gates against a checked-in `BENCH_baseline.json`:
+//! deterministic figures (per-cell instruction counts, cycle counts, state
+//! digests) must match *exactly* and always fail the run on any difference;
+//! the >`--max-regress-pct` aggregate-MIPS check is enforced only when the
+//! host's machine class matches the one recorded in the baseline, and is
+//! demoted to an advisory note otherwise (a slow runner is not a code
+//! regression).
+//!
+//! `--warm-fork` makes `--sweep` fork each column's equivalent cells from a
+//! shared mid-trace checkpoint; `--ckpt-smoke` runs a save→restore→compare
+//! round-trip over every (model × workload) pair and exits non-zero on any
+//! divergence.
 
-use icfp_bench::{bench_trace, check_against_baseline, parse_aggregate_mips, BenchSession};
-use icfp_sim::CoreModel;
+use icfp_bench::{
+    bench_trace, gate_against_baseline, machine_class, parse_baseline, BenchSession, DetCell,
+};
+use icfp_sim::{CoreModel, SimCheckpoint, SimConfig, Simulator};
 use icfp_sweep::{run_sweep, SweepSpec};
 
 struct Args {
@@ -33,6 +47,8 @@ struct Args {
     baseline: Option<String>,
     max_regress_pct: f64,
     sweep: bool,
+    warm_fork: bool,
+    ckpt_smoke: bool,
     sweep_slice: Vec<usize>,
     sweep_mshr: Vec<usize>,
     sweep_l2: Vec<u64>,
@@ -63,6 +79,8 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         max_regress_pct: 20.0,
         sweep: false,
+        warm_fork: false,
+        ckpt_smoke: false,
         sweep_slice: vec![64, 128],
         sweep_mshr: vec![64],
         sweep_l2: vec![20],
@@ -77,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--smoke" => a.smoke = true,
             "--sweep" => a.sweep = true,
+            "--warm-fork" => a.warm_fork = true,
+            "--ckpt-smoke" => a.ckpt_smoke = true,
             "--insts" => {
                 a.insts = val("--insts")?
                     .parse()
@@ -128,8 +148,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: icfp-bench [--smoke] [--insts N] [--reps N] [--seed N] \
                      [--core NAMES] [--workload NAMES] [--out PATH] \
                      [--baseline PATH] [--max-regress-pct P] \
-                     [--sweep] [--sweep-slice NS] [--sweep-mshr NS] [--sweep-l2 NS] \
-                     [--threads N]\n\
+                     [--sweep] [--warm-fork] [--sweep-slice NS] [--sweep-mshr NS] \
+                     [--sweep-l2 NS] [--threads N] [--ckpt-smoke]\n\
                      core models: {}\n\
                      workloads:   {}",
                     CoreModel::valid_names(),
@@ -152,8 +172,10 @@ fn parse_args() -> Result<Args, String> {
     Ok(a)
 }
 
-/// Applies the `--baseline` gate to a freshly produced aggregate figure.
-fn gate_on_baseline(args: &Args, current: f64) {
+/// Applies the `--baseline` gate: exact deterministic figures (always
+/// enforced) plus the aggregate-MIPS check (enforced only on the baseline's
+/// machine class).
+fn gate_on_baseline(args: &Args, cells: &[DetCell], current_mips: f64) {
     let Some(path) = &args.baseline else { return };
     let doc = match std::fs::read_to_string(path) {
         Ok(d) => d,
@@ -162,20 +184,27 @@ fn gate_on_baseline(args: &Args, current: f64) {
             std::process::exit(1);
         }
     };
-    let Some(baseline) = parse_aggregate_mips(&doc) else {
-        eprintln!("icfp-bench: baseline {path} has no aggregate_mips figure");
-        std::process::exit(1);
-    };
-    match check_against_baseline(current, baseline, args.max_regress_pct) {
-        Ok(()) => println!(
-            "baseline gate: ok ({current:.3} vs {baseline:.3} MIPS, \
-             -{:.0}% allowed)",
+    let baseline = parse_baseline(&doc);
+    let machine = machine_class();
+    let report = gate_against_baseline(cells, current_mips, &machine, &baseline, args.max_regress_pct);
+    for note in &report.advisory {
+        println!("baseline gate (advisory): {note}");
+    }
+    if report.is_ok() {
+        println!(
+            "baseline gate: ok — {} deterministic cells exact; MIPS {} ({current_mips:.3} vs {}, -{:.0}% allowed)",
+            baseline.cells.len(),
+            if report.mips_enforced { "enforced" } else { "advisory (machine class differs)" },
+            baseline
+                .aggregate_mips
+                .map_or("n/a".to_string(), |m| format!("{m:.3}")),
             args.max_regress_pct
-        ),
-        Err(e) => {
-            eprintln!("icfp-bench: {e}");
-            std::process::exit(1);
+        );
+    } else {
+        for e in &report.hard_errors {
+            eprintln!("icfp-bench: baseline gate: {e}");
         }
+        std::process::exit(1);
     }
 }
 
@@ -198,13 +227,15 @@ fn run_sweep_mode(args: &Args) {
     spec.mshr_counts = args.sweep_mshr.clone();
     spec.l2_hit_latencies = args.sweep_l2.clone();
     spec.reps = args.reps;
+    spec.warm_fork = args.warm_fork;
     println!(
-        "sweep: {} cells ({} models x {} configs x {} workloads) on {} threads",
+        "sweep: {} cells ({} models x {} configs x {} workloads) on {} threads{}",
         spec.cell_count(),
         spec.models.len(),
         spec.slice_buffer_entries.len() * spec.mshr_counts.len() * spec.l2_hit_latencies.len(),
         spec.workloads.len(),
-        args.threads
+        args.threads,
+        if args.warm_fork { ", warm-fork" } else { "" }
     );
     let report = match run_sweep(&spec, args.threads) {
         Ok(r) => r,
@@ -222,7 +253,77 @@ fn run_sweep_mode(args: &Args) {
     );
     let out = args.out.as_deref().unwrap_or("BENCH_sweep.json");
     write_out(out, &report.to_json());
-    gate_on_baseline(args, report.aggregate_mips());
+    let cells: Vec<DetCell> = report
+        .cells
+        .iter()
+        .map(|c| DetCell {
+            workload: c.workload.clone(),
+            core: c.model.clone(),
+            config: format!(
+                "sb={},mshr={},l2={}",
+                c.slice_buffer_entries, c.mshr_count, c.l2_hit_latency
+            ),
+            instructions: c.instructions,
+            cycles: c.cycles,
+            state_digest: c.state_digest,
+        })
+        .collect();
+    gate_on_baseline(args, &cells, report.aggregate_mips());
+}
+
+/// `--ckpt-smoke`: for every (model × standard workload) pair, run the front
+/// half, checkpoint through the full `icfp-ckpt/v1` byte encoding, resume,
+/// and require cycles and state digest to match an uninterrupted run.
+fn run_ckpt_smoke(args: &Args) {
+    let insts = args.insts.min(5_000);
+    let mut failures = 0u32;
+    println!("ckpt-smoke: insts={insts} seed={:#x}", args.seed);
+    for model in CoreModel::ALL {
+        for wl in icfp_workloads::STANDARD_NAMES {
+            let trace = match icfp_workloads::by_name_or_err(wl, insts, args.seed) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("icfp-bench: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let config = SimConfig::new(model);
+            let reference = Simulator::new(config.clone()).run(&trace);
+
+            let mut sim = Simulator::new(config);
+            sim.load(trace.clone());
+            sim.advance_to_inst(trace.len() / 2);
+            let ckpt = sim.checkpoint().expect("mid-run checkpoint");
+            let bytes = ckpt.to_bytes();
+            let ckpt = SimCheckpoint::from_bytes(&bytes).expect("container round-trip");
+            let mut resumed = Simulator::resume(&ckpt, trace).expect("resume");
+            let report = resumed.finish_loaded();
+
+            let ok = report.cycles == reference.cycles
+                && report.state_digest == reference.state_digest;
+            println!(
+                "  {:<10} {:<14} {:>8} bytes  cycles {:>9}  digest {:#018x}  {}",
+                model.name(),
+                wl,
+                bytes.len(),
+                report.cycles,
+                report.state_digest,
+                if ok { "ok" } else { "DIVERGED" }
+            );
+            if !ok {
+                eprintln!(
+                    "icfp-bench: ckpt-smoke: {model}/{wl} diverged \
+                     (cycles {} vs {}, digest {:#018x} vs {:#018x})",
+                    report.cycles, reference.cycles, report.state_digest, reference.state_digest
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("ckpt-smoke: all save->restore->run round-trips bit-identical");
 }
 
 fn run_standard_mode(args: &Args) {
@@ -237,12 +338,12 @@ fn run_standard_mode(args: &Args) {
         runs: Vec::new(),
     };
     for wl in &args.workloads {
-        let Some(trace) = icfp_workloads::by_name(wl, args.insts, args.seed) else {
-            eprintln!(
-                "icfp-bench: unknown workload {wl:?}; valid workloads: {}",
-                icfp_workloads::STANDARD_NAMES.join(", ")
-            );
-            std::process::exit(2);
+        let trace = match icfp_workloads::by_name_or_err(wl, args.insts, args.seed) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("icfp-bench: {e}");
+                std::process::exit(2);
+            }
         };
         for &core in &args.cores {
             let run = bench_trace(core, &trace, args.reps);
@@ -255,7 +356,7 @@ fn run_standard_mode(args: &Args) {
     println!("aggregate: {aggregate:.2} MIPS over {} runs", session.runs.len());
     let out = args.out.as_deref().unwrap_or("BENCH_sim.json");
     write_out(out, &session.to_json());
-    gate_on_baseline(args, aggregate);
+    gate_on_baseline(args, &session.det_cells(), aggregate);
 }
 
 fn main() {
@@ -266,7 +367,9 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if args.sweep {
+    if args.ckpt_smoke {
+        run_ckpt_smoke(&args);
+    } else if args.sweep {
         run_sweep_mode(&args);
     } else {
         run_standard_mode(&args);

@@ -107,7 +107,7 @@ impl BpredStats {
 
 /// The combined front-end branch predictor: PPM direction predictor + BTB +
 /// return address stack.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BranchPredictor {
     ppm: PpmPredictor,
     btb: Btb,

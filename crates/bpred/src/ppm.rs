@@ -73,9 +73,61 @@ pub struct PpmPredictor {
     history: u64,
 }
 
+impl PpmConfig {
+    /// Validates the configuration's structural limits.
+    ///
+    /// # Errors
+    ///
+    /// Tags are stored in `u16` (so `tag_bits` must be 1..=16), table index
+    /// widths must stay addressable, and at least one tagged table must
+    /// exist.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tag_bits == 0 || self.tag_bits > 16 {
+            return Err(format!(
+                "ppm tag_bits must be 1..=16 (tags are u16), got {}",
+                self.tag_bits
+            ));
+        }
+        if self.base_bits == 0 || self.base_bits > 28 {
+            return Err(format!("ppm base_bits must be 1..=28, got {}", self.base_bits));
+        }
+        if self.tagged_bits == 0 || self.tagged_bits > 28 {
+            return Err(format!(
+                "ppm tagged_bits must be 1..=28, got {}",
+                self.tagged_bits
+            ));
+        }
+        if self.history_lengths.is_empty() {
+            return Err("ppm needs at least one tagged history length".into());
+        }
+        Ok(())
+    }
+}
+
+/// The tag mask for a tag of `tag_bits` bits.  Written with an explicit
+/// full-width case because `(1u16 << 16) - 1` overflows the shift (a panic in
+/// debug builds, silent wrap in release).
+#[inline]
+fn tag_mask(tag_bits: u32) -> u16 {
+    if tag_bits >= 16 {
+        u16::MAX
+    } else {
+        (1u16 << tag_bits) - 1
+    }
+}
+
 impl PpmPredictor {
     /// Creates a predictor with all counters weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`PpmConfig::validate`] — invalid
+    /// geometries are rejected at construction rather than corrupting
+    /// predictions (or overflowing shifts) later.
     pub fn new(config: PpmConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid PPM configuration: {e}");
+        }
         let base = vec![1u8; 1 << config.base_bits];
         let tagged = config
             .history_lengths
@@ -115,7 +167,7 @@ impl PpmPredictor {
     fn tag_of(&self, pc: Addr, table: usize) -> u16 {
         let hist = self.fold_history(self.config.history_lengths[table], self.config.tag_bits);
         let t = (pc >> 2) ^ (hist << 1) ^ (pc >> 11);
-        (t as u16) & ((1u16 << self.config.tag_bits) - 1)
+        (t as u16) & tag_mask(self.config.tag_bits)
     }
 
     fn base_index(&self, pc: Addr) -> usize {
@@ -256,6 +308,40 @@ mod tests {
         }
         assert!(p.predict(0x100));
         assert!(!p.predict(0x204));
+    }
+
+    #[test]
+    fn full_width_tags_do_not_overflow_the_mask_shift() {
+        // tag_bits == 16 used to evaluate `(1u16 << 16) - 1`: a panic in
+        // debug builds.  The predictor must construct and train normally.
+        let mut cfg = PpmConfig::tiny();
+        cfg.tag_bits = 16;
+        let mut p = PpmPredictor::new(cfg);
+        for i in 0..64u64 {
+            p.update(0x100 + (i % 4) * 8, i % 3 != 0);
+        }
+        let _ = p.predict(0x100);
+        assert_eq!(tag_mask(16), u16::MAX);
+        assert_eq!(tag_mask(8), 0xFF);
+        assert_eq!(tag_mask(1), 0x01);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_at_construction() {
+        for (mutate, what) in [
+            ((|c: &mut PpmConfig| c.tag_bits = 0) as fn(&mut PpmConfig), "tag_bits"),
+            (|c| c.tag_bits = 17, "tag_bits"),
+            (|c| c.base_bits = 0, "base_bits"),
+            (|c| c.tagged_bits = 40, "tagged_bits"),
+            (|c| c.history_lengths.clear(), "history length"),
+        ] {
+            let mut cfg = PpmConfig::tiny();
+            mutate(&mut cfg);
+            let err = cfg.validate().expect_err(what);
+            assert!(err.contains(what), "{what}: {err}");
+            let result = std::panic::catch_unwind(|| PpmPredictor::new(cfg.clone()));
+            assert!(result.is_err(), "{what} must be rejected at construction");
+        }
     }
 
     #[test]

@@ -13,9 +13,14 @@ use icfp_mem::{AccessOutcome, MemError, MemoryHierarchy, MshrId};
 use icfp_pipeline::{
     FetchEngine, IssueSchedule, PoisonMask, RunResult, RunStats, TimedRegFile,
 };
+use serde::{Deserialize, Serialize};
 
 /// The per-run execution context shared by all core models.
-#[derive(Debug)]
+///
+/// Every field is part of the checkpointable simulation state: the derived
+/// `Serialize`/`Deserialize` impls (vendored serde, declaration-order binary
+/// codec) are what `CoreEngine::save`/`restore` are built on.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Engine {
     /// Core configuration.
     pub cfg: CoreConfig,

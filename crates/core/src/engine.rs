@@ -21,10 +21,11 @@ use crate::sltp::SltpCore;
 use crate::Core;
 use icfp_isa::{Cycle, Trace};
 use icfp_pipeline::{RunResult, RunStats};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which core model a driver runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CoreModel {
     /// Vanilla in-order baseline.
     InOrder,
@@ -107,12 +108,44 @@ impl CoreModel {
     pub fn steps_incrementally(self) -> bool {
         matches!(self, CoreModel::Icfp)
     }
+
+    /// True if the model's timing depends on the slice-buffer configuration
+    /// axis (`CoreConfig::slice_buffer_entries` / `chain_table_entries`).
+    /// Only the slice-based designs (iCFP, SLTP) construct a slice buffer;
+    /// for the other models the axis is inert, which lets the sweep executor
+    /// warm-fork cells that differ only along it from one shared checkpoint
+    /// without changing any deterministic output.
+    pub fn reads_slice_buffer(self) -> bool {
+        matches!(self, CoreModel::Icfp | CoreModel::Sltp)
+    }
 }
 
 impl fmt::Display for CoreModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// A serialized engine state: everything needed to resume the run on a fresh
+/// engine of the same model, produced by [`CoreEngine::save`] and consumed by
+/// [`CoreEngine::restore`].
+///
+/// `bytes` is the model-specific state in the vendored-serde binary format
+/// (for the incremental iCFP model, the whole [`IcfpMachine`] including its
+/// register file, poison planes, slice/store buffers, caches, MSHRs, bus and
+/// prefetcher; for the whole-trace comparison models, the not-yet-drained run
+/// result, if any).  `cycle` and `processed` are duplicated outside the blob
+/// so drivers can label checkpoints without decoding them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Model that produced the snapshot.
+    pub model: CoreModel,
+    /// Simulated cycle at capture time.
+    pub cycle: Cycle,
+    /// Dynamic instructions whose first pass had been processed at capture.
+    pub processed: u64,
+    /// Model-specific serialized state.
+    pub bytes: Vec<u8>,
 }
 
 /// An object-safe, `Send` core engine: the uniform surface every driver
@@ -156,6 +189,29 @@ pub trait CoreEngine: Send {
     fn digest(&self, result: &RunResult) -> u64 {
         result.state_digest()
     }
+
+    /// Serializes the engine's complete simulation state.  Restoring the
+    /// snapshot into a fresh engine of the same model and continuing the run
+    /// is bit-identical (cycles, statistics, architectural state) to never
+    /// having paused.
+    ///
+    /// # Errors
+    ///
+    /// Fails after [`CoreEngine::drain`] — a drained engine no longer holds
+    /// resumable state.
+    fn save(&self) -> Result<EngineSnapshot, String>;
+
+    /// Replaces this engine's state with a snapshot from [`CoreEngine::save`].
+    ///
+    /// The engine must have been built for the same model *and
+    /// configuration* as the one that produced the snapshot (the snapshot
+    /// carries its own configuration; restoring onto a mismatched engine
+    /// replaces the configuration wholesale for the incremental models).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a model mismatch or an undecodable snapshot.
+    fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), String>;
 }
 
 /// [`CoreEngine`] adapter for the incremental [`IcfpMachine`].
@@ -213,6 +269,34 @@ impl CoreEngine for IcfpEngine {
         let result = machine.finish(trace);
         self.final_cycle = self.final_cycle.max(result.stats.cycles);
         result
+    }
+
+    fn save(&self) -> Result<EngineSnapshot, String> {
+        let machine = self
+            .machine
+            .as_ref()
+            .ok_or("cannot save a drained engine")?;
+        Ok(EngineSnapshot {
+            model: CoreModel::Icfp,
+            cycle: machine.cycle(),
+            processed: machine.processed() as u64,
+            bytes: serde::to_bytes(machine),
+        })
+    }
+
+    fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), String> {
+        if snapshot.model != CoreModel::Icfp {
+            return Err(format!(
+                "snapshot is for model {}, engine runs icfp",
+                snapshot.model
+            ));
+        }
+        let machine: IcfpMachine = serde::from_bytes(&snapshot.bytes)
+            .map_err(|e| format!("decoding icfp snapshot: {e}"))?;
+        self.machine = Some(machine);
+        self.final_cycle = 0;
+        self.final_processed = 0;
+        Ok(())
     }
 }
 
@@ -283,6 +367,36 @@ impl CoreEngine for WholeTraceEngine {
         self.final_cycle = result.stats.cycles;
         self.final_processed = result.stats.instructions as usize;
         result
+    }
+
+    fn save(&self) -> Result<EngineSnapshot, String> {
+        if self.drained {
+            return Err("cannot save a drained engine".into());
+        }
+        // Whole-trace models have exactly two resumable states: not started
+        // (the core itself is stateless until `run`) and finished-but-not-
+        // drained.  Both are captured by the optional result.
+        Ok(EngineSnapshot {
+            model: self.model,
+            cycle: self.cycle(),
+            processed: self.processed() as u64,
+            bytes: serde::to_bytes(&self.result),
+        })
+    }
+
+    fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), String> {
+        if snapshot.model != self.model {
+            return Err(format!(
+                "snapshot is for model {}, engine runs {}",
+                snapshot.model, self.model
+            ));
+        }
+        self.result = serde::from_bytes(&snapshot.bytes)
+            .map_err(|e| format!("decoding {} snapshot: {e}", self.model))?;
+        self.drained = false;
+        self.final_cycle = 0;
+        self.final_processed = 0;
+        Ok(())
     }
 }
 
@@ -399,6 +513,113 @@ mod tests {
             digests.windows(2).all(|w| w[0] == w[1]),
             "all models must agree on final state: {digests:?}"
         );
+    }
+
+    /// Longer trace with misses so the iCFP model has mid-episode state to
+    /// checkpoint (slice entries, pending rallies, poisoned registers).
+    fn missy_trace() -> Trace {
+        let mut b = TraceBuilder::new("engine-ckpt-test");
+        for k in 0..40u64 {
+            b.push(DynInst::load(Reg::int(1), Reg::int(1), 0x100000 + k * 0x4000));
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(2), Reg::int(1), 1));
+            b.push(DynInst::store(Reg::int(2), Reg::int(3), 0x8000 + k * 8));
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(4), Reg::int(5), k));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn save_restore_mid_run_is_bit_identical_for_every_model() {
+        let t = missy_trace();
+        for m in CoreModel::ALL {
+            let cfg = m.default_config();
+            // Uninterrupted reference run.
+            let reference = run_model(m, &cfg, &t);
+
+            // Interrupted run: step some work, snapshot, restore into a
+            // *fresh* engine, and finish there.
+            let mut first = m.engine(&cfg);
+            for _ in 0..25 {
+                if !first.step(&t) {
+                    break;
+                }
+            }
+            let snap = first.save().expect("save before drain");
+            assert_eq!(snap.model, m);
+            assert_eq!(snap.cycle, first.cycle());
+
+            let mut second = m.engine(&cfg);
+            second.restore(&snap).expect("restore");
+            assert_eq!(second.cycle(), first.cycle(), "{m}");
+            assert_eq!(second.processed(), first.processed(), "{m}");
+            let resumed = second.drain(&t);
+
+            assert_eq!(resumed.stats, reference.stats, "{m} stats diverged");
+            assert_eq!(resumed.final_regs, reference.final_regs, "{m}");
+            assert_eq!(resumed.final_mem, reference.final_mem, "{m}");
+            assert_eq!(
+                resumed.state_digest(),
+                reference.state_digest(),
+                "{m} digest diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn icfp_mid_episode_snapshot_resumes_exactly() {
+        // Checkpoint while an advance episode is active (slice entries live,
+        // rallies pending) — the hardest state to capture.
+        let t = missy_trace();
+        let cfg = CoreModel::Icfp.default_config();
+        let reference = run_model(CoreModel::Icfp, &cfg, &t);
+
+        let mut machine = crate::icfp::IcfpMachine::new(&cfg);
+        let mut snapped: Option<Vec<u8>> = None;
+        while machine.step(&t) {
+            if snapped.is_none() && machine.in_episode() {
+                // A few more steps so slice entries exist beyond the trigger.
+                for _ in 0..5 {
+                    if !machine.step(&t) {
+                        break;
+                    }
+                }
+                assert!(machine.in_episode(), "still mid-episode");
+                snapped = Some(serde::to_bytes(&machine));
+            }
+        }
+        let bytes = snapped.expect("the trace must enter an episode");
+        let resumed_machine: crate::icfp::IcfpMachine =
+            serde::from_bytes(&bytes).expect("decode mid-episode snapshot");
+        let mut m2 = resumed_machine;
+        while m2.step(&t) {}
+        let resumed = m2.finish(&t);
+        assert_eq!(resumed.stats, reference.stats);
+        assert_eq!(resumed.final_regs, reference.final_regs);
+        assert_eq!(resumed.final_mem, reference.final_mem);
+    }
+
+    #[test]
+    fn save_after_drain_and_model_mismatch_are_errors() {
+        let t = trace();
+        let cfg = CoreModel::Icfp.default_config();
+        let mut e = CoreModel::Icfp.engine(&cfg);
+        let snap = e.save().expect("fresh engine saves");
+        let _ = e.drain(&t);
+        assert!(e.save().is_err(), "drained engine must not save");
+
+        let mut other = CoreModel::InOrder.engine(&CoreModel::InOrder.default_config());
+        let err = other.restore(&snap).unwrap_err();
+        assert!(err.contains("icfp"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_snapshot_bytes_are_rejected() {
+        let cfg = CoreModel::Icfp.default_config();
+        let e = CoreModel::Icfp.engine(&cfg);
+        let mut snap = e.save().unwrap();
+        snap.bytes.truncate(snap.bytes.len() / 2);
+        let mut e2 = CoreModel::Icfp.engine(&cfg);
+        assert!(e2.restore(&snap).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::Core;
 use icfp_isa::{exec, Cycle, DynInst, InstSeq, OpClass, Trace, Value};
 use icfp_mem::MshrId;
 use icfp_pipeline::{PoisonAllocator, PoisonMask, RunResult};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The iCFP core: a thin [`Core`] wrapper around [`IcfpMachine`].
@@ -56,7 +57,7 @@ impl Core for IcfpCore {
 }
 
 /// A miss whose return will trigger a rally pass.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct PendingRally {
     mshr: MshrId,
     returns_at: Cycle,
@@ -70,7 +71,7 @@ struct PendingRally {
 /// Backed by a `HashMap` whose capacity is retained across rallies (cleared,
 /// not dropped, at episode boundaries), so steady-state rally passes perform
 /// O(1) lookups and no per-cycle allocation.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 struct SliceValues {
     vals: HashMap<usize, (Value, Cycle)>,
 }
@@ -145,6 +146,13 @@ impl IcfpMachine {
     /// The current simulated cycle (the in-order issue frontier).
     pub fn cycle(&self) -> Cycle {
         self.eng.frontier
+    }
+
+    /// True while the machine is inside an advance episode (misses pending or
+    /// slice entries active) — checkpoints taken here capture mid-episode
+    /// speculative state.
+    pub fn in_episode(&self) -> bool {
+        self.in_episode
     }
 
     /// Number of dynamic instructions whose first pass has been processed.
@@ -791,6 +799,49 @@ impl IcfpMachine {
         self.eng.stats.slice_peak = self.eng.stats.slice_peak.max(self.slice.peak() as u64);
         self.eng.stats.chain_hops = self.eng.stats.chain_hops.max(self.sbuf.total_excess_hops());
         self.eng.finish("icfp", trace)
+    }
+}
+
+/// Checkpoint codec for the machine: every *persistent* field is written in
+/// declaration order; the rally/drain scratch buffers are pure per-step
+/// staging (always drained before `step` returns) and are rebuilt empty, with
+/// their configured capacities, on restore.
+impl Serialize for IcfpMachine {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.eng.serialize(out);
+        self.slice.serialize(out);
+        self.sbuf.serialize(out);
+        self.palloc.serialize(out);
+        self.rallies.serialize(out);
+        self.producers.serialize(out);
+        self.slice_values.serialize(out);
+        self.i.serialize(out);
+        self.in_episode.serialize(out);
+        self.done.serialize(out);
+    }
+}
+
+impl Deserialize for IcfpMachine {
+    fn deserialize(r: &mut serde::Reader<'_>) -> Result<Self, serde::Error> {
+        let eng: Engine = Deserialize::deserialize(r)?;
+        let (slice_cap, store_cap) = (
+            eng.cfg.slice_buffer_entries,
+            eng.cfg.store_buffer_entries,
+        );
+        Ok(IcfpMachine {
+            eng,
+            slice: Deserialize::deserialize(r)?,
+            sbuf: Deserialize::deserialize(r)?,
+            palloc: Deserialize::deserialize(r)?,
+            rallies: Deserialize::deserialize(r)?,
+            producers: Deserialize::deserialize(r)?,
+            slice_values: Deserialize::deserialize(r)?,
+            rally_scratch: Vec::with_capacity(slice_cap),
+            drain_scratch: Vec::with_capacity(store_cap),
+            i: Deserialize::deserialize(r)?,
+            in_episode: Deserialize::deserialize(r)?,
+            done: Deserialize::deserialize(r)?,
+        })
     }
 }
 

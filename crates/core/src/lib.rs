@@ -58,7 +58,7 @@ pub mod storebuf;
 
 pub use common::Engine;
 pub use config::{AdvancePolicy, CoreConfig, IcfpFeatures, StoreBufferKind};
-pub use engine::{run_model, CoreEngine, CoreModel};
+pub use engine::{run_model, CoreEngine, CoreModel, EngineSnapshot};
 pub use icfp::{IcfpCore, IcfpMachine};
 pub use inorder::InOrderCore;
 pub use multipass::MultipassCore;

@@ -1,0 +1,78 @@
+//! The workspace's one FNV-1a 64 implementation.
+//!
+//! Several subsystems digest deterministic figures — final architectural
+//! state (`RunResult::state_digest`), sweep reports, trace identities,
+//! checkpoint containers.  They must all hash identically forever (digests
+//! are persisted in `BENCH_baseline.json` and `icfp-ckpt/v1` files), so the
+//! primitive lives here, in the crate every other crate already depends on,
+//! instead of being re-implemented per subsystem where one typo could
+//! silently fork a digest domain.
+
+/// Incremental FNV-1a 64 hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+        let mut h = Fnv1a::new();
+        h.write_u64(0x1122334455667788);
+        assert_eq!(h.finish(), fnv1a(&0x1122334455667788u64.to_le_bytes()));
+    }
+}

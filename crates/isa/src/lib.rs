@@ -27,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod exec;
 pub mod inst;
 pub mod reg;
 pub mod trace;
 
+pub use digest::{fnv1a, Fnv1a};
 pub use exec::{ArchState, FunctionalMemory};
 pub use inst::{DynInst, MemWidth, Op, OpClass};
 pub use reg::{Reg, RegClass, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};

@@ -6,12 +6,44 @@
 
 use crate::{DynInst, InstSeq, Op};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A finite dynamic instruction stream with pre-assigned sequence numbers.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     insts: Vec<DynInst>,
     name: String,
+    /// Cached content digest: computed on first [`Trace::digest`] call,
+    /// invalidated by mutation.  Excluded from equality and serialization —
+    /// it is derived state, and checkpoint resume validates against many
+    /// shared references to one trace (the cache is what makes that O(1)
+    /// after the first validation instead of O(len) per resume).
+    digest: OnceLock<u64>,
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        // The digest cache is derived state; two traces are equal iff their
+        // content is.
+        self.insts == other.insts && self.name == other.name
+    }
+}
+
+impl Serialize for Trace {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.insts.serialize(out);
+        self.name.serialize(out);
+    }
+}
+
+impl Deserialize for Trace {
+    fn deserialize(r: &mut serde::Reader<'_>) -> Result<Self, serde::Error> {
+        Ok(Trace {
+            insts: Deserialize::deserialize(r)?,
+            name: Deserialize::deserialize(r)?,
+            digest: OnceLock::new(),
+        })
+    }
 }
 
 impl Trace {
@@ -24,6 +56,7 @@ impl Trace {
         Trace {
             insts,
             name: name.into(),
+            digest: OnceLock::new(),
         }
     }
 
@@ -55,6 +88,29 @@ impl Trace {
     /// The instructions as a slice.
     pub fn as_slice(&self) -> &[DynInst] {
         &self.insts
+    }
+
+    /// FNV-1a digest of the trace's full content (name, length and every
+    /// instruction's serialized fields).  Checkpoints record it so a resume
+    /// against the wrong trace — or a differently seeded regeneration of the
+    /// "same" workload — is rejected instead of silently diverging.
+    ///
+    /// Computed once and cached: repeated calls (one per checkpoint capture
+    /// and per resume validation — warm-fork sweeps make many against one
+    /// shared trace) are O(1) after the first.
+    pub fn digest(&self) -> u64 {
+        *self.digest.get_or_init(|| {
+            let mut h = crate::Fnv1a::new();
+            h.write(self.name.as_bytes());
+            h.write_u64(self.insts.len() as u64);
+            let mut buf = Vec::with_capacity(64);
+            for inst in &self.insts {
+                buf.clear();
+                Serialize::serialize(inst, &mut buf);
+                h.write(&buf);
+            }
+            h.finish()
+        })
     }
 
     /// Summary statistics of the trace's instruction mix.
@@ -91,6 +147,7 @@ impl FromIterator<DynInst> for Trace {
 
 impl Extend<DynInst> for Trace {
     fn extend<T: IntoIterator<Item = DynInst>>(&mut self, iter: T) {
+        self.digest.take(); // content changes: drop the cached digest
         let base = self.insts.len() as InstSeq;
         for (i, mut inst) in iter.into_iter().enumerate() {
             inst.seq = base + i as InstSeq;
@@ -202,6 +259,7 @@ impl TraceBuilder {
         Trace {
             insts: self.insts,
             name: self.name,
+            digest: OnceLock::new(),
         }
     }
 }
@@ -275,5 +333,30 @@ mod tests {
         b.push(DynInst::nop());
         let t = b.build();
         assert_eq!(t.get(0).unwrap().pc, t.get(1).unwrap().pc);
+    }
+
+    #[test]
+    fn digest_is_content_addressed_and_cache_invalidates_on_extend() {
+        let build = |n: u64| {
+            let mut b = TraceBuilder::new("dig");
+            for k in 0..n {
+                b.push(DynInst::alu_imm(Op::Add, crate::Reg::int(1), crate::Reg::int(2), k));
+            }
+            b.build()
+        };
+        let a = build(5);
+        let b = build(5);
+        assert_eq!(a.digest(), b.digest(), "same content, same digest");
+        assert_eq!(a.digest(), a.digest(), "cached digest is stable");
+        assert_ne!(a.digest(), build(6).digest());
+        // Equality ignores the cache (b's digest not yet computed elsewhere).
+        assert_eq!(a, b);
+        // Mutation must drop the cached value.
+        let mut c = build(5);
+        let before = c.digest();
+        c.extend([DynInst::nop()]);
+        assert_ne!(c.digest(), before, "extend must invalidate the cache");
+        // A clone carries content (and possibly the cache) — digests agree.
+        assert_eq!(c.clone().digest(), c.digest());
     }
 }

@@ -7,10 +7,11 @@ use crate::mshr::{MshrFile, MshrId, MshrRequest};
 use crate::prefetch::StreamPrefetcher;
 use crate::stats::MemStats;
 use icfp_isa::{Addr, Cycle};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How a demand access was serviced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AccessOutcome {
     /// Hit in the L1 data cache (including hits under a pending fill).
     L1Hit,
@@ -94,7 +95,7 @@ impl std::error::Error for MemError {}
 /// The simulated memory hierarchy: L1 data cache, unified L2, MSHRs, memory
 /// bus/DRAM and stream prefetchers.  See the crate-level documentation for the
 /// timing model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemoryHierarchy {
     config: MemConfig,
     l1d: Cache,

@@ -24,7 +24,7 @@ pub struct FetchStats {
 
 /// The front end: fetch bandwidth, front-end depth, branch prediction and
 /// redirect handling.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct FetchEngine {
     width: usize,
     frontend_depth: u64,

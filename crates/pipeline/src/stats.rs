@@ -148,21 +148,15 @@ impl RunResult {
     /// FNV-1a digest of the final architectural state (registers + memory),
     /// for cheap determinism / cross-model equivalence checks.
     pub fn state_digest(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        let mut eat = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        };
+        let mut h = icfp_isa::Fnv1a::new();
         for &v in &self.final_regs {
-            eat(v);
+            h.write_u64(v);
         }
         for &(a, v) in &self.final_mem {
-            eat(a);
-            eat(v);
+            h.write_u64(a);
+            h.write_u64(v);
         }
-        h
+        h.finish()
     }
 }
 

@@ -1,19 +1,361 @@
-//! No-op `Serialize` / `Deserialize` derive macros.
+//! Real `Serialize` / `Deserialize` derive macros for the vendored `serde`.
 //!
-//! See `crates/serde` for why this exists.  The derives expand to nothing:
-//! the workspace only uses them as annotations, never through serde's trait
-//! machinery.
+//! This build environment is offline, so the workspace vendors a minimal
+//! serde (see `crates/serde`): a compact little-endian binary codec behind
+//! `Serialize` / `Deserialize` traits.  These derives generate field-by-field
+//! codec impls for the shapes the workspace actually uses:
+//!
+//! * structs with named fields (including empty ones),
+//! * tuple structs and unit structs,
+//! * enums whose variants are unit, tuple or struct-like (encoded as a
+//!   `u32` variant tag followed by the variant's fields).
+//!
+//! Generic types are intentionally unsupported (no annotated type in the
+//! workspace is generic); attempting to derive on one produces a compile
+//! error rather than a subtly wrong impl.  The parser works on the raw
+//! `proc_macro::TokenStream` — no `syn`/`quote`, which are unavailable
+//! offline — and the generated code spells every path absolutely
+//! (`::serde::...`, `::std::...`) so it expands correctly in any crate that
+//! depends on the vendored `serde`.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Expands to nothing.
+/// Derives `::serde::Serialize` (field-by-field binary encode).
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
 }
 
-/// Expands to nothing.
+/// Derives `::serde::Deserialize` (field-by-field binary decode).
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The shape of the fields of a struct or of one enum variant.
+enum Fields {
+    /// `{ a: T, b: U }` — the named fields in declaration order.
+    Named(Vec<String>),
+    /// `( T, U )` — the number of fields.
+    Tuple(usize),
+    /// No field list at all (`struct X;` / unit variant).
+    Unit,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated code must parse")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match ident_at(&tokens, i) {
+        Some(k) if k == "struct" || k == "enum" => k,
+        Some(other) => return Err(format!("cannot derive for `{other}` items")),
+        None => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = ident_at(&tokens, i).ok_or_else(|| "expected an item name".to_string())?;
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "cannot derive Serialize/Deserialize for generic type `{name}` \
+             (the vendored serde derives support only concrete types)"
+        ));
+    }
+
+    if kind == "struct" {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        Ok(Item::Struct { name, fields })
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err(format!("enum `{name}` has no body")),
+        };
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past outer attributes (`#[...]`, doc comments) and a leading
+/// visibility (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` (brace-struct bodies), returning the field names
+/// in declaration order.  Commas inside angle brackets (`HashMap<K, V>`) and
+/// inside groups do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i).ok_or_else(|| "expected a field name".to_string())?;
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        // `skip_type` stops at (and consumes) the separating comma, if any.
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple-struct/tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+/// Skips one type (or expression) up to — and including — the next top-level
+/// comma.  Tracks `<`/`>` nesting so generic arguments do not end the field,
+/// and steps over `->` as a unit so fn-pointer return arrows are not
+/// mistaken for closing angle brackets (which would desynchronize the depth
+/// and silently merge the next field into this type).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p)
+                if p.as_char() == '-'
+                    && matches!(tokens.get(*i + 1), Some(TokenTree::Punct(q)) if q.as_char() == '>') =>
+            {
+                *i += 1; // the '>' of '->' is consumed by the shared bump below
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i).ok_or_else(|| "expected a variant name".to_string())?;
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_type(&tokens, &mut i);
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => names
+                    .iter()
+                    .map(|f| format!("::serde::Serialize::serialize(&self.{f}, out);"))
+                    .collect::<String>(),
+                Fields::Tuple(n) => (0..*n)
+                    .map(|k| format!("::serde::Serialize::serialize(&self.{k}, out);"))
+                    .collect::<String>(),
+                Fields::Unit => String::new(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self, out: &mut ::std::vec::Vec<u8>) {{ {body} }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, (vname, fields)) in variants.iter().enumerate() {
+                let (pattern, writes) = match fields {
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let writes = names
+                            .iter()
+                            .map(|f| format!("::serde::Serialize::serialize({f}, out);"))
+                            .collect::<String>();
+                        (format!("{name}::{vname} {{ {binds} }}"), writes)
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let writes = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b}, out);"))
+                            .collect::<String>();
+                        (format!("{name}::{vname}({})", binds.join(", ")), writes)
+                    }
+                    Fields::Unit => (format!("{name}::{vname}"), String::new()),
+                };
+                arms.push_str(&format!(
+                    "{pattern} => {{ ::serde::Serialize::serialize(&{tag}u32, out); {writes} }}"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self, out: &mut ::std::vec::Vec<u8>) {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let de = "::serde::Deserialize::deserialize(r)?";
+    match item {
+        Item::Struct { name, fields } => {
+            let ctor = construct(name, fields, de);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn deserialize(r: &mut ::serde::Reader<'_>) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         ::std::result::Result::Ok({ctor})\
+                     }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, (vname, fields)) in variants.iter().enumerate() {
+                let ctor = construct(&format!("{name}::{vname}"), fields, de);
+                arms.push_str(&format!("{tag}u32 => {ctor},"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn deserialize(r: &mut ::serde::Reader<'_>) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         let tag: u32 = ::serde::Deserialize::deserialize(r)?;\
+                         ::std::result::Result::Ok(match tag {{\
+                             {arms}\
+                             _ => return ::std::result::Result::Err(\
+                                 ::serde::Error::invalid(\"enum variant tag\", r.position())),\
+                         }})\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
+
+/// A constructor expression for `path` with every field deserialized in
+/// declaration order (`de` is the per-field deserialize expression).
+fn construct(path: &str, fields: &Fields, de: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits = names
+                .iter()
+                .map(|f| format!("{f}: {de},"))
+                .collect::<String>();
+            format!("{path} {{ {inits} }}")
+        }
+        Fields::Tuple(n) => {
+            let inits = (0..*n).map(|_| format!("{de},")).collect::<String>();
+            format!("{path}({inits})")
+        }
+        Fields::Unit => path.to_string(),
+    }
 }

@@ -1,0 +1,291 @@
+//! The `icfp-ckpt/v1` checkpoint format.
+//!
+//! A [`SimCheckpoint`] captures a running [`Simulator`](crate::Simulator) —
+//! the core engine's complete serialized state (register file and poison
+//! planes, slice and store buffers, caches, MSHRs, bus, prefetcher,
+//! statistics) plus the identity of the trace it was simulating — so long
+//! runs can pause/resume and sweeps can fork many configurations from one
+//! warmed column.  Resuming and finishing a checkpointed run is bit-identical
+//! (cycles, statistics, state digest) to never having paused.
+//!
+//! ## On-disk container
+//!
+//! ```text
+//! offset  size  field
+//! 0       12    magic: the ASCII bytes "icfp-ckpt/v1"
+//! 12      8     payload length (u64 LE)
+//! 20      n     payload: SimCheckpoint in the vendored-serde binary format
+//! 20+n    8     FNV-1a digest of the payload (u64 LE)
+//! ```
+//!
+//! The digest is validated on load, the magic pins the format version, and
+//! the payload itself embeds the trace's name/length/digest — so a resume
+//! against corrupt bytes, a future incompatible format, or the wrong trace
+//! all fail loudly instead of silently diverging.
+
+use crate::SimConfig;
+use icfp_core::EngineSnapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Magic prefix of the on-disk container (also the format version).
+pub const CKPT_MAGIC: &[u8; 12] = b"icfp-ckpt/v1";
+
+/// A captured simulation: engine snapshot plus trace identity.  Produced by
+/// [`Simulator::checkpoint`](crate::Simulator::checkpoint), consumed by
+/// [`Simulator::resume`](crate::Simulator::resume).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimCheckpoint {
+    /// The simulator configuration (model + microarchitecture) of the run.
+    pub config: SimConfig,
+    /// Name of the trace the run was simulating.
+    pub workload: String,
+    /// Length of that trace in dynamic instructions.
+    pub trace_len: u64,
+    /// [`Trace::digest`](icfp_isa::Trace::digest) of that trace.
+    pub trace_digest: u64,
+    /// The engine's serialized state.
+    pub snapshot: EngineSnapshot,
+}
+
+/// Errors from checkpoint capture, encoding and resume.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CkptError {
+    /// `checkpoint()` was called on a simulator with no loaded trace.
+    NotLoaded,
+    /// The engine refused to save/restore (e.g. already drained, model
+    /// mismatch, undecodable snapshot bytes).
+    Engine(String),
+    /// The container does not start with [`CKPT_MAGIC`] (wrong file or a
+    /// future format version).
+    BadMagic,
+    /// The container is shorter than its header/length field promises.
+    Truncated,
+    /// The payload digest does not match — the bytes were corrupted.
+    DigestMismatch {
+        /// Digest recorded in the container.
+        expected: u64,
+        /// Digest of the payload actually present.
+        found: u64,
+    },
+    /// The payload digest matched but the payload did not decode (internal
+    /// inconsistency or a hand-edited file).
+    Decode(String),
+    /// `resume()` was handed a trace that is not the one the checkpoint was
+    /// taken against.
+    TraceMismatch {
+        /// Trace identity recorded in the checkpoint.
+        expected: String,
+        /// Identity of the trace supplied to `resume`.
+        found: String,
+    },
+    /// Filesystem error while reading/writing a checkpoint file.
+    Io(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::NotLoaded => write!(f, "no trace loaded; nothing to checkpoint"),
+            CkptError::Engine(e) => write!(f, "engine snapshot: {e}"),
+            CkptError::BadMagic => {
+                write!(f, "not an icfp-ckpt/v1 container (bad magic)")
+            }
+            CkptError::Truncated => write!(f, "checkpoint container is truncated"),
+            CkptError::DigestMismatch { expected, found } => write!(
+                f,
+                "checkpoint payload digest mismatch (recorded {expected:#018x}, found {found:#018x})"
+            ),
+            CkptError::Decode(e) => write!(f, "checkpoint payload does not decode: {e}"),
+            CkptError::TraceMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken against trace {expected}, resume got {found}"
+            ),
+            CkptError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+use icfp_isa::fnv1a;
+
+impl SimCheckpoint {
+    /// Encodes the checkpoint as an `icfp-ckpt/v1` container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = serde::to_bytes(self);
+        let mut out = Vec::with_capacity(CKPT_MAGIC.len() + 16 + payload.len());
+        out.extend_from_slice(CKPT_MAGIC);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let digest = fnv1a(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&digest.to_le_bytes());
+        out
+    }
+
+    /// Decodes an `icfp-ckpt/v1` container, validating magic, length and
+    /// payload digest.
+    ///
+    /// # Errors
+    ///
+    /// See [`CkptError`] — every malformation is distinguished.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        if bytes.len() < CKPT_MAGIC.len() + 8 {
+            return if bytes.starts_with(&CKPT_MAGIC[..bytes.len().min(CKPT_MAGIC.len())]) {
+                Err(CkptError::Truncated)
+            } else {
+                Err(CkptError::BadMagic)
+            };
+        }
+        let (magic, rest) = bytes.split_at(CKPT_MAGIC.len());
+        if magic != CKPT_MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let (len_bytes, rest) = rest.split_at(8);
+        let payload_len = u64::from_le_bytes(len_bytes.try_into().expect("8 bytes"));
+        // Compare in u64 without adding to the (possibly hostile, near-MAX)
+        // recorded length — `payload_len + 8` could overflow.
+        if (rest.len() as u64) < 8 || (rest.len() as u64) - 8 < payload_len {
+            return Err(CkptError::Truncated);
+        }
+        let payload_len = payload_len as usize;
+        let (payload, tail) = rest.split_at(payload_len);
+        let expected = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
+        let found = fnv1a(payload);
+        if found != expected {
+            return Err(CkptError::DigestMismatch { expected, found });
+        }
+        serde::from_bytes(payload).map_err(|e| CkptError::Decode(e.to_string()))
+    }
+
+    /// Writes the container to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] on filesystem failure.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), CkptError> {
+        std::fs::write(path.as_ref(), self.to_bytes())
+            .map_err(|e| CkptError::Io(format!("{}: {e}", path.as_ref().display())))
+    }
+
+    /// Reads and validates a container from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] on filesystem failure, or any
+    /// [`SimCheckpoint::from_bytes`] validation error.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Self, CkptError> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| CkptError::Io(format!("{}: {e}", path.as_ref().display())))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreModel, SimConfig, Simulator};
+    use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+
+    fn trace() -> icfp_isa::Trace {
+        let mut b = TraceBuilder::new("ckpt-test");
+        for k in 0..30u64 {
+            b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x100000 + k * 0x4000));
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), 1));
+            b.push(DynInst::store(Reg::int(3), Reg::int(4), 0x8000 + k * 8));
+        }
+        b.build()
+    }
+
+    fn checkpoint_mid_run() -> (SimCheckpoint, icfp_isa::Trace) {
+        let t = trace();
+        let mut sim = Simulator::new(SimConfig::new(CoreModel::Icfp));
+        sim.load(t.clone());
+        assert!(sim.advance_to_inst(t.len() / 2));
+        (sim.checkpoint().expect("mid-run checkpoint"), t)
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let (ck, _) = checkpoint_mid_run();
+        let bytes = ck.to_bytes();
+        assert!(bytes.starts_with(CKPT_MAGIC));
+        let back = SimCheckpoint::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let (ck, _) = checkpoint_mid_run();
+        let mut bytes = ck.to_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(SimCheckpoint::from_bytes(&bytes), Err(CkptError::BadMagic));
+        assert_eq!(SimCheckpoint::from_bytes(b"xx"), Err(CkptError::BadMagic));
+    }
+
+    #[test]
+    fn corruption_is_caught_by_the_payload_digest() {
+        let (ck, _) = checkpoint_mid_run();
+        let mut bytes = ck.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        match SimCheckpoint::from_bytes(&bytes) {
+            Err(CkptError::DigestMismatch { .. }) => {}
+            other => panic!("expected digest mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let (ck, _) = checkpoint_mid_run();
+        let bytes = ck.to_bytes();
+        for cut in [CKPT_MAGIC.len(), bytes.len() - 1, bytes.len() - 9] {
+            assert_eq!(
+                SimCheckpoint::from_bytes(&bytes[..cut]),
+                Err(CkptError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_field_is_an_error_not_a_panic() {
+        // magic + length u64::MAX + some tail: `len + 8` must not overflow.
+        let mut bytes = CKPT_MAGIC.to_vec();
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert_eq!(SimCheckpoint::from_bytes(&bytes), Err(CkptError::Truncated));
+        // A merely-too-large (non-overflowing) length is also truncation.
+        let mut bytes = CKPT_MAGIC.to_vec();
+        bytes.extend_from_slice(&1_000_000u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        assert_eq!(SimCheckpoint::from_bytes(&bytes), Err(CkptError::Truncated));
+    }
+
+    #[test]
+    fn file_round_trip_via_tempdir() {
+        let (ck, _) = checkpoint_mid_run();
+        let path = std::env::temp_dir().join(format!(
+            "icfp-ckpt-test-{}.ckpt",
+            std::process::id()
+        ));
+        ck.write_file(&path).expect("write");
+        let back = SimCheckpoint::read_file(&path).expect("read");
+        assert_eq!(back, ck);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_the_wrong_trace() {
+        let (ck, _) = checkpoint_mid_run();
+        let mut b = TraceBuilder::new("ckpt-test"); // same name, different body
+        for _ in 0..10 {
+            b.push(DynInst::nop());
+        }
+        match Simulator::resume(&ck, b.build()) {
+            Err(CkptError::TraceMismatch { .. }) => {}
+            other => panic!("expected trace mismatch, got {other:?}"),
+        }
+    }
+}

@@ -26,16 +26,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use icfp_core::{CoreEngine, CoreModel};
+pub mod ckpt;
+
+pub use ckpt::{CkptError, SimCheckpoint};
+pub use icfp_core::{CoreEngine, CoreModel, EngineSnapshot};
 
 use icfp_core::CoreConfig;
 use icfp_isa::{Cycle, Trace};
 use icfp_pipeline::RunResult;
+use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of a [`Simulator`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Core model to drive.
     pub core: CoreModel,
@@ -146,14 +151,6 @@ impl SimReport {
     }
 }
 
-/// FNV-1a over the final architectural state of a run.
-///
-/// Retained as a free function for existing callers; the digest itself lives
-/// on [`RunResult::state_digest`] so every layer computes it identically.
-pub fn state_digest(r: &RunResult) -> u64 {
-    r.state_digest()
-}
-
 /// Runs `trace` under `config`: one untimed warmup (host caches, branch
 /// history, allocator), then `reps` timed repetitions, returning the run
 /// with the *median* host time.  Median-of-N is robust to one-sided host
@@ -195,10 +192,11 @@ pub enum StepStatus {
 enum Backend {
     Idle,
     /// An engine from the registry plus the loaded trace and accumulated host
-    /// simulation time.
+    /// simulation time.  The trace is reference-counted so sweep columns can
+    /// share one decoded arena across many concurrent simulators.
     Loaded {
         engine: Box<dyn CoreEngine>,
-        trace: Trace,
+        trace: Arc<Trace>,
         host_seconds: f64,
     },
 }
@@ -236,10 +234,13 @@ impl Simulator {
     /// Loads a trace for batched stepping.  The iCFP model steps
     /// incrementally; the other models — whole-trace designs — simulate to
     /// completion on the first [`Simulator::step_n`] call.
-    pub fn load(&mut self, trace: Trace) {
+    ///
+    /// Accepts an owned [`Trace`] or an `Arc<Trace>`; passing the `Arc`
+    /// shares one decoded instruction arena across simulators (sweep columns).
+    pub fn load(&mut self, trace: impl Into<Arc<Trace>>) {
         self.backend = Backend::Loaded {
             engine: self.config.core.engine(&self.config.cfg),
-            trace,
+            trace: trace.into(),
             host_seconds: 0.0,
         };
     }
@@ -288,6 +289,111 @@ impl Simulator {
         let result = engine.drain(&trace);
         host_seconds += t1.elapsed().as_secs_f64();
         StepStatus::Done(Box::new(SimReport::from_result(result, host_seconds)))
+    }
+
+    /// Advances the loaded run until at least `target` dynamic instructions
+    /// have been processed (first pass), or the engine has fully stepped the
+    /// trace, whichever comes first.  Unlike [`Simulator::step_n`] this never
+    /// drains the engine, so a [`Simulator::checkpoint`] can follow — this is
+    /// the warm-fork primitive the sweep executor builds on.
+    ///
+    /// Returns `true` while the engine still has work (more instructions or
+    /// pending rallies), `false` once fully stepped (still undrained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trace is loaded.
+    pub fn advance_to_inst(&mut self, target: usize) -> bool {
+        let Backend::Loaded {
+            engine,
+            trace,
+            host_seconds,
+        } = &mut self.backend
+        else {
+            panic!("advance_to_inst without a loaded trace; call Simulator::load first");
+        };
+        let t0 = Instant::now();
+        let mut alive = true;
+        while engine.processed() < target {
+            if !engine.step(trace) {
+                alive = false;
+                break;
+            }
+        }
+        *host_seconds += t0.elapsed().as_secs_f64();
+        alive
+    }
+
+    /// Captures the loaded run as a [`SimCheckpoint`]: the engine's complete
+    /// serialized state plus the identity (name, length, digest) of the trace
+    /// it was simulating.  The simulator keeps running — checkpointing is
+    /// non-destructive.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no trace is loaded or the engine cannot serialize (already
+    /// drained).
+    pub fn checkpoint(&self) -> Result<SimCheckpoint, CkptError> {
+        let Backend::Loaded { engine, trace, .. } = &self.backend else {
+            return Err(CkptError::NotLoaded);
+        };
+        let snapshot = engine.save().map_err(CkptError::Engine)?;
+        Ok(SimCheckpoint {
+            config: self.config.clone(),
+            workload: trace.name().to_string(),
+            trace_len: trace.len() as u64,
+            trace_digest: trace.digest(),
+            snapshot,
+        })
+    }
+
+    /// Reconstructs a loaded simulator from a checkpoint and the trace it was
+    /// taken against.  Continuing the run (via [`Simulator::step_n`] /
+    /// [`Simulator::advance_to_inst`]) produces cycle counts, statistics and
+    /// state digests bit-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the trace's name, length or digest do not match what the
+    /// checkpoint recorded, or if the snapshot cannot be restored.
+    pub fn resume(
+        ckpt: &SimCheckpoint,
+        trace: impl Into<Arc<Trace>>,
+    ) -> Result<Simulator, CkptError> {
+        let trace: Arc<Trace> = trace.into();
+        if trace.name() != ckpt.workload
+            || trace.len() as u64 != ckpt.trace_len
+            || trace.digest() != ckpt.trace_digest
+        {
+            return Err(CkptError::TraceMismatch {
+                expected: format!("{} ({} insts, {:#018x})", ckpt.workload, ckpt.trace_len, ckpt.trace_digest),
+                found: format!("{} ({} insts, {:#018x})", trace.name(), trace.len(), trace.digest()),
+            });
+        }
+        let mut engine = ckpt.config.core.engine(&ckpt.config.cfg);
+        engine.restore(&ckpt.snapshot).map_err(CkptError::Engine)?;
+        Ok(Simulator {
+            config: ckpt.config.clone(),
+            backend: Backend::Loaded {
+                engine,
+                trace,
+                host_seconds: 0.0,
+            },
+        })
+    }
+
+    /// Runs the loaded trace to completion and returns the final report
+    /// (convenience wrapper over [`Simulator::step_n`] with an unbounded
+    /// budget — used after [`Simulator::resume`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trace is loaded.
+    pub fn finish_loaded(&mut self) -> SimReport {
+        match self.step_n(Cycle::MAX) {
+            StepStatus::Done(r) => *r,
+            StepStatus::Running { .. } => unreachable!("unbounded budget must finish"),
+        }
     }
 
     /// True if a batched run is in progress.

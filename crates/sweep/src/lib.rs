@@ -19,24 +19,43 @@
 //!   state digest) with a deterministic [`SweepReport::digest`], a
 //!   `BENCH_sweep.json` serializer and an aligned text matrix renderer.
 //!
-//! `icfp-bench --sweep` is the CLI front end.
+//! ## Shared traces and warm-forking
+//!
+//! Every cell of a workload column simulates the identical trace, so the
+//! executor decodes each column's trace **once** into an `Arc<Trace>` shared
+//! by all of that column's jobs — large grids no longer pay per-job trace
+//! generation or hold per-job copies.
+//!
+//! With [`SweepSpec::warm_fork`] enabled, jobs are additionally grouped so
+//! that cells whose deterministic inputs are provably identical — same
+//! model, same workload trace, and configurations that differ only along
+//! axes the model never reads (see [`CoreModel::reads_slice_buffer`]) — run
+//! as one *fork group*: the group leader runs to the column's halfway
+//! instruction, captures a [`icfp_sim::SimCheckpoint`] (a mid-trace state
+//! for the incremental iCFP model; the finished, undrained run for the
+//! whole-trace models, which complete on their first step), finishes its
+//! own run, and every member resumes from that checkpoint instead of
+//! re-simulating from cycle zero.  Because checkpoint resume is
+//! bit-identical to an uninterrupted run,
+//! the warm-fork report's deterministic fields (cycles, IPC, MPKI, state
+//! digests — everything in [`SweepReport::digest`]) equal the cold run's
+//! exactly, serial or threaded; only the advisory host-time figures change.
+//!
+//! `icfp-bench --sweep` (with `--warm-fork`) is the CLI front end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use icfp_core::{CoreConfig, CoreModel};
-use icfp_sim::SimConfig;
+use icfp_isa::Trace;
+use icfp_sim::{SimConfig, SimReport, Simulator};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 
-/// FNV-1a over a byte slice (the digest primitive used throughout).
-fn fnv1a(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(0x100_0000_01b3);
-    }
-}
+use icfp_isa::Fnv1a;
 
 /// One splitmix64 scramble step (for deriving per-workload trace seeds).
 fn splitmix(x: u64) -> u64 {
@@ -65,6 +84,11 @@ pub struct SweepSpec {
     pub seed: u64,
     /// Timing repetitions per cell (the median host time is reported).
     pub reps: u32,
+    /// Warm-fork execution: fork groups of equivalent cells resume from one
+    /// checkpoint per group instead of re-simulating from cycle zero (see the
+    /// crate docs).  Deterministic outputs are unchanged; host-time figures
+    /// measure only the work actually performed.
+    pub warm_fork: bool,
 }
 
 impl SweepSpec {
@@ -80,6 +104,7 @@ impl SweepSpec {
             insts,
             seed,
             reps: 1,
+            warm_fork: false,
         }
     }
 
@@ -114,12 +139,7 @@ impl SweepSpec {
             return Err("sweep spec has a zero instruction budget".into());
         }
         for w in &self.workloads {
-            if icfp_workloads::by_name(w, 1, 0).is_none() {
-                return Err(format!(
-                    "unknown workload {w:?}; valid workloads: {}",
-                    icfp_workloads::STANDARD_NAMES.join(", ")
-                ));
-            }
+            icfp_workloads::by_name_or_err(w, 1, 0)?;
         }
         Ok(())
     }
@@ -128,9 +148,7 @@ impl SweepSpec {
     /// the spec seed and the workload name, so every cell in the column
     /// simulates the identical trace regardless of job order or thread count.
     pub fn workload_seed(&self, workload: &str) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        fnv1a(&mut h, workload.as_bytes());
-        splitmix(self.seed ^ h)
+        splitmix(self.seed ^ icfp_isa::fnv1a(workload.as_bytes()))
     }
 
     /// Expands the grid into jobs, in deterministic row-major order
@@ -185,29 +203,63 @@ pub struct SweepJob {
 }
 
 impl SweepJob {
-    /// Executes the job: generates the trace and runs it through the shared
-    /// warmup + median-of-N timing protocol ([`icfp_sim::median_run`]).
+    /// Executes the job standalone: generates its trace and runs it through
+    /// the shared warmup + median-of-N timing protocol
+    /// ([`icfp_sim::median_run`]).
     pub fn run(&self) -> SweepCell {
         let trace = icfp_workloads::by_name(&self.workload, self.insts, self.seed)
             .expect("workload validated by SweepSpec::validate");
+        self.run_with_trace(&trace)
+    }
+
+    /// Executes the job against an already generated trace (the executor
+    /// shares one `Arc<Trace>` per workload column across the pool).
+    pub fn run_with_trace(&self, trace: &Trace) -> SweepCell {
         let config = SimConfig::with_config(self.model, self.config.clone());
-        let median = icfp_sim::median_run(&config, &trace, self.reps);
+        let median = icfp_sim::median_run(&config, trace, self.reps);
+        self.cell_from_report(&median)
+    }
+
+    /// Builds this job's cell from a finished report (the configuration
+    /// labels come from the job; the figures from the report).
+    fn cell_from_report(&self, report: &SimReport) -> SweepCell {
         SweepCell {
-            model: median.core.clone(),
-            workload: median.workload.clone(),
+            model: report.core.clone(),
+            workload: report.workload.clone(),
             slice_buffer_entries: self.config.slice_buffer_entries,
             mshr_count: self.config.mem.max_outstanding_misses,
             l2_hit_latency: self.config.mem.l2_hit_latency,
             seed: self.seed,
-            instructions: median.instructions,
-            cycles: median.cycles,
-            ipc: median.ipc,
-            l1d_mpki: median.l1d_mpki,
-            l2_mpki: median.l2_mpki,
-            host_seconds: median.host_seconds,
-            mips: median.mips,
-            state_digest: median.state_digest,
+            instructions: report.instructions,
+            cycles: report.cycles,
+            ipc: report.ipc,
+            l1d_mpki: report.l1d_mpki,
+            l2_mpki: report.l2_mpki,
+            host_seconds: report.host_seconds,
+            mips: report.mips,
+            state_digest: report.state_digest,
         }
+    }
+
+    /// The job's *fork key*: two jobs may share one warm-fork checkpoint iff
+    /// their keys are byte-identical — same model, workload, seed and
+    /// instruction budget, and configurations equal after normalizing the
+    /// axes this model never reads.  Keys are the vendored-serde encoding of
+    /// exactly those inputs, so equality is equality of deterministic inputs.
+    fn fork_key(&self) -> Vec<u8> {
+        let mut cfg = self.config.clone();
+        if !self.model.reads_slice_buffer() {
+            // The slice-buffer axis is inert for this model: cells differing
+            // only along it run the identical simulation.
+            cfg.slice_buffer_entries = 0;
+            cfg.chain_table_entries = 0;
+        }
+        serde::to_bytes(&(
+            self.model.name().to_string(),
+            self.workload.clone(),
+            (self.seed, self.insts as u64),
+            serde::to_bytes(&cfg),
+        ))
     }
 }
 
@@ -247,9 +299,9 @@ pub struct SweepCell {
 impl SweepCell {
     /// Folds the cell's *deterministic* fields (timing-model outputs, not
     /// host timing) into an FNV-1a accumulator.
-    fn fold_digest(&self, h: &mut u64) {
-        fnv1a(h, self.model.as_bytes());
-        fnv1a(h, self.workload.as_bytes());
+    fn fold_digest(&self, h: &mut Fnv1a) {
+        h.write(self.model.as_bytes());
+        h.write(self.workload.as_bytes());
         for v in [
             self.slice_buffer_entries as u64,
             self.mshr_count as u64,
@@ -259,7 +311,7 @@ impl SweepCell {
             self.cycles,
             self.state_digest,
         ] {
-            fnv1a(h, &v.to_le_bytes());
+            h.write_u64(v);
         }
     }
 }
@@ -270,6 +322,9 @@ pub struct SweepReport {
     /// Worker threads the sweep ran on (1 = serial; excluded from the
     /// digest — parallelism must not change results).
     pub threads: usize,
+    /// Whether the sweep executed in warm-fork mode (excluded from the
+    /// digest — forking must not change deterministic results).
+    pub warm_fork: bool,
     /// Instruction budget per trace.
     pub insts: usize,
     /// The spec's base seed.
@@ -285,14 +340,14 @@ impl SweepReport {
     /// sweeps of the same spec — serial or on any number of threads — must
     /// produce byte-identical digests.
     pub fn digest(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        fnv1a(&mut h, &(self.cells.len() as u64).to_le_bytes());
-        fnv1a(&mut h, &(self.insts as u64).to_le_bytes());
-        fnv1a(&mut h, &self.seed.to_le_bytes());
+        let mut h = Fnv1a::new();
+        h.write_u64(self.cells.len() as u64);
+        h.write_u64(self.insts as u64);
+        h.write_u64(self.seed);
         for c in &self.cells {
             c.fold_digest(&mut h);
         }
-        h
+        h.finish()
     }
 
     /// Aggregate throughput over the sweep: total simulated instructions per
@@ -314,6 +369,7 @@ impl SweepReport {
         s.push_str("{\n");
         let _ = writeln!(s, "  \"schema\": \"icfp-sweep/v1\",");
         let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"warm_fork\": {},", self.warm_fork);
         let _ = writeln!(s, "  \"insts\": {},", self.insts);
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
         let _ = writeln!(s, "  \"reps\": {},", self.reps);
@@ -402,9 +458,103 @@ impl SweepReport {
     }
 }
 
+/// A set of jobs executed from one simulation: the leader (first, lowest
+/// expand index) runs — in warm-fork mode checkpointing at the column's
+/// halfway point — and every member resumes from the leader's checkpoint.
+struct ForkGroup {
+    /// Expand indices, leader first (ascending).
+    jobs: Vec<usize>,
+}
+
+/// Groups jobs by [`SweepJob::fork_key`] (warm-fork mode) or one group per
+/// job (cold mode).  Group order follows the leaders' expand order, so the
+/// plan — and therefore every deterministic output — is independent of
+/// thread count and scheduling.
+fn plan_groups(spec: &SweepSpec, jobs: &[SweepJob]) -> Vec<ForkGroup> {
+    if !spec.warm_fork {
+        return jobs
+            .iter()
+            .map(|j| ForkGroup { jobs: vec![j.index] })
+            .collect();
+    }
+    let mut by_key: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut groups: Vec<ForkGroup> = Vec::new();
+    for job in jobs {
+        match by_key.entry(job.fork_key()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                groups[*e.get()].jobs.push(job.index);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(groups.len());
+                groups.push(ForkGroup {
+                    jobs: vec![job.index],
+                });
+            }
+        }
+    }
+    groups
+}
+
+/// Executes one warm-fork group.
+///
+/// Singleton groups — cells nothing else can share — keep the cold path
+/// (warmup + median-of-reps timing) and pay no checkpoint.  Groups with
+/// members fork: the leader advances to the column's halfway instruction,
+/// checkpoints, finishes; each member resumes from the checkpoint.  For the
+/// incremental iCFP model that is a genuine mid-trace state (this arises
+/// when a grid repeats a configuration); for the whole-trace comparison
+/// models — today's only source of multi-member groups, via the inert slice
+/// axis — the first step simulates the entire trace, so the checkpoint
+/// captures the *finished, undrained* run and members replay its result
+/// rather than re-simulating.  Either way the checkpoint round-trip is
+/// bit-identical to an uninterrupted run and members share the leader's
+/// fork key (identical deterministic inputs), so every produced cell equals
+/// its cold-run counterpart in all digested fields.  Host-time figures of
+/// forked cells are single-run estimates: each member is charged the
+/// group's shared pre-checkpoint wall time plus its own post-resume time,
+/// so its MIPS approximates a whole-trace rate instead of counting every
+/// instruction against a fraction of the work.
+fn run_fork_group(
+    jobs: &[SweepJob],
+    group: &ForkGroup,
+    trace: &Arc<Trace>,
+) -> Vec<(usize, SweepCell)> {
+    let leader = &jobs[group.jobs[0]];
+    if group.jobs.len() == 1 {
+        return vec![(leader.index, leader.run_with_trace(trace))];
+    }
+    let mut sim = Simulator::new(SimConfig::with_config(leader.model, leader.config.clone()));
+    sim.load(Arc::clone(trace));
+    let t0 = std::time::Instant::now();
+    sim.advance_to_inst(trace.len() / 2);
+    let front_seconds = t0.elapsed().as_secs_f64();
+    let ckpt = sim
+        .checkpoint()
+        .expect("engine is loaded and not drained at the fork point");
+    let mut cells = Vec::with_capacity(group.jobs.len());
+    let leader_report = sim.finish_loaded();
+    cells.push((leader.index, leader.cell_from_report(&leader_report)));
+    for &member in &group.jobs[1..] {
+        let mut resumed = Simulator::resume(&ckpt, Arc::clone(trace))
+            .expect("resuming against the checkpoint's own trace");
+        let mut report = resumed.finish_loaded();
+        report.host_seconds += front_seconds;
+        report.mips = if report.host_seconds > 0.0 {
+            report.instructions as f64 / report.host_seconds / 1.0e6
+        } else {
+            0.0
+        };
+        cells.push((member, jobs[member].cell_from_report(&report)));
+    }
+    cells
+}
+
 /// Executes a sweep on `threads` worker threads (1 = serial, in the calling
-/// thread).  The report's cells are in [`SweepSpec::expand`] order and its
-/// digest is independent of `threads`.
+/// thread).  Each workload column's trace is generated once and shared via
+/// `Arc` across every job; with [`SweepSpec::warm_fork`] set, fork groups of
+/// equivalent cells resume from one checkpoint per group.  The report's
+/// cells are in [`SweepSpec::expand`] order and its digest is independent of
+/// `threads` and of warm-forking.
 ///
 /// # Errors
 ///
@@ -413,42 +563,72 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, String
     spec.validate()?;
     let jobs = spec.expand();
     let n = jobs.len();
-    let workers = threads.clamp(1, n.max(1));
+
+    // One decoded trace per workload column, shared by reference everywhere.
+    let mut traces: HashMap<&str, Arc<Trace>> = HashMap::new();
+    for w in &spec.workloads {
+        traces.entry(w.as_str()).or_insert_with(|| {
+            Arc::new(
+                icfp_workloads::by_name(w, spec.insts, spec.workload_seed(w))
+                    .expect("workload validated by SweepSpec::validate"),
+            )
+        });
+    }
+
+    let groups = plan_groups(spec, &jobs);
+    let num_groups = groups.len();
+    let workers = threads.clamp(1, num_groups.max(1));
     let mut cells: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
 
+    let run_group = |k: usize| -> Vec<(usize, SweepCell)> {
+        let group = &groups[k];
+        let leader = &jobs[group.jobs[0]];
+        let trace = &traces[leader.workload.as_str()];
+        if spec.warm_fork {
+            run_fork_group(&jobs, group, trace)
+        } else {
+            vec![(leader.index, leader.run_with_trace(trace))]
+        }
+    };
+
     if workers == 1 {
-        for (k, job) in jobs.iter().enumerate() {
-            cells[k] = Some(job.run());
+        for k in 0..num_groups {
+            for (idx, cell) in run_group(k) {
+                cells[idx] = Some(cell);
+            }
         }
     } else {
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, SweepCell)>();
+        let (tx, rx) = mpsc::channel::<Vec<(usize, SweepCell)>>();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
-                let jobs = &jobs;
+                let run_group = &run_group;
                 scope.spawn(move || loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= n {
+                    if k >= num_groups {
                         break;
                     }
                     // A send only fails if the receiver is gone (sweep
                     // abandoned): stop pulling work.
-                    if tx.send((k, jobs[k].run())).is_err() {
+                    if tx.send(run_group(k)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
-            for (k, cell) in rx {
-                cells[k] = Some(cell);
+            for batch in rx {
+                for (idx, cell) in batch {
+                    cells[idx] = Some(cell);
+                }
             }
         });
     }
 
     Ok(SweepReport {
         threads: workers,
+        warm_fork: spec.warm_fork,
         insts: spec.insts,
         seed: spec.seed,
         reps: spec.reps.max(1),
@@ -546,6 +726,74 @@ mod tests {
             assert_eq!(cs.ipc, cp.ipc);
             assert_eq!(cs.state_digest, cp.state_digest);
         }
+    }
+
+    /// Per-cell deterministic fields (everything in the digest) must match.
+    fn assert_deterministically_equal(a: &SweepReport, b: &SweepReport) {
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.model, cb.model);
+            assert_eq!(ca.workload, cb.workload);
+            assert_eq!(ca.slice_buffer_entries, cb.slice_buffer_entries);
+            assert_eq!(ca.mshr_count, cb.mshr_count);
+            assert_eq!(ca.l2_hit_latency, cb.l2_hit_latency);
+            assert_eq!(ca.seed, cb.seed);
+            assert_eq!(ca.instructions, cb.instructions);
+            assert_eq!(ca.cycles, cb.cycles, "{} {}", ca.model, ca.workload);
+            assert_eq!(ca.ipc, cb.ipc);
+            assert_eq!(ca.l1d_mpki, cb.l1d_mpki);
+            assert_eq!(ca.l2_mpki, cb.l2_mpki);
+            assert_eq!(ca.state_digest, cb.state_digest);
+        }
+    }
+
+    #[test]
+    fn warm_fork_groups_cells_along_inert_axes_only() {
+        let spec = {
+            let mut s = tiny_spec();
+            s.warm_fork = true;
+            s
+        };
+        let jobs = spec.expand();
+        let groups = plan_groups(&spec, &jobs);
+        // icfp reads the slice axis: its 4 configs × 4 workloads stay
+        // singleton groups (16).  in-order ignores it: {sb 64, sb 128}
+        // collapse per (l2 latency, workload) — 2 × 4 = 8 groups of two.
+        assert_eq!(jobs.len(), 32);
+        assert_eq!(groups.len(), 16 + 8, "grouping changed unexpectedly");
+        let pairs = groups.iter().filter(|g| g.jobs.len() == 2).count();
+        assert_eq!(pairs, 8);
+        for g in &groups {
+            assert!(g.jobs.windows(2).all(|w| w[0] < w[1]), "leader is lowest index");
+            let leader = &jobs[g.jobs[0]];
+            for &m in &g.jobs[1..] {
+                assert_eq!(jobs[m].model, leader.model);
+                assert_eq!(jobs[m].workload, leader.workload);
+                assert!(!jobs[m].model.reads_slice_buffer());
+            }
+        }
+        // Cold mode: no grouping at all.
+        let cold = tiny_spec();
+        assert_eq!(plan_groups(&cold, &jobs).len(), jobs.len());
+    }
+
+    #[test]
+    fn warm_fork_report_is_deterministically_identical_to_cold_run() {
+        // The PR 3 acceptance grid: 2 models × 4 configs × 4 workloads.
+        let cold_spec = tiny_spec();
+        let warm_spec = {
+            let mut s = tiny_spec();
+            s.warm_fork = true;
+            s
+        };
+        let cold = run_sweep(&cold_spec, 1).unwrap();
+        let warm_serial = run_sweep(&warm_spec, 1).unwrap();
+        let warm_pooled = run_sweep(&warm_spec, 8).unwrap();
+        assert!(warm_serial.warm_fork && !cold.warm_fork);
+        assert_deterministically_equal(&cold, &warm_serial);
+        assert_deterministically_equal(&cold, &warm_pooled);
+        assert_deterministically_equal(&warm_serial, &warm_pooled);
     }
 
     #[test]

@@ -180,6 +180,23 @@ pub fn by_name(name: &str, insts: usize, seed: u64) -> Option<Trace> {
     }
 }
 
+/// [`by_name`], but an unknown name is an error message listing the valid
+/// workloads — the same shape of diagnostic `icfp-bench --core` gives for an
+/// unknown core model, so every front end (CLI, sweep validation, tests)
+/// reports unknown workloads identically.
+///
+/// # Errors
+///
+/// Returns the diagnostic for unknown names.
+pub fn by_name_or_err(name: &str, insts: usize, seed: u64) -> Result<Trace, String> {
+    by_name(name, insts, seed).ok_or_else(|| {
+        format!(
+            "unknown workload {name:?}; valid workloads: {}",
+            STANDARD_NAMES.join(", ")
+        )
+    })
+}
+
 /// Names of the standard scenarios, in suite order.
 pub const STANDARD_NAMES: [&str; 4] = ["pointer-chase", "dcache-thrash", "branchy", "streaming"];
 
