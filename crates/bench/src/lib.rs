@@ -142,6 +142,169 @@ pub fn bench_trace(core: CoreModel, trace: &icfp_isa::Trace, reps: u32) -> Bench
     }
 }
 
+/// [`bench_trace`] over any block-based [`icfp_isa::TraceSource`] — how
+/// `--trace-file` containers and streamed generator workloads run through
+/// the harness with peak trace memory bounded by the source's resident
+/// blocks, not the trace length.
+pub fn bench_source(core: CoreModel, source: &dyn icfp_isa::TraceSource, reps: u32) -> BenchRun {
+    BenchRun {
+        report: icfp_sim::median_run_source(&SimConfig::new(core), source, reps),
+        reps: reps.max(1),
+    }
+}
+
+/// Geometric mean (`exp` of the mean of `ln`); 0 for an empty set.
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Renders a parsed `BENCH_sweep.json` into the paper's Figure 6/7-style
+/// speedup-over-baseline tables: one row per (model, configuration) point,
+/// one column per workload plus geomean columns per workload class (see
+/// `icfp_workloads::class_of`) and overall.  Speedup is
+/// `cycles(in-order) / cycles(model)` at the *same* workload and
+/// configuration — derived from the deterministic cycle counts, not from
+/// host-coupled figures.
+///
+/// # Errors
+///
+/// The document must contain `in-order` cells for every (workload, config)
+/// being normalised; says so otherwise.
+pub fn render_figures(doc: &BaselineDoc) -> Result<String, String> {
+    if doc.cells.is_empty() {
+        return Err("document carries no per-cell figures (is this a BENCH_sweep.json?)".into());
+    }
+    // Baseline cycles per (workload, config).
+    let mut base: Vec<(&DetCell, f64)> = Vec::new();
+    for c in doc.cells.iter().filter(|c| c.core == "in-order") {
+        base.push((c, c.cycles as f64));
+    }
+    if base.is_empty() {
+        return Err(
+            "no in-order cells to normalise against; run the sweep with --core in-order,..."
+                .into(),
+        );
+    }
+    let baseline_of = |workload: &str, config: &str| -> Option<f64> {
+        base.iter()
+            .find(|(b, _)| b.workload == workload && b.config == config)
+            .map(|(_, cyc)| *cyc)
+    };
+
+    // Workloads in first-seen order, and their classes.
+    let mut workloads: Vec<&str> = Vec::new();
+    for c in &doc.cells {
+        if !workloads.contains(&c.workload.as_str()) {
+            workloads.push(&c.workload);
+        }
+    }
+    let class_of = |w: &str| icfp_workloads::class_of(w).unwrap_or("other");
+    let mut classes: Vec<&str> = Vec::new();
+    for w in &workloads {
+        let cl = class_of(w);
+        if !classes.contains(&cl) {
+            classes.push(cl);
+        }
+    }
+
+    // One row per non-baseline (model, config), in cell order.
+    struct Row<'a> {
+        label: String,
+        speedups: Vec<Option<f64>>,
+        cells: Vec<(&'a str, f64)>, // (workload, speedup)
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for c in doc.cells.iter().filter(|c| c.core != "in-order") {
+        let Some(base_cycles) = baseline_of(&c.workload, &c.config) else {
+            return Err(format!(
+                "no in-order baseline cell for {}/[{}]; sweep must include the in-order model",
+                c.workload, c.config
+            ));
+        };
+        if c.cycles == 0 {
+            return Err(format!("{}/{} reports zero cycles", c.workload, c.core));
+        }
+        let speedup = base_cycles / c.cycles as f64;
+        let label = if c.config.is_empty() {
+            c.core.clone()
+        } else {
+            format!("{:<10} {}", c.core, c.config)
+        };
+        // Group by label wherever the cell sits in the document: sweep
+        // documents are contiguous per (model, config), but bench documents
+        // (BENCH_sim.json) interleave models within each workload.
+        let at = match rows.iter().position(|r| r.label == label) {
+            Some(at) => at,
+            None => {
+                rows.push(Row {
+                    label,
+                    speedups: vec![None; workloads.len()],
+                    cells: Vec::new(),
+                });
+                rows.len() - 1
+            }
+        };
+        let row = &mut rows[at];
+        let wl = workloads
+            .iter()
+            .position(|w| *w == c.workload)
+            .expect("workload collected above");
+        row.speedups[wl] = Some(speedup);
+        row.cells.push((workloads[wl], speedup));
+    }
+
+    // Render: workloads, then per-class geomeans, then the overall geomean.
+    let wcol = workloads.iter().map(|w| w.len()).max().unwrap_or(0).max(8);
+    let ccol = classes
+        .iter()
+        .map(|c| format!("gm({c})").len())
+        .max()
+        .unwrap_or(0)
+        .max(8);
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(24);
+    let mut s = String::new();
+    let _ = write!(s, "{:<label_w$}", "speedup over in-order");
+    for w in &workloads {
+        let _ = write!(s, "  {w:>wcol$}");
+    }
+    for cl in &classes {
+        let _ = write!(s, "  {:>ccol$}", format!("gm({cl})"));
+    }
+    let _ = writeln!(s, "  {:>8}", "gm(all)");
+    for r in &rows {
+        let _ = write!(s, "{:<label_w$}", r.label);
+        for v in &r.speedups {
+            match v {
+                Some(x) => {
+                    let _ = write!(s, "  {x:>wcol$.3}");
+                }
+                None => {
+                    let _ = write!(s, "  {:>wcol$}", "-");
+                }
+            }
+        }
+        for cl in &classes {
+            let xs: Vec<f64> = r
+                .cells
+                .iter()
+                .filter(|(w, _)| class_of(w) == *cl)
+                .map(|(_, x)| *x)
+                .collect();
+            if xs.is_empty() {
+                let _ = write!(s, "  {:>ccol$}", "-");
+            } else {
+                let _ = write!(s, "  {:>ccol$.3}", geomean(&xs));
+            }
+        }
+        let all: Vec<f64> = r.cells.iter().map(|(_, x)| *x).collect();
+        let _ = writeln!(s, "  {:>8.3}", geomean(&all));
+    }
+    Ok(s)
+}
+
 /// Extracts the `aggregate_mips` figure from a `BENCH_sim.json` /
 /// `BENCH_sweep.json` document (hand-rolled scan: the build environment has
 /// no JSON parser dependency, and the schema is flat and stable).

@@ -6,11 +6,22 @@
 //! ```text
 //! icfp-bench [--smoke] [--insts N] [--reps N] [--seed N]
 //!            [--core NAME[,NAME...]] [--workload NAME[,NAME...]]
+//!            [--trace-file PATH[,PATH...]]
 //!            [--out PATH] [--baseline PATH] [--max-regress-pct P]
 //!            [--sweep] [--warm-fork] [--sweep-slice N[,N...]]
 //!            [--sweep-mshr N[,N...]] [--sweep-l2 N[,N...]] [--threads N]
-//!            [--ckpt-smoke]
+//!            [--ckpt-smoke] [--figures PATH]
+//! icfp-bench trace convert <in.bbp> <out.trace> [--block-size N] [--name S]
+//! icfp-bench trace info <file.trace>
 //! ```
+//!
+//! `--trace-file` benches an on-disk `icfp-trace/v1` container alongside (or
+//! instead of, with `--workload none`) the synthetic workloads, streaming it
+//! block by block — trace length is bounded by disk, not RAM.  `trace
+//! convert` imports the `icfp-bbp/v1` basic-block-profile text format into a
+//! container; `trace info` prints and verifies one.  `--figures` renders a
+//! `BENCH_sweep.json` into the paper's Figure 6/7-style speedup-over-baseline
+//! tables (per-workload-class geomeans over the in-order model).
 //!
 //! `--smoke` selects a small instruction budget (CI-friendly, a few seconds);
 //! the default "full" mode uses a larger budget for stable MIPS numbers.
@@ -31,10 +42,13 @@
 //! divergence.
 
 use icfp_bench::{
-    bench_trace, gate_against_baseline, machine_class, parse_baseline, BenchSession, DetCell,
+    bench_source, bench_trace, gate_against_baseline, machine_class, parse_baseline,
+    render_figures, BenchSession, DetCell,
 };
+use icfp_isa::{TraceFile, TraceFileWriter, DEFAULT_BLOCK_INSTS};
 use icfp_sim::{CoreModel, SimCheckpoint, SimConfig, Simulator};
 use icfp_sweep::{run_sweep, SweepSpec};
+use icfp_workloads::TraceSink;
 
 struct Args {
     smoke: bool,
@@ -43,12 +57,14 @@ struct Args {
     seed: u64,
     cores: Vec<CoreModel>,
     workloads: Vec<String>,
+    trace_files: Vec<String>,
     out: Option<String>,
     baseline: Option<String>,
     max_regress_pct: f64,
     sweep: bool,
     warm_fork: bool,
     ckpt_smoke: bool,
+    figures: Option<String>,
     sweep_slice: Vec<usize>,
     sweep_mshr: Vec<usize>,
     sweep_l2: Vec<u64>,
@@ -75,12 +91,14 @@ fn parse_args() -> Result<Args, String> {
             .iter()
             .map(|s| s.to_string())
             .collect(),
+        trace_files: Vec::new(),
         out: None,
         baseline: None,
         max_regress_pct: 20.0,
         sweep: false,
         warm_fork: false,
         ckpt_smoke: false,
+        figures: None,
         sweep_slice: vec![64, 128],
         sweep_mshr: vec![64],
         sweep_l2: vec![20],
@@ -126,8 +144,19 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--workload" => {
-                a.workloads = val("--workload")?.split(',').map(str::to_string).collect();
+                let w = val("--workload")?;
+                // `--workload none` benches only --trace-file containers.
+                a.workloads = if w == "none" {
+                    Vec::new()
+                } else {
+                    w.split(',').map(str::to_string).collect()
+                };
             }
+            "--trace-file" => {
+                a.trace_files
+                    .extend(val("--trace-file")?.split(',').map(str::to_string));
+            }
+            "--figures" => a.figures = Some(val("--figures")?),
             "--out" => a.out = Some(val("--out")?),
             "--baseline" => a.baseline = Some(val("--baseline")?),
             "--max-regress-pct" => {
@@ -146,10 +175,13 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: icfp-bench [--smoke] [--insts N] [--reps N] [--seed N] \
-                     [--core NAMES] [--workload NAMES] [--out PATH] \
-                     [--baseline PATH] [--max-regress-pct P] \
+                     [--core NAMES] [--workload NAMES|none] [--trace-file PATHS] \
+                     [--out PATH] [--baseline PATH] [--max-regress-pct P] \
                      [--sweep] [--warm-fork] [--sweep-slice NS] [--sweep-mshr NS] \
-                     [--sweep-l2 NS] [--threads N] [--ckpt-smoke]\n\
+                     [--sweep-l2 NS] [--threads N] [--ckpt-smoke] [--figures PATH]\n\
+                     \u{20}      icfp-bench trace convert <in.bbp> <out.trace> \
+                     [--block-size N] [--name S]\n\
+                     \u{20}      icfp-bench trace info <file.trace>\n\
                      core models: {}\n\
                      workloads:   {}",
                     CoreModel::valid_names(),
@@ -351,6 +383,23 @@ fn run_standard_mode(args: &Args) {
             session.runs.push(run);
         }
     }
+    for path in &args.trace_files {
+        // Containers stream block by block: peak trace memory is the
+        // reader's bounded cache, regardless of trace length.
+        let file = match TraceFile::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("icfp-bench: {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!("  [trace-file] {}", file.summary());
+        for &core in &args.cores {
+            let run = bench_source(core, &file, args.reps);
+            println!("  {}", run.report.summary());
+            session.runs.push(run);
+        }
+    }
 
     let aggregate = session.aggregate_mips();
     println!("aggregate: {aggregate:.2} MIPS over {} runs", session.runs.len());
@@ -359,7 +408,156 @@ fn run_standard_mode(args: &Args) {
     gate_on_baseline(args, &session.det_cells(), aggregate);
 }
 
+/// Adapter: the converter's [`TraceSink`] over the streaming
+/// `icfp-trace/v1` writer (records the first write error; checked at the
+/// end so the converter body stays infallible).
+struct FileSink {
+    writer: TraceFileWriter,
+    error: Option<icfp_isa::TraceSourceError>,
+}
+
+impl TraceSink for FileSink {
+    fn push(&mut self, inst: icfp_isa::DynInst) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.push(inst) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn set_next_pc(&mut self, pc: u64) {
+        self.writer.set_next_pc(pc);
+    }
+
+    fn emitted(&self) -> usize {
+        self.writer.len()
+    }
+}
+
+/// `icfp-bench trace convert <in.bbp> <out.trace>` / `trace info <file>`.
+fn run_trace_subcommand(argv: &[String]) {
+    let fail = |msg: &str| -> ! {
+        eprintln!("icfp-bench: trace: {msg}");
+        std::process::exit(2);
+    };
+    match argv.first().map(String::as_str) {
+        Some("convert") => {
+            let mut block_size = DEFAULT_BLOCK_INSTS;
+            let mut name: Option<String> = None;
+            let mut pos: Vec<&String> = Vec::new();
+            let mut it = argv[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--block-size" => match it.next().map(|v| v.parse::<usize>()) {
+                        Some(Ok(n)) if n > 0 => block_size = n,
+                        _ => fail("--block-size takes a positive integer"),
+                    },
+                    "--name" => match it.next() {
+                        Some(v) => name = Some(v.clone()),
+                        None => fail("--name takes a value"),
+                    },
+                    _ => pos.push(a),
+                }
+            }
+            let [input, output] = pos[..] else {
+                fail("convert takes <in.bbp> <out.trace>");
+            };
+            let text = match std::fs::read_to_string(input) {
+                Ok(t) => t,
+                Err(e) => fail(&format!("{input}: {e}")),
+            };
+            let program = match icfp_workloads::bbp::parse(&text) {
+                Ok(p) => p,
+                Err(e) => fail(&format!("{input}: {e}")),
+            };
+            // Announce the expansion before streaming it out: block×count
+            // profiles can legitimately expand to billions of instructions,
+            // but a *saturated* count means hostile/typo'd loop nesting.
+            let expect = program.dynamic_len();
+            if expect == u64::MAX {
+                fail(&format!(
+                    "{input}: loop counts multiply out past u64::MAX; refusing to expand"
+                ));
+            }
+            println!(
+                "expanding {expect} dynamic instructions ({} per block)",
+                block_size
+            );
+            let stem = std::path::Path::new(input)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "converted".into());
+            let trace_name = name
+                .or_else(|| program.name.clone())
+                .unwrap_or(stem);
+            let writer = match TraceFileWriter::create(output, &trace_name, block_size) {
+                Ok(w) => w,
+                Err(e) => fail(&format!("{output}: {e}")),
+            };
+            let mut sink = FileSink {
+                writer,
+                error: None,
+            };
+            program.emit(&mut sink);
+            if let Some(e) = sink.error {
+                fail(&format!("{output}: {e}"));
+            }
+            match sink.writer.finish() {
+                Ok(s) => println!(
+                    "converted {input} -> {output}: {} insts in {} blocks of {block_size}, \
+                     digest {:#018x} ({} bytes)",
+                    s.instructions, s.blocks, s.digest, s.bytes
+                ),
+                Err(e) => fail(&format!("{output}: {e}")),
+            }
+        }
+        Some("info") => {
+            let [path] = &argv[1..] else {
+                fail("info takes exactly one <file.trace>");
+            };
+            match TraceFile::open(path) {
+                Ok(f) => {
+                    println!("{}", f.summary());
+                    match f.verify() {
+                        Ok(()) => println!("verify: every block digest and the whole-trace digest check out"),
+                        Err(e) => {
+                            eprintln!("icfp-bench: {path}: verify failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                Err(e) => fail(&format!("{path}: {e}")),
+            }
+        }
+        _ => fail("usage: icfp-bench trace convert <in.bbp> <out.trace> [--block-size N] [--name S] | trace info <file>"),
+    }
+}
+
+/// `--figures PATH`: render a sweep document into speedup tables.
+fn run_figures(path: &str) {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("icfp-bench: reading {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match render_figures(&parse_baseline(&doc)) {
+        Ok(table) => print!("{table}"),
+        Err(e) => {
+            eprintln!("icfp-bench: --figures {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    // Subcommand form: `icfp-bench trace ...` (converter / inspector).
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace") {
+        run_trace_subcommand(&argv[1..]);
+        return;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -367,7 +565,9 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if args.ckpt_smoke {
+    if let Some(path) = &args.figures {
+        run_figures(path);
+    } else if args.ckpt_smoke {
         run_ckpt_smoke(&args);
     } else if args.sweep {
         run_sweep_mode(&args);

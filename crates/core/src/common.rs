@@ -8,7 +8,7 @@
 //! *what they do* around cache misses — which is exactly the paper's point.
 
 use crate::config::CoreConfig;
-use icfp_isa::{exec, Addr, Cycle, DynInst, FunctionalMemory, OpClass, Trace, Value};
+use icfp_isa::{exec, Addr, Cycle, DynInst, FunctionalMemory, OpClass, Trace, TraceCursor, Value};
 use icfp_mem::{AccessOutcome, MemError, MemoryHierarchy, MshrId};
 use icfp_pipeline::{
     FetchEngine, IssueSchedule, PoisonMask, RunResult, RunStats, TimedRegFile,
@@ -148,7 +148,7 @@ impl Engine {
 
     /// Finalises the run: fills in the cycle/instruction counts and snapshots
     /// the architectural state.
-    pub fn finish(mut self, core: &'static str, trace: &Trace) -> RunResult {
+    pub fn finish(mut self, core: &'static str, trace: &TraceCursor<'_>) -> RunResult {
         self.stats.cycles = self.completion.max(self.frontier);
         self.stats.instructions = trace.len() as u64;
         let m = self.mem.stats();
@@ -172,8 +172,16 @@ impl Engine {
 /// register values and memory image in the same format as [`RunResult`].
 /// Integration tests compare every timing model against this.
 pub fn golden_final_state(trace: &Trace) -> (Vec<Value>, Vec<(u64, Value)>) {
+    golden_final_state_cursor(&TraceCursor::from_trace(trace))
+}
+
+/// [`golden_final_state`] over any cursor (streamed sources included —
+/// memory stays bounded by the source's resident blocks).
+pub fn golden_final_state_cursor(trace: &TraceCursor<'_>) -> (Vec<Value>, Vec<(u64, Value)>) {
     let mut st = icfp_isa::ArchState::new();
-    st.exec_all(trace.iter());
+    for k in 0..trace.len() {
+        st.exec(&trace.get(k));
+    }
     let mut mem: Vec<(u64, Value)> = st.mem.iter().map(|(a, v)| (*a, *v)).collect();
     mem.sort_unstable();
     (st.reg_snapshot(), mem)
@@ -239,7 +247,7 @@ mod tests {
         e.rf.write(Reg::int(1), 42, 0, 0);
         e.arch_mem.write(0x40, 7);
         e.note_completion(123);
-        let r = e.finish("in-order", &t);
+        let r = e.finish("in-order", &TraceCursor::from_trace(&t));
         assert_eq!(r.stats.cycles, 123);
         assert_eq!(r.stats.instructions, 2);
         assert_eq!(r.final_regs[Reg::int(1).index()], 42);

@@ -19,7 +19,7 @@ use crate::multipass::MultipassCore;
 use crate::runahead::RunaheadCore;
 use crate::sltp::SltpCore;
 use crate::Core;
-use icfp_isa::{Cycle, Trace};
+use icfp_isa::{Cycle, Trace, TraceCursor};
 use icfp_pipeline::{RunResult, RunStats};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -161,10 +161,13 @@ pub trait CoreEngine: Send {
     /// pass for incremental models; the whole trace for the others).
     /// Returns `false` once the trace is fully retired.
     ///
+    /// The trace arrives as a [`TraceCursor`], so the engine serves arena
+    /// and block-streamed sources through the identical code path.
+    ///
     /// # Panics
     ///
     /// Panics if called after [`CoreEngine::drain`].
-    fn step(&mut self, trace: &Trace) -> bool;
+    fn step(&mut self, trace: &TraceCursor<'_>) -> bool;
 
     /// The current simulated cycle (final cycle count once finished).
     fn cycle(&self) -> Cycle;
@@ -182,7 +185,7 @@ pub trait CoreEngine: Send {
     /// # Panics
     ///
     /// Panics if called twice.
-    fn drain(&mut self, trace: &Trace) -> RunResult;
+    fn drain(&mut self, trace: &TraceCursor<'_>) -> RunResult;
 
     /// Digest of a result's final architectural state — identical across
     /// models and drivers so sweeps can compare cells cheaply.
@@ -238,7 +241,7 @@ impl CoreEngine for IcfpEngine {
         CoreModel::Icfp
     }
 
-    fn step(&mut self, trace: &Trace) -> bool {
+    fn step(&mut self, trace: &TraceCursor<'_>) -> bool {
         self.machine
             .as_mut()
             .expect("CoreEngine::step after drain")
@@ -261,7 +264,7 @@ impl CoreEngine for IcfpEngine {
         self.machine.as_ref().map(|m| &m.engine().stats)
     }
 
-    fn drain(&mut self, trace: &Trace) -> RunResult {
+    fn drain(&mut self, trace: &TraceCursor<'_>) -> RunResult {
         let mut machine = self.machine.take().expect("CoreEngine::drain called twice");
         while machine.step(trace) {}
         self.final_cycle = machine.cycle();
@@ -325,9 +328,9 @@ impl WholeTraceEngine {
         })
     }
 
-    fn run_once(&mut self, trace: &Trace) {
+    fn run_once(&mut self, trace: &TraceCursor<'_>) {
         if self.result.is_none() {
-            self.result = Some(self.core.run(trace));
+            self.result = Some(self.core.run_cursor(trace));
         }
     }
 }
@@ -337,7 +340,7 @@ impl CoreEngine for WholeTraceEngine {
         self.model
     }
 
-    fn step(&mut self, trace: &Trace) -> bool {
+    fn step(&mut self, trace: &TraceCursor<'_>) -> bool {
         assert!(!self.drained, "CoreEngine::step after drain");
         self.run_once(trace);
         false
@@ -359,7 +362,7 @@ impl CoreEngine for WholeTraceEngine {
         self.result.as_ref().map(|r| &r.stats)
     }
 
-    fn drain(&mut self, trace: &Trace) -> RunResult {
+    fn drain(&mut self, trace: &TraceCursor<'_>) -> RunResult {
         assert!(!self.drained, "CoreEngine::drain called twice");
         self.run_once(trace);
         self.drained = true;
@@ -400,18 +403,29 @@ impl CoreEngine for WholeTraceEngine {
     }
 }
 
-/// Runs `trace` to completion on `model` under `cfg` through the registry —
-/// the convenience entry point shared by drivers that do not need stepping.
-pub fn run_model(model: CoreModel, cfg: &CoreConfig, trace: &Trace) -> RunResult {
+/// Runs the trace behind `trace` to completion on `model` under `cfg`
+/// through the registry — the uniform entry point for any backing (arena or
+/// streamed).
+pub fn run_model_cursor(model: CoreModel, cfg: &CoreConfig, trace: &TraceCursor<'_>) -> RunResult {
     let mut engine = model.engine(cfg);
     while engine.step(trace) {}
     engine.drain(trace)
+}
+
+/// [`run_model_cursor`] over an in-memory trace — the convenience entry
+/// point shared by drivers and tests that do not need stepping.
+pub fn run_model(model: CoreModel, cfg: &CoreConfig, trace: &Trace) -> RunResult {
+    run_model_cursor(model, cfg, &TraceCursor::from_trace(trace))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+
+    fn cur(t: &Trace) -> TraceCursor<'_> {
+        TraceCursor::from_trace(t)
+    }
 
     fn trace() -> Trace {
         let mut b = TraceBuilder::new("engine-test");
@@ -450,13 +464,14 @@ mod tests {
         let mut e = CoreModel::Icfp.engine(&cfg);
         assert!(CoreModel::Icfp.steps_incrementally());
         let mut steps = 0usize;
-        while e.step(&t) {
+        let c = cur(&t);
+        while e.step(&c) {
             steps += 1;
             assert!(steps < 1_000_000, "engine did not terminate");
         }
         assert!(steps > 1, "icfp must take many steps");
         assert!(e.stats().is_some(), "live stats before drain");
-        let r = e.drain(&t);
+        let r = e.drain(&c);
         assert_eq!(r.stats.instructions, t.len() as u64);
         assert_eq!(e.cycle(), r.stats.cycles, "cycle cached after drain");
         assert_eq!(e.processed(), t.len());
@@ -468,11 +483,12 @@ mod tests {
         let cfg = CoreModel::InOrder.default_config();
         let mut e = CoreModel::InOrder.engine(&cfg);
         assert!(!CoreModel::InOrder.steps_incrementally());
+        let c = cur(&t);
         assert_eq!(e.cycle(), 0, "no work before the first step");
-        assert!(!e.step(&t), "whole-trace models complete on the first step");
+        assert!(!e.step(&c), "whole-trace models complete on the first step");
         assert!(e.cycle() > 0);
         assert!(e.stats().is_some());
-        let r = e.drain(&t);
+        let r = e.drain(&c);
         assert_eq!(r.core, "in-order");
         assert_eq!(e.cycle(), r.stats.cycles, "cycle cached after drain");
         assert_eq!(e.processed(), r.stats.instructions as usize);
@@ -484,7 +500,7 @@ mod tests {
         for m in CoreModel::ALL {
             let cfg = m.default_config();
             let mut e = m.engine(&cfg);
-            let r = e.drain(&t);
+            let r = e.drain(&cur(&t));
             assert_eq!(r.stats.instructions, t.len() as u64, "{m}");
         }
     }
@@ -495,8 +511,8 @@ mod tests {
         let t = trace();
         let cfg = CoreModel::InOrder.default_config();
         let mut e = CoreModel::InOrder.engine(&cfg);
-        let _ = e.drain(&t);
-        let _ = e.drain(&t);
+        let _ = e.drain(&cur(&t));
+        let _ = e.drain(&cur(&t));
     }
 
     #[test]
@@ -506,7 +522,7 @@ mod tests {
         for m in CoreModel::ALL {
             let cfg = m.default_config();
             let mut e = m.engine(&cfg);
-            let r = e.drain(&t);
+            let r = e.drain(&cur(&t));
             digests.push(e.digest(&r));
         }
         assert!(
@@ -538,9 +554,10 @@ mod tests {
 
             // Interrupted run: step some work, snapshot, restore into a
             // *fresh* engine, and finish there.
+            let c = cur(&t);
             let mut first = m.engine(&cfg);
             for _ in 0..25 {
-                if !first.step(&t) {
+                if !first.step(&c) {
                     break;
                 }
             }
@@ -552,7 +569,7 @@ mod tests {
             second.restore(&snap).expect("restore");
             assert_eq!(second.cycle(), first.cycle(), "{m}");
             assert_eq!(second.processed(), first.processed(), "{m}");
-            let resumed = second.drain(&t);
+            let resumed = second.drain(&c);
 
             assert_eq!(resumed.stats, reference.stats, "{m} stats diverged");
             assert_eq!(resumed.final_regs, reference.final_regs, "{m}");
@@ -573,13 +590,14 @@ mod tests {
         let cfg = CoreModel::Icfp.default_config();
         let reference = run_model(CoreModel::Icfp, &cfg, &t);
 
+        let c = cur(&t);
         let mut machine = crate::icfp::IcfpMachine::new(&cfg);
         let mut snapped: Option<Vec<u8>> = None;
-        while machine.step(&t) {
+        while machine.step(&c) {
             if snapped.is_none() && machine.in_episode() {
                 // A few more steps so slice entries exist beyond the trigger.
                 for _ in 0..5 {
-                    if !machine.step(&t) {
+                    if !machine.step(&c) {
                         break;
                     }
                 }
@@ -591,8 +609,8 @@ mod tests {
         let resumed_machine: crate::icfp::IcfpMachine =
             serde::from_bytes(&bytes).expect("decode mid-episode snapshot");
         let mut m2 = resumed_machine;
-        while m2.step(&t) {}
-        let resumed = m2.finish(&t);
+        while m2.step(&c) {}
+        let resumed = m2.finish(&c);
         assert_eq!(resumed.stats, reference.stats);
         assert_eq!(resumed.final_regs, reference.final_regs);
         assert_eq!(resumed.final_mem, reference.final_mem);
@@ -604,7 +622,7 @@ mod tests {
         let cfg = CoreModel::Icfp.default_config();
         let mut e = CoreModel::Icfp.engine(&cfg);
         let snap = e.save().expect("fresh engine saves");
-        let _ = e.drain(&t);
+        let _ = e.drain(&cur(&t));
         assert!(e.save().is_err(), "drained engine must not save");
 
         let mut other = CoreModel::InOrder.engine(&CoreModel::InOrder.default_config());

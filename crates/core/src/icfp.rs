@@ -24,7 +24,7 @@ use crate::config::CoreConfig;
 use crate::slicebuf::{SliceBuffer, SliceEntry};
 use crate::storebuf::ChainedStoreBuffer;
 use crate::Core;
-use icfp_isa::{exec, Cycle, DynInst, InstSeq, OpClass, Trace, Value};
+use icfp_isa::{exec, Cycle, DynInst, InstSeq, OpClass, TraceCursor, Value};
 use icfp_mem::MshrId;
 use icfp_pipeline::{PoisonAllocator, PoisonMask, RunResult};
 use serde::{Deserialize, Serialize};
@@ -49,7 +49,7 @@ impl Core for IcfpCore {
         "icfp"
     }
 
-    fn run(&mut self, trace: &Trace) -> RunResult {
+    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
         let mut m = IcfpMachine::new(&self.cfg);
         while m.step(trace) {}
         m.finish(trace)
@@ -173,7 +173,7 @@ impl IcfpMachine {
     /// Advances the machine by one unit of work: either one rally pass (if a
     /// miss has returned) or one dynamic instruction.  Returns `false` once
     /// the trace is fully retired (no instruction left, no pending rally).
-    pub fn step(&mut self, trace: &Trace) -> bool {
+    pub fn step(&mut self, trace: &TraceCursor<'_>) -> bool {
         if self.done {
             return false;
         }
@@ -278,9 +278,10 @@ impl IcfpMachine {
     /// (Pushing a pre-built entry after such a rally would insert stale poison
     /// bits that no pending miss owns — a deadlock.)
     #[must_use]
-    fn push_slice(&mut self, trace: &Trace, issue: Cycle, extra: PoisonMask) -> bool {
+    fn push_slice(&mut self, trace: &TraceCursor<'_>, issue: Cycle, extra: PoisonMask) -> bool {
         let i = self.i;
-        let inst = &trace.as_slice()[i];
+        let inst = trace.get(i);
+        let inst = &inst;
         let seq = i as InstSeq;
         if self.slice.is_full() {
             self.slice.reclaim_head();
@@ -344,7 +345,7 @@ impl IcfpMachine {
     /// it is full.
     fn chain_store(
         &mut self,
-        trace: &Trace,
+        trace: &TraceCursor<'_>,
         addr: u64,
         value: Value,
         poison: PoisonMask,
@@ -397,9 +398,10 @@ impl IcfpMachine {
     }
 
     /// Processes one dynamic instruction (first pass).
-    fn step_inst(&mut self, trace: &Trace) {
+    fn step_inst(&mut self, trace: &TraceCursor<'_>) {
         let i = self.i;
-        let inst = &trace.as_slice()[i];
+        let inst = trace.get(i);
+        let inst = &inst;
         let seq = i as InstSeq;
         let l1_lat = self.eng.cfg.mem.l1_hit_latency;
         let policy = self.eng.cfg.advance_policy;
@@ -540,7 +542,7 @@ impl IcfpMachine {
 
     /// Stalls the pipeline until the misses in `poison` have returned and
     /// rallied (simple-runahead fallback for un-chainable stores).
-    fn stall_for_poison(&mut self, trace: &Trace, poison: PoisonMask) {
+    fn stall_for_poison(&mut self, trace: &TraceCursor<'_>, poison: PoisonMask) {
         let mut guard = 0usize;
         while guard < 64 {
             guard += 1;
@@ -567,7 +569,7 @@ impl IcfpMachine {
     }
 
     /// Runs every pending rally to completion (limited-forwarding stall path).
-    fn drain_all_rallies(&mut self, trace: &Trace) {
+    fn drain_all_rallies(&mut self, trace: &TraceCursor<'_>) {
         while let Some(k) = self.earliest_rally() {
             let ret = self.rallies[k].returns_at;
             self.eng.frontier = self.eng.frontier.max(ret);
@@ -588,7 +590,7 @@ impl IcfpMachine {
     /// is quiescent (each pass resolves in program order, so producer chains
     /// always make progress; a load that misses again spawns a fresh rally
     /// and the episode continues normally).
-    fn run_rally(&mut self, trace: &Trace, r: PendingRally) {
+    fn run_rally(&mut self, trace: &TraceCursor<'_>, r: PendingRally) {
         self.palloc.release(r.mshr);
         self.rally_pass(trace, r.bit, r.returns_at);
         let mut guard = 0u32;
@@ -618,7 +620,7 @@ impl IcfpMachine {
     }
 
     /// One pass over the active slice entries selected by `select`.
-    fn rally_pass(&mut self, trace: &Trace, select: PoisonMask, returns_at: Cycle) {
+    fn rally_pass(&mut self, trace: &TraceCursor<'_>, select: PoisonMask, returns_at: Cycle) {
         self.eng.stats.rally_passes += 1;
         let start = self.eng.frontier.max(returns_at);
         let l1_lat = self.eng.cfg.mem.l1_hit_latency;
@@ -638,7 +640,8 @@ impl IcfpMachine {
         let mut rally_end = start;
         for k in 0..self.rally_scratch.len() {
             let e = self.rally_scratch[k];
-            let inst = &trace.as_slice()[e.trace_idx];
+            let inst = trace.get(e.trace_idx);
+            let inst = &inst;
             let seq = e.trace_idx as InstSeq;
             self.eng.stats.rally_instructions += 1;
 
@@ -794,7 +797,7 @@ impl IcfpMachine {
     }
 
     /// Finalises the run.
-    pub fn finish(mut self, trace: &Trace) -> RunResult {
+    pub fn finish(mut self, trace: &TraceCursor<'_>) -> RunResult {
         self.retire_all_stores();
         self.eng.stats.slice_peak = self.eng.stats.slice_peak.max(self.slice.peak() as u64);
         self.eng.stats.chain_hops = self.eng.stats.chain_hops.max(self.sbuf.total_excess_hops());
@@ -852,7 +855,7 @@ mod tests {
     use crate::config::StoreBufferKind;
     use crate::inorder::InOrderCore;
     use crate::runahead::RunaheadCore;
-    use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+    use icfp_isa::{DynInst, Op, Reg, Trace, TraceBuilder};
 
     fn run_icfp(t: &Trace) -> RunResult {
         IcfpCore::new(CoreConfig::paper_default()).run(t)
@@ -1026,13 +1029,14 @@ mod tests {
         let t = independent_miss_trace(8);
         let whole = run_icfp(&t);
         let cfg = CoreConfig::paper_default();
+        let cur = TraceCursor::from_trace(&t);
         let mut m = IcfpMachine::new(&cfg);
         let mut steps = 0usize;
-        while m.step(&t) {
+        while m.step(&cur) {
             steps += 1;
             assert!(steps < 1_000_000, "machine did not terminate");
         }
-        let stepped = m.finish(&t);
+        let stepped = m.finish(&cur);
         assert_eq!(stepped.stats.cycles, whole.stats.cycles);
         assert_eq!(stepped.final_regs, whole.final_regs);
         assert_eq!(stepped.final_mem, whole.final_mem);

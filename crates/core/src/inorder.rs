@@ -8,7 +8,7 @@
 use crate::common::Engine;
 use crate::config::CoreConfig;
 use crate::Core;
-use icfp_isa::{Cycle, OpClass, Trace};
+use icfp_isa::{Cycle, OpClass, TraceCursor};
 use icfp_pipeline::RunResult;
 use std::collections::VecDeque;
 
@@ -30,14 +30,16 @@ impl Core for InOrderCore {
         "in-order"
     }
 
-    fn run(&mut self, trace: &Trace) -> RunResult {
+    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
         let mut eng = Engine::new(&self.cfg);
         // Outstanding (not yet drained) stores: (drain completion, word addr).
         let mut store_q: VecDeque<(Cycle, u64)> = VecDeque::new();
         let sb_capacity = self.cfg.pipeline.baseline_store_buffer;
         let l1_lat = self.cfg.mem.l1_hit_latency;
 
-        for (idx, inst) in trace.iter().enumerate() {
+        for idx in 0..trace.len() {
+            let inst = trace.get(idx);
+            let inst = &inst;
             let seq = idx as u64;
             let fetch_ready = eng.fetch.next_issue_ready();
             let mut earliest = fetch_ready.max(eng.src_ready(inst));
@@ -113,7 +115,7 @@ impl Core for InOrderCore {
 mod tests {
     use super::*;
     use crate::common::golden_final_state;
-    use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+    use icfp_isa::{DynInst, Op, Reg, Trace, TraceBuilder};
 
     fn run(trace: &Trace) -> RunResult {
         InOrderCore::new(CoreConfig::paper_default()).run(trace)

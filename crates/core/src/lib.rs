@@ -68,15 +68,26 @@ pub use slicebuf::{SliceBuffer, SliceEntry};
 pub use sltp::SltpCore;
 pub use storebuf::{AssocStoreBuffer, ChainedStoreBuffer, LimitedStoreBuffer, RunaheadCache, StoreRedoLog};
 
-use icfp_isa::Trace;
+use icfp_isa::{Trace, TraceCursor};
 use icfp_pipeline::RunResult;
 
 /// A back-end core model that can execute a trace.
+///
+/// Models read the instruction stream exclusively through a
+/// [`TraceCursor`], so the same code path serves in-memory arenas (the
+/// cursor's zero-cost fast path) and block-streamed sources (`icfp-trace/v1`
+/// files, resumable generators) whose traces never fully materialize.
 pub trait Core {
     /// The model's short name (used in reports and figures).
     fn name(&self) -> &'static str;
 
-    /// Simulates the trace to completion and returns timing statistics plus
-    /// the final architectural state.
-    fn run(&mut self, trace: &Trace) -> RunResult;
+    /// Simulates the trace behind the cursor to completion and returns
+    /// timing statistics plus the final architectural state.
+    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult;
+
+    /// Convenience wrapper over [`Core::run_cursor`] for in-memory traces
+    /// (the historical entry point; all deterministic outputs are identical).
+    fn run(&mut self, trace: &Trace) -> RunResult {
+        self.run_cursor(&TraceCursor::from_trace(trace))
+    }
 }

@@ -11,7 +11,7 @@
 use crate::config::CoreConfig;
 use crate::runahead::runahead_like_run;
 use crate::Core;
-use icfp_isa::Trace;
+use icfp_isa::TraceCursor;
 use icfp_pipeline::RunResult;
 
 /// The Multipass core.
@@ -33,7 +33,7 @@ impl Core for MultipassCore {
         "multipass"
     }
 
-    fn run(&mut self, trace: &Trace) -> RunResult {
+    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
         runahead_like_run(&self.cfg, trace, self.name(), true)
     }
 }
@@ -44,7 +44,7 @@ mod tests {
     use crate::common::golden_final_state;
     use crate::inorder::InOrderCore;
     use crate::runahead::RunaheadCore;
-    use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+    use icfp_isa::{DynInst, Op, Reg, Trace, TraceBuilder};
 
     /// Independent L2 misses each followed by a short dependence chain of ALU
     /// work — the scenario where saved results pay off during re-execution.

@@ -15,7 +15,7 @@ use crate::common::Engine;
 use crate::config::CoreConfig;
 use crate::storebuf::RunaheadCache;
 use crate::Core;
-use icfp_isa::{Cycle, OpClass, Trace};
+use icfp_isa::{Cycle, OpClass, TraceCursor};
 use icfp_pipeline::{PoisonMask, RunResult};
 use std::collections::{HashMap, VecDeque};
 
@@ -39,7 +39,7 @@ impl Core for RunaheadCore {
         "runahead"
     }
 
-    fn run(&mut self, trace: &Trace) -> RunResult {
+    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
         runahead_like_run(&self.cfg, trace, self.name(), false)
     }
 }
@@ -58,7 +58,7 @@ struct AdvanceEpisode {
 /// dependence-breaking), otherwise they are discarded (plain Runahead).
 pub(crate) fn runahead_like_run(
     cfg: &CoreConfig,
-    trace: &Trace,
+    trace: &TraceCursor<'_>,
     name: &'static str,
     save_results: bool,
 ) -> RunResult {
@@ -95,7 +95,8 @@ pub(crate) fn runahead_like_run(
             break;
         }
 
-        let inst = &trace.as_slice()[i];
+        let inst = trace.get(i);
+        let inst = &inst;
         let seq = i as u64;
         let in_advance = episode.is_some();
         let fetch_ready = eng.fetch.next_issue_ready();
@@ -323,7 +324,7 @@ mod tests {
     use crate::common::golden_final_state;
     use crate::config::AdvancePolicy;
     use crate::inorder::InOrderCore;
-    use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+    use icfp_isa::{DynInst, Op, Reg, Trace, TraceBuilder};
 
     fn independent_miss_trace(n: usize) -> Trace {
         // Pointer-independent loads to distinct far-apart lines, each followed

@@ -22,7 +22,7 @@ use crate::config::CoreConfig;
 use crate::slicebuf::{SliceBuffer, SliceEntry};
 use crate::storebuf::StoreRedoLog;
 use crate::Core;
-use icfp_isa::{exec, Cycle, OpClass, Trace, Value};
+use icfp_isa::{exec, Cycle, OpClass, TraceCursor, Value};
 use icfp_pipeline::{PoisonMask, RunResult};
 use std::collections::HashMap;
 
@@ -50,7 +50,7 @@ impl Core for SltpCore {
         "sltp"
     }
 
-    fn run(&mut self, trace: &Trace) -> RunResult {
+    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
         let cfg = &self.cfg;
         let mut eng = Engine::new(cfg);
         let l1_lat = cfg.mem.l1_hit_latency;
@@ -88,7 +88,8 @@ impl Core for SltpCore {
                 break;
             }
 
-            let inst = &trace.as_slice()[i];
+            let inst = trace.get(i);
+            let inst = &inst;
             let seq = i as u64;
             let in_advance = episode.is_some();
 
@@ -260,11 +261,12 @@ fn push_slice(
     eng: &mut Engine,
     slice: &mut SliceBuffer,
     srl: &mut StoreRedoLog,
-    trace: &Trace,
+    trace: &TraceCursor<'_>,
     i: usize,
     issue: Cycle,
 ) {
-    let inst = &trace.as_slice()[i];
+    let inst = trace.get(i);
+    let inst = &inst;
     let seq = i as u64;
     let mut poison = eng.src_poison(inst);
     if poison.is_clean() {
@@ -312,7 +314,7 @@ fn push_slice(
 /// cycle at which tail execution may resume.
 fn run_blocking_rally(
     eng: &mut Engine,
-    trace: &Trace,
+    trace: &TraceCursor<'_>,
     slice: &mut SliceBuffer,
     srl: &mut StoreRedoLog,
     start: Cycle,
@@ -333,7 +335,8 @@ fn run_blocking_rally(
     let entries: Vec<SliceEntry> = slice.active_entries().copied().collect();
     for e in &entries {
         eng.stats.rally_instructions += 1;
-        let inst = &trace.as_slice()[e.trace_idx];
+        let inst = trace.get(e.trace_idx);
+        let inst = &inst;
         let seq = e.trace_idx as u64;
         // Operand resolution: captured side inputs or scratch register values.
         let mut ready = rally_frontier;
@@ -430,7 +433,7 @@ mod tests {
     use crate::config::AdvancePolicy;
     use crate::inorder::InOrderCore;
     use crate::runahead::RunaheadCore;
-    use icfp_isa::{DynInst, Op, Reg, TraceBuilder};
+    use icfp_isa::{DynInst, Op, Reg, Trace, TraceBuilder};
 
     fn lone_miss_trace() -> Trace {
         // Figure 1a: one L2 miss, one dependent instruction, then independent

@@ -208,7 +208,7 @@ pub struct BranchInfo {
 /// immediate values are pre-resolved (trace-driven simulation).  The timing
 /// models still decide *when* each field may legally be observed (e.g. a
 /// poisoned address cannot be used to chain a store into the store buffer).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DynInst {
     /// Dynamic sequence number (position in the trace, starting at 0).
     pub seq: InstSeq,

@@ -31,13 +31,20 @@ pub mod digest;
 pub mod exec;
 pub mod inst;
 pub mod reg;
+pub mod source;
 pub mod trace;
+pub mod trace_file;
 
 pub use digest::{fnv1a, Fnv1a};
 pub use exec::{ArchState, FunctionalMemory};
 pub use inst::{DynInst, MemWidth, Op, OpClass};
 pub use reg::{Reg, RegClass, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};
+pub use source::{
+    block_digest_of, ArenaSource, Residency, TraceBlock, TraceCursor, TraceSource,
+    TraceSourceError, DEFAULT_BLOCK_INSTS,
+};
 pub use trace::{Trace, TraceBuilder, TraceStats};
+pub use trace_file::{TraceFile, TraceFileWriter, TRACE_MAGIC};
 
 /// A dynamic-instruction sequence number: position in the dynamic stream.
 ///

@@ -90,10 +90,16 @@ impl Trace {
         &self.insts
     }
 
-    /// FNV-1a digest of the trace's full content (name, length and every
-    /// instruction's serialized fields).  Checkpoints record it so a resume
-    /// against the wrong trace — or a differently seeded regeneration of the
-    /// "same" workload — is rejected instead of silently diverging.
+    /// FNV-1a digest of the trace's full content (name, every instruction's
+    /// serialized fields, then the length).  Checkpoints record it so a
+    /// resume against the wrong trace — or a differently seeded regeneration
+    /// of the "same" workload — is rejected instead of silently diverging.
+    ///
+    /// The length is folded in *last* so streaming producers (the
+    /// `icfp-trace/v1` writer, block generators) can compute the identical
+    /// digest in one pass without knowing the final length up front; every
+    /// [`crate::TraceSource`] implementation reports this same digest for the
+    /// same content.
     ///
     /// Computed once and cached: repeated calls (one per checkpoint capture
     /// and per resume validation — warm-fork sweeps make many against one
@@ -102,13 +108,13 @@ impl Trace {
         *self.digest.get_or_init(|| {
             let mut h = crate::Fnv1a::new();
             h.write(self.name.as_bytes());
-            h.write_u64(self.insts.len() as u64);
             let mut buf = Vec::with_capacity(64);
             for inst in &self.insts {
                 buf.clear();
                 Serialize::serialize(inst, &mut buf);
                 h.write(&buf);
             }
+            h.write_u64(self.insts.len() as u64);
             h.finish()
         })
     }

@@ -1,0 +1,788 @@
+//! The `icfp-trace/v1` on-disk trace container.
+//!
+//! A versioned, digest-validated file format for dynamic instruction traces,
+//! designed so that traces far larger than host RAM can be simulated: the
+//! reader ([`TraceFile`]) implements [`TraceSource`] by decoding blocks
+//! *lazily* through a small bounded cache with next-block prefetch, and the
+//! writer ([`TraceFileWriter`]) streams instructions out block by block
+//! without ever materializing the whole trace.
+//!
+//! ## Layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       13    magic: the ASCII bytes "icfp-trace/v1"
+//! 13      8     index offset (u64 LE; patched when the writer finishes)
+//! 21      ...   blocks, back to back: each is the vendored-serde encoding
+//!               of its Vec<DynInst> (length-prefixed)
+//! index   n     index: vendored-serde encoding of [`struct@TraceIndex`]
+//!               (name, total instructions, block size, whole-trace digest,
+//!               per-block {offset, byte length, instruction count, digest})
+//! end-8   8     FNV-1a digest of the index bytes (u64 LE)
+//! ```
+//!
+//! Every malformation — wrong magic, truncation, offsets past the end of the
+//! file, lengths that do not sum, block content whose digest disagrees with
+//! the index — is a typed [`TraceSourceError`], never a panic: hostile or
+//! damaged inputs fail loudly at `open`/`block` time.
+//!
+//! The whole-trace digest recorded in the index uses the exact
+//! [`Trace::digest`] definition (name, per-instruction serialized bytes,
+//! length last), so a file written from any [`TraceSource`] carries the same
+//! identity as the equivalent in-memory arena — checkpoints taken against
+//! one resume against the other.
+
+use crate::source::{
+    block_digest_of, BlockCache, Residency, TraceBlock, TraceSource, TraceSourceError,
+};
+use crate::trace::Trace;
+use crate::{DynInst, Fnv1a, InstSeq};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Magic prefix of the container (also the format version).
+pub const TRACE_MAGIC: &[u8; 13] = b"icfp-trace/v1";
+
+/// Byte offset at which block data starts (magic + index-offset field).
+const DATA_START: u64 = TRACE_MAGIC.len() as u64 + 8;
+
+/// Decoded blocks kept resident per open file: the current block, one block
+/// of random-access lookback (rally replay), and the prefetched next block.
+/// This constant is the whole story of "peak trace memory while streaming".
+const RESIDENT_BLOCKS: usize = 4;
+
+/// Per-block entry of the container index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct BlockMeta {
+    /// Absolute file offset of the block's serialized bytes.
+    offset: u64,
+    /// Serialized length in bytes.
+    byte_len: u64,
+    /// Number of instructions in the block.
+    inst_count: u64,
+    /// [`block_digest_of`] the block's instructions.
+    digest: u64,
+}
+
+/// The container index (serialized after the last block).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TraceIndex {
+    name: String,
+    total_insts: u64,
+    block_size: u64,
+    whole_digest: u64,
+    blocks: Vec<BlockMeta>,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> TraceSourceError {
+    TraceSourceError::Io(format!("{}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Streaming `icfp-trace/v1` writer: instructions in, blocks out, bounded
+/// memory (one block buffer plus the index).
+///
+/// [`TraceFileWriter::push`] mirrors [`crate::TraceBuilder`] exactly —
+/// sequence numbers follow the push order and a zero program counter is
+/// assigned from the running PC (4-byte spaced, [`TraceFileWriter::set_next_pc`]
+/// models loops) — so a converter emitting through the writer produces the
+/// same instruction stream it would have built in memory.
+#[derive(Debug)]
+pub struct TraceFileWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    name: String,
+    block_size: usize,
+    buf: Vec<DynInst>,
+    blocks: Vec<BlockMeta>,
+    /// Next write offset (== bytes written so far).
+    offset: u64,
+    total: u64,
+    /// Whole-trace digest accumulator (name already folded; length folded at
+    /// finish — see [`Trace::digest`]).
+    whole: Fnv1a,
+    scratch: Vec<u8>,
+    next_pc: u64,
+}
+
+/// What [`TraceFileWriter::finish`] reports about the written container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFileSummary {
+    /// Total dynamic instructions written.
+    pub instructions: u64,
+    /// Number of blocks written.
+    pub blocks: usize,
+    /// Whole-trace content digest (equals [`Trace::digest`] of the same
+    /// content).
+    pub digest: u64,
+    /// Total container size in bytes.
+    pub bytes: u64,
+}
+
+impl TraceFileWriter {
+    /// Creates a container at `path` for a trace named `name`, cutting blocks
+    /// of `block_size` instructions ([`crate::DEFAULT_BLOCK_INSTS`] is the
+    /// conventional choice).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn create(
+        path: impl AsRef<Path>,
+        name: impl Into<String>,
+        block_size: usize,
+    ) -> Result<Self, TraceSourceError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path).map_err(|e| io_err(&path, e))?;
+        let mut file = BufWriter::new(file);
+        file.write_all(TRACE_MAGIC)
+            .and_then(|()| file.write_all(&0u64.to_le_bytes()))
+            .map_err(|e| io_err(&path, e))?;
+        let name = name.into();
+        let mut whole = Fnv1a::new();
+        whole.write(name.as_bytes());
+        Ok(TraceFileWriter {
+            file,
+            path,
+            name,
+            block_size: block_size.max(1),
+            buf: Vec::with_capacity(block_size.max(1)),
+            blocks: Vec::new(),
+            offset: DATA_START,
+            total: 0,
+            whole,
+            scratch: Vec::with_capacity(64),
+            next_pc: 0x1000,
+        })
+    }
+
+    /// Number of instructions pushed so far.
+    pub fn len(&self) -> usize {
+        self.total as usize
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Overrides the PC assigned to the next pushed zero-PC instruction
+    /// (loop modelling, mirroring [`crate::TraceBuilder::set_next_pc`]).
+    pub fn set_next_pc(&mut self, pc: u64) {
+        self.next_pc = pc;
+    }
+
+    /// Appends an instruction, assigning its sequence number and (if zero)
+    /// its program counter, exactly as [`crate::TraceBuilder::push`] would.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures while flushing a completed block.
+    pub fn push(&mut self, mut inst: DynInst) -> Result<(), TraceSourceError> {
+        if inst.pc == 0 {
+            inst.pc = self.next_pc;
+        }
+        self.next_pc = inst.pc + 4;
+        self.push_raw(inst)
+    }
+
+    /// Appends an instruction preserving its PC verbatim (only the sequence
+    /// number is assigned, as [`Trace::new`] does).  Used when re-containering
+    /// content that already carries final PCs.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures while flushing a completed block.
+    pub fn push_raw(&mut self, mut inst: DynInst) -> Result<(), TraceSourceError> {
+        inst.seq = self.total as InstSeq;
+        self.scratch.clear();
+        Serialize::serialize(&inst, &mut self.scratch);
+        self.whole.write(&self.scratch);
+        self.buf.push(inst);
+        self.total += 1;
+        if self.buf.len() >= self.block_size {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<(), TraceSourceError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let bytes = serde::to_bytes(&self.buf);
+        self.blocks.push(BlockMeta {
+            offset: self.offset,
+            byte_len: bytes.len() as u64,
+            inst_count: self.buf.len() as u64,
+            digest: block_digest_of(&self.buf),
+        });
+        self.file
+            .write_all(&bytes)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.offset += bytes.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the final partial block, writes the index and its digest, and
+    /// patches the index offset into the header.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn finish(mut self) -> Result<TraceFileSummary, TraceSourceError> {
+        self.flush_block()?;
+        let mut whole = self.whole.clone();
+        whole.write_u64(self.total);
+        let digest = whole.finish();
+        let index = TraceIndex {
+            name: self.name.clone(),
+            total_insts: self.total,
+            block_size: self.block_size as u64,
+            whole_digest: digest,
+            blocks: std::mem::take(&mut self.blocks),
+        };
+        let index_offset = self.offset;
+        let index_bytes = serde::to_bytes(&index);
+        let index_digest = crate::fnv1a(&index_bytes);
+        let blocks = index.blocks.len();
+        self.file
+            .write_all(&index_bytes)
+            .and_then(|()| self.file.write_all(&index_digest.to_le_bytes()))
+            .map_err(|e| io_err(&self.path, e))?;
+        let bytes = index_offset + index_bytes.len() as u64 + 8;
+        let mut file = self
+            .file
+            .into_inner()
+            .map_err(|e| TraceSourceError::Io(format!("{}: {e}", self.path.display())))?;
+        file.seek(SeekFrom::Start(TRACE_MAGIC.len() as u64))
+            .and_then(|_| file.write_all(&index_offset.to_le_bytes()))
+            .and_then(|()| file.sync_all())
+            .map_err(|e| io_err(&self.path, e))?;
+        Ok(TraceFileSummary {
+            instructions: self.total,
+            blocks,
+            digest,
+            bytes,
+        })
+    }
+
+    /// Writes an entire in-memory trace to `path` (content verbatim).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn write_trace(
+        path: impl AsRef<Path>,
+        trace: &Trace,
+        block_size: usize,
+    ) -> Result<TraceFileSummary, TraceSourceError> {
+        let mut w = TraceFileWriter::create(path, trace.name(), block_size)?;
+        for inst in trace {
+            w.push_raw(*inst)?;
+        }
+        let summary = w.finish()?;
+        debug_assert_eq!(summary.digest, trace.digest());
+        Ok(summary)
+    }
+
+    /// Streams any [`TraceSource`] into a container at `path` (content
+    /// verbatim, re-blocked to `block_size`), holding one input and one
+    /// output block in memory at a time.
+    ///
+    /// # Errors
+    ///
+    /// Source read failures and filesystem failures.
+    pub fn write_source(
+        path: impl AsRef<Path>,
+        source: &dyn TraceSource,
+        block_size: usize,
+    ) -> Result<TraceFileSummary, TraceSourceError> {
+        let mut w = TraceFileWriter::create(path, source.name(), block_size)?;
+        for b in 0..source.block_count() {
+            let block = source.block(b)?;
+            for inst in block.insts() {
+                w.push_raw(*inst)?;
+            }
+        }
+        w.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Lazily-decoding `icfp-trace/v1` reader; the on-disk [`TraceSource`].
+///
+/// `open` validates the container's structure (magic, index digest, block
+/// geometry, offsets) without reading any block data; blocks decode on first
+/// access through a bounded MRU cache, and each access prefetches the
+/// following block so sequential consumers never wait at a boundary.
+/// Thread-safe: the sweep executor shares one open file across its pool.
+#[derive(Debug)]
+pub struct TraceFile {
+    path: PathBuf,
+    index: TraceIndex,
+    file: Mutex<File>,
+    /// The shared bounded MRU cache (plus whatever single block a cursor
+    /// pins) is the entire decoded footprint of a streamed run.
+    cache: BlockCache,
+    residency: Arc<Residency>,
+}
+
+impl TraceFile {
+    /// Opens and structurally validates a container.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceSourceError`]; hostile input (truncated files, overflowing
+    /// lengths, inconsistent indices) is an error, never a panic.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceSourceError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path).map_err(|e| io_err(&path, e))?;
+        let file_len = file.metadata().map_err(|e| io_err(&path, e))?.len();
+
+        // Header: magic + index offset.
+        let mut header = [0u8; DATA_START as usize];
+        if file_len < DATA_START + 8 {
+            // Too short even for header + index digest: decide between "not
+            // ours" and "ours but cut off" by whatever magic prefix exists.
+            let mut prefix = vec![0u8; file_len.min(TRACE_MAGIC.len() as u64) as usize];
+            file.read_exact(&mut prefix).map_err(|e| io_err(&path, e))?;
+            return Err(if TRACE_MAGIC.starts_with(prefix.as_slice()) {
+                TraceSourceError::Truncated
+            } else {
+                TraceSourceError::BadMagic
+            });
+        }
+        file.read_exact(&mut header).map_err(|e| io_err(&path, e))?;
+        if &header[..TRACE_MAGIC.len()] != TRACE_MAGIC {
+            return Err(TraceSourceError::BadMagic);
+        }
+        let index_offset = u64::from_le_bytes(
+            header[TRACE_MAGIC.len()..].try_into().expect("8 bytes"),
+        );
+        // The index spans [index_offset, file_len - 8); its digest is the
+        // trailing 8 bytes.  All comparisons stay in u64 so hostile
+        // near-MAX offsets cannot overflow.
+        if index_offset < DATA_START || index_offset > file_len.saturating_sub(8) {
+            return Err(TraceSourceError::Truncated);
+        }
+        let index_len = (file_len - 8 - index_offset) as usize;
+        let mut index_bytes = vec![0u8; index_len];
+        let mut digest_bytes = [0u8; 8];
+        file.seek(SeekFrom::Start(index_offset))
+            .and_then(|_| file.read_exact(&mut index_bytes))
+            .and_then(|()| file.read_exact(&mut digest_bytes))
+            .map_err(|e| io_err(&path, e))?;
+        let expected = u64::from_le_bytes(digest_bytes);
+        let found = crate::fnv1a(&index_bytes);
+        if found != expected {
+            return Err(TraceSourceError::Corrupt(format!(
+                "index digest mismatch (recorded {expected:#018x}, found {found:#018x})"
+            )));
+        }
+        let index: TraceIndex = serde::from_bytes(&index_bytes)
+            .map_err(|e| TraceSourceError::Corrupt(format!("index does not decode: {e}")))?;
+
+        // Geometry validation: block sizes, counts and extents must be
+        // internally consistent and stay inside the data region.
+        if index.block_size == 0 && index.total_insts > 0 {
+            return Err(TraceSourceError::Corrupt("zero block size".into()));
+        }
+        let expect_blocks = if index.total_insts == 0 {
+            0
+        } else {
+            index.total_insts.div_ceil(index.block_size)
+        };
+        if index.blocks.len() as u64 != expect_blocks {
+            return Err(TraceSourceError::Corrupt(format!(
+                "index holds {} blocks, geometry implies {expect_blocks}",
+                index.blocks.len()
+            )));
+        }
+        let mut counted = 0u64;
+        for (k, b) in index.blocks.iter().enumerate() {
+            let want = if k as u64 + 1 == expect_blocks {
+                index.total_insts - index.block_size * (expect_blocks - 1)
+            } else {
+                index.block_size
+            };
+            if b.inst_count != want {
+                return Err(TraceSourceError::Corrupt(format!(
+                    "block {k} holds {} instructions, geometry implies {want}",
+                    b.inst_count
+                )));
+            }
+            let end = b.offset.checked_add(b.byte_len).ok_or_else(|| {
+                TraceSourceError::Corrupt(format!("block {k} extent overflows"))
+            })?;
+            if b.offset < DATA_START || end > index_offset {
+                return Err(TraceSourceError::Corrupt(format!(
+                    "block {k} extent [{}, {end}) lies outside the data region",
+                    b.offset
+                )));
+            }
+            counted += b.inst_count;
+        }
+        if counted != index.total_insts {
+            return Err(TraceSourceError::Corrupt(format!(
+                "block counts sum to {counted}, index claims {}",
+                index.total_insts
+            )));
+        }
+
+        Ok(TraceFile {
+            path,
+            index,
+            file: Mutex::new(file),
+            cache: BlockCache::new(RESIDENT_BLOCKS),
+            residency: Arc::new(Residency::default()),
+        })
+    }
+
+    /// The file the container was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Serves one block through the shared cache, decoding on a miss.
+    fn fetch(&self, index: usize) -> Result<Arc<TraceBlock>, TraceSourceError> {
+        self.cache.get_or_insert(index, || self.decode(index))
+    }
+
+    /// Reads, decodes and validates one block from disk.
+    fn decode(&self, index: usize) -> Result<Arc<TraceBlock>, TraceSourceError> {
+        let count = self.index.blocks.len();
+        let Some(meta) = self.index.blocks.get(index) else {
+            return Err(TraceSourceError::BlockOutOfRange { index, count });
+        };
+        let mut bytes = vec![0u8; meta.byte_len as usize];
+        {
+            let mut file = self.file.lock().expect("trace file lock");
+            file.seek(SeekFrom::Start(meta.offset))
+                .and_then(|_| file.read_exact(&mut bytes))
+                .map_err(|e| io_err(&self.path, e))?;
+        }
+        let insts: Vec<DynInst> = serde::from_bytes(&bytes).map_err(|e| {
+            TraceSourceError::Corrupt(format!("block {index} does not decode: {e}"))
+        })?;
+        if insts.len() as u64 != meta.inst_count {
+            return Err(TraceSourceError::Corrupt(format!(
+                "block {index} decoded {} instructions, index claims {}",
+                insts.len(),
+                meta.inst_count
+            )));
+        }
+        let found = block_digest_of(&insts);
+        if found != meta.digest {
+            return Err(TraceSourceError::BlockDigestMismatch {
+                index,
+                expected: meta.digest,
+                found,
+            });
+        }
+        Ok(Arc::new(TraceBlock::counted(
+            index * self.index.block_size as usize,
+            insts,
+            &self.residency,
+        )))
+    }
+
+    /// Decodes and digest-checks every block and re-derives the whole-trace
+    /// digest, in one bounded-memory pass.
+    ///
+    /// # Errors
+    ///
+    /// The first corruption found.
+    pub fn verify(&self) -> Result<(), TraceSourceError> {
+        let mut whole = Fnv1a::new();
+        whole.write(self.index.name.as_bytes());
+        let mut buf = Vec::with_capacity(64);
+        for k in 0..self.block_count() {
+            let block = self.block(k)?;
+            for inst in block.insts() {
+                buf.clear();
+                Serialize::serialize(inst, &mut buf);
+                whole.write(&buf);
+            }
+        }
+        whole.write_u64(self.index.total_insts);
+        let found = whole.finish();
+        if found != self.index.whole_digest {
+            return Err(TraceSourceError::Corrupt(format!(
+                "whole-trace digest mismatch (recorded {:#018x}, found {found:#018x})",
+                self.index.whole_digest
+            )));
+        }
+        Ok(())
+    }
+
+    /// A one-line human-readable description (`trace info`).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} insts in {} blocks of {} ({} resident max), digest {:#018x}",
+            self.index.name,
+            self.index.total_insts,
+            self.index.blocks.len(),
+            self.index.block_size,
+            RESIDENT_BLOCKS,
+            self.index.whole_digest
+        )
+    }
+}
+
+impl TraceSource for TraceFile {
+    fn name(&self) -> &str {
+        &self.index.name
+    }
+
+    fn len(&self) -> usize {
+        self.index.total_insts as usize
+    }
+
+    fn digest(&self) -> u64 {
+        self.index.whole_digest
+    }
+
+    fn block_size(&self) -> usize {
+        self.index.block_size as usize
+    }
+
+    fn block(&self, index: usize) -> Result<Arc<TraceBlock>, TraceSourceError> {
+        let block = self.fetch(index)?;
+        // Prefetch: bring the next block in while the consumer works through
+        // this one, so sequential streaming never stalls at a boundary.  A
+        // prefetch failure is deliberately ignored here — if the consumer
+        // really reaches that block, the demand fetch will surface the error.
+        if index + 1 < self.index.blocks.len() {
+            let _ = self.fetch(index + 1);
+        }
+        Ok(block)
+    }
+
+    fn block_digest(&self, index: usize) -> Result<u64, TraceSourceError> {
+        self.index
+            .blocks
+            .get(index)
+            .map(|b| b.digest)
+            .ok_or(TraceSourceError::BlockOutOfRange {
+                index,
+                count: self.index.blocks.len(),
+            })
+    }
+
+    fn residency(&self) -> Option<&Residency> {
+        Some(&self.residency)
+    }
+}
+
+impl From<TraceFile> for Arc<dyn TraceSource> {
+    fn from(f: TraceFile) -> Self {
+        Arc::new(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Reg, TraceBuilder, TraceCursor};
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("icfp-trace-test-{}-{name}", std::process::id()))
+    }
+
+    fn sample_trace(n: u64) -> Trace {
+        let mut b = TraceBuilder::new("file-test");
+        for k in 0..n {
+            b.push(DynInst::load(Reg::int(1), Reg::int(2), 0x1000 + k * 64));
+            b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), k));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn round_trips_content_blocks_and_digests() {
+        let t = sample_trace(40); // 80 insts
+        let path = tmp("roundtrip");
+        let summary = TraceFileWriter::write_trace(&path, &t, 16).expect("write");
+        assert_eq!(summary.instructions, 80);
+        assert_eq!(summary.blocks, 5);
+        assert_eq!(summary.digest, t.digest());
+
+        let f = TraceFile::open(&path).expect("open");
+        assert_eq!(f.name(), "file-test");
+        assert_eq!(f.len(), 80);
+        assert_eq!(f.digest(), t.digest());
+        assert_eq!(f.block_count(), 5);
+        f.verify().expect("verify");
+
+        let cur = TraceCursor::new(&f);
+        for (k, want) in t.iter().enumerate() {
+            assert_eq!(&cur.get(k), want, "inst {k}");
+        }
+        // Random access back into an earlier block works too.
+        assert_eq!(&cur.get(3), t.get(3).unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn residency_stays_bounded_while_streaming() {
+        let t = sample_trace(200); // 400 insts, 25 blocks of 16
+        let path = tmp("residency");
+        TraceFileWriter::write_trace(&path, &t, 16).expect("write");
+        let f = TraceFile::open(&path).expect("open");
+        let cur = TraceCursor::new(&f);
+        for k in 0..f.len() {
+            let _ = cur.get(k);
+        }
+        let r = f.residency().expect("file source is counted");
+        assert!(
+            r.peak() <= RESIDENT_BLOCKS + 1,
+            "peak resident blocks {} exceeds the bound",
+            r.peak()
+        );
+        assert!(r.peak() >= 2, "prefetch should have been exercised");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let path = tmp("empty");
+        let w = TraceFileWriter::create(&path, "empty", 16).expect("create");
+        let s = w.finish().expect("finish");
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.blocks, 0);
+        let f = TraceFile::open(&path).expect("open");
+        assert!(f.is_empty());
+        assert_eq!(f.block_count(), 0);
+        assert_eq!(f.digest(), Trace::new("empty", vec![]).digest());
+        f.verify().expect("verify empty");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn writer_assigns_pc_and_seq_like_trace_builder() {
+        let path = tmp("pcassign");
+        let mut w = TraceFileWriter::create(&path, "pc", 4).expect("create");
+        w.push(DynInst::nop()).unwrap();
+        w.set_next_pc(0x1000);
+        w.push(DynInst::nop()).unwrap();
+        w.finish().unwrap();
+
+        let mut b = TraceBuilder::new("pc");
+        b.push(DynInst::nop());
+        b.set_next_pc(0x1000);
+        b.push(DynInst::nop());
+        let t = b.build();
+
+        let f = TraceFile::open(&path).expect("open");
+        assert_eq!(f.digest(), t.digest(), "writer must mirror TraceBuilder");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_errors() {
+        let t = sample_trace(10);
+        let path = tmp("hostile");
+        TraceFileWriter::write_trace(&path, &t, 8).expect("write");
+        let bytes = std::fs::read(&path).expect("read back");
+
+        // Wrong magic.
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xFF;
+        std::fs::write(&path, &wrong).unwrap();
+        assert_eq!(TraceFile::open(&path), fail_with_bad_magic());
+
+        // Truncations at every structurally interesting point.
+        for cut in [0usize, 5, TRACE_MAGIC.len(), 20, 22, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = TraceFile::open(&path).expect_err("truncated must fail");
+            assert!(
+                matches!(
+                    err,
+                    TraceSourceError::Truncated | TraceSourceError::Corrupt(_)
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn fail_with_bad_magic() -> Result<TraceFile, TraceSourceError> {
+        Err(TraceSourceError::BadMagic)
+    }
+
+    impl PartialEq for TraceFile {
+        fn eq(&self, other: &Self) -> bool {
+            self.index == other.index
+        }
+    }
+
+    #[test]
+    fn flipped_block_byte_is_a_digest_mismatch_not_a_panic() {
+        let t = sample_trace(20);
+        let path = tmp("flip");
+        TraceFileWriter::write_trace(&path, &t, 8).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read back");
+        // Flip a byte inside the first block's instruction data (past its
+        // 8-byte Vec length prefix).
+        let target = DATA_START as usize + 12;
+        bytes[target] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let f = TraceFile::open(&path).expect("structure still valid");
+        match f.block(0) {
+            Err(TraceSourceError::BlockDigestMismatch { index: 0, .. })
+            | Err(TraceSourceError::Corrupt(_)) => {}
+            other => panic!("expected block corruption, got {other:?}"),
+        }
+        assert!(f.verify().is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hostile_index_offset_and_lengths_are_errors() {
+        let t = sample_trace(10);
+        let path = tmp("hostile-index");
+        TraceFileWriter::write_trace(&path, &t, 8).expect("write");
+        let bytes = std::fs::read(&path).expect("read back");
+
+        // Index offset pointing past the end / to u64::MAX.
+        for evil in [u64::MAX, bytes.len() as u64 + 5, 1] {
+            let mut b = bytes.clone();
+            b[TRACE_MAGIC.len()..DATA_START as usize].copy_from_slice(&evil.to_le_bytes());
+            std::fs::write(&path, &b).unwrap();
+            let err = TraceFile::open(&path).expect_err("hostile offset");
+            assert!(
+                matches!(
+                    err,
+                    TraceSourceError::Truncated | TraceSourceError::Corrupt(_)
+                ),
+                "offset {evil}: {err}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_source_reblocks_identically() {
+        let t = sample_trace(30); // 60 insts
+        let src = crate::ArenaSource::with_block_size(t.clone(), 7);
+        let path = tmp("reblock");
+        let s = TraceFileWriter::write_source(&path, &src, 16).expect("write");
+        assert_eq!(s.instructions, 60);
+        assert_eq!(s.digest, t.digest());
+        let f = TraceFile::open(&path).expect("open");
+        assert_eq!(f.block_size(), 16);
+        f.verify().expect("verify");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,4 +1,4 @@
-//! The `icfp-ckpt/v1` checkpoint format.
+//! The `icfp-ckpt/v2` checkpoint format.
 //!
 //! A [`SimCheckpoint`] captures a running [`Simulator`](crate::Simulator) —
 //! the core engine's complete serialized state (register file and poison
@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! offset  size  field
-//! 0       12    magic: the ASCII bytes "icfp-ckpt/v1"
+//! 0       12    magic: the ASCII bytes "icfp-ckpt/v2"
 //! 12      8     payload length (u64 LE)
 //! 20      n     payload: SimCheckpoint in the vendored-serde binary format
 //! 20+n    8     FNV-1a digest of the payload (u64 LE)
@@ -22,6 +22,13 @@
 //! the payload itself embeds the trace's name/length/digest — so a resume
 //! against corrupt bytes, a future incompatible format, or the wrong trace
 //! all fail loudly instead of silently diverging.
+//!
+//! v2 (the block-streaming release) extends the payload with the resume
+//! point's *block coordinates* — block size, resume block index and that
+//! block's content digest — so resuming against a block-based source
+//! ([`icfp_isa::TraceSource`]) validates and seeks directly to the resume
+//! block instead of re-reading the trace from the start.  v1 containers
+//! (which predate block geometry) are rejected by magic.
 
 use crate::SimConfig;
 use icfp_core::EngineSnapshot;
@@ -30,7 +37,7 @@ use std::fmt;
 use std::path::Path;
 
 /// Magic prefix of the on-disk container (also the format version).
-pub const CKPT_MAGIC: &[u8; 12] = b"icfp-ckpt/v1";
+pub const CKPT_MAGIC: &[u8; 12] = b"icfp-ckpt/v2";
 
 /// A captured simulation: engine snapshot plus trace identity.  Produced by
 /// [`Simulator::checkpoint`](crate::Simulator::checkpoint), consumed by
@@ -43,8 +50,18 @@ pub struct SimCheckpoint {
     pub workload: String,
     /// Length of that trace in dynamic instructions.
     pub trace_len: u64,
-    /// [`Trace::digest`](icfp_isa::Trace::digest) of that trace.
+    /// [`Trace::digest`](icfp_isa::Trace::digest) of that trace (equal to
+    /// [`icfp_isa::TraceSource::digest`] of any backing with this content).
     pub trace_digest: u64,
+    /// Block size of the source the checkpoint was taken against
+    /// (instructions per block).
+    pub block_size: u64,
+    /// Index of the block holding the next unprocessed instruction — where
+    /// resume seeks to.
+    pub resume_block: u64,
+    /// [`icfp_isa::block_digest_of`] the resume block, validated on resume
+    /// when the source's block geometry matches.
+    pub resume_block_digest: u64,
     /// The engine's serialized state.
     pub snapshot: EngineSnapshot,
 }
@@ -80,6 +97,20 @@ pub enum CkptError {
         /// Identity of the trace supplied to `resume`.
         found: String,
     },
+    /// The resume block's content digest does not match the checkpoint
+    /// (same trace identity but different block content — a damaged or
+    /// inconsistent source).
+    BlockMismatch {
+        /// The resume block index.
+        block: u64,
+        /// Digest recorded in the checkpoint.
+        expected: u64,
+        /// Digest the source reports.
+        found: u64,
+    },
+    /// The trace source failed while producing resume-point block data
+    /// (I/O error, container corruption).
+    Source(String),
     /// Filesystem error while reading/writing a checkpoint file.
     Io(String),
 }
@@ -102,6 +133,15 @@ impl fmt::Display for CkptError {
                 f,
                 "checkpoint was taken against trace {expected}, resume got {found}"
             ),
+            CkptError::BlockMismatch {
+                block,
+                expected,
+                found,
+            } => write!(
+                f,
+                "resume block {block} digest mismatch (checkpoint {expected:#018x}, source {found:#018x})"
+            ),
+            CkptError::Source(e) => write!(f, "trace source: {e}"),
             CkptError::Io(e) => write!(f, "checkpoint i/o: {e}"),
         }
     }

@@ -32,7 +32,7 @@ pub use ckpt::{CkptError, SimCheckpoint};
 pub use icfp_core::{CoreEngine, CoreModel, EngineSnapshot};
 
 use icfp_core::CoreConfig;
-use icfp_isa::{Cycle, Trace};
+use icfp_isa::{Cycle, Trace, TraceCursor, TraceSource};
 use icfp_pipeline::RunResult;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -157,14 +157,22 @@ impl SimReport {
 /// noise in both directions, unlike best-of-N.  This is the one timing
 /// protocol shared by the bench harness and the sweep executor.
 pub fn median_run(config: &SimConfig, trace: &Trace, reps: u32) -> SimReport {
+    median_protocol(reps, || Simulator::new(config.clone()).run(trace))
+}
+
+/// [`median_run`] over any block-based source — the entry point for sweep
+/// columns (one shared `Arc<dyn TraceSource>` per workload) and for
+/// `--trace-file` benches whose traces never fully materialize.
+pub fn median_run_source(config: &SimConfig, source: &dyn TraceSource, reps: u32) -> SimReport {
+    median_protocol(reps, || Simulator::new(config.clone()).run_source(source))
+}
+
+fn median_protocol(reps: u32, mut one_run: impl FnMut() -> SimReport) -> SimReport {
     let reps = reps.max(1);
     if reps > 1 {
-        let mut warm = Simulator::new(config.clone());
-        let _ = warm.run(trace);
+        let _ = one_run(); // untimed warmup
     }
-    let mut reports: Vec<SimReport> = (0..reps)
-        .map(|_| Simulator::new(config.clone()).run(trace))
-        .collect();
+    let mut reports: Vec<SimReport> = (0..reps).map(|_| one_run()).collect();
     debug_assert!(
         reports
             .windows(2)
@@ -191,12 +199,15 @@ pub enum StepStatus {
 
 enum Backend {
     Idle,
-    /// An engine from the registry plus the loaded trace and accumulated host
-    /// simulation time.  The trace is reference-counted so sweep columns can
-    /// share one decoded arena across many concurrent simulators.
+    /// An engine from the registry plus the loaded trace source and
+    /// accumulated host simulation time.  The source is reference-counted so
+    /// sweep columns share one backing (decoded arena, open trace file,
+    /// generator) across many concurrent simulators; per-call cursors read
+    /// through it, and streamed backings keep their decoded-block caches
+    /// across batched-stepping calls.
     Loaded {
         engine: Box<dyn CoreEngine>,
-        trace: Arc<Trace>,
+        source: Arc<dyn TraceSource>,
         host_seconds: f64,
     },
 }
@@ -224,6 +235,18 @@ impl Simulator {
 
     /// Simulates `trace` to completion and reports timing plus throughput.
     pub fn run(&mut self, trace: &Trace) -> SimReport {
+        self.run_cursor(&TraceCursor::from_trace(trace))
+    }
+
+    /// Simulates the trace behind any block-based source to completion —
+    /// arena-backed sources take the cursor's zero-cost fast path; streamed
+    /// sources (trace files, generators) stay bounded to a handful of
+    /// resident blocks however long the trace is.
+    pub fn run_source(&mut self, source: &dyn TraceSource) -> SimReport {
+        self.run_cursor(&TraceCursor::new(source))
+    }
+
+    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> SimReport {
         let t0 = Instant::now();
         let mut engine = self.config.core.engine(&self.config.cfg);
         while engine.step(trace) {}
@@ -235,12 +258,16 @@ impl Simulator {
     /// incrementally; the other models — whole-trace designs — simulate to
     /// completion on the first [`Simulator::step_n`] call.
     ///
-    /// Accepts an owned [`Trace`] or an `Arc<Trace>`; passing the `Arc`
-    /// shares one decoded instruction arena across simulators (sweep columns).
-    pub fn load(&mut self, trace: impl Into<Arc<Trace>>) {
+    /// Accepts anything convertible to a shared [`TraceSource`]: an owned
+    /// [`Trace`] (wrapped in an arena source), an
+    /// [`icfp_isa::ArenaSource`], an open [`icfp_isa::TraceFile`], a
+    /// generator-backed `icfp_workloads::WorkloadSource`, or an
+    /// `Arc<dyn TraceSource>` already shared across simulators (sweep
+    /// columns).
+    pub fn load(&mut self, source: impl Into<Arc<dyn TraceSource>>) {
         self.backend = Backend::Loaded {
             engine: self.config.core.engine(&self.config.cfg),
-            trace: trace.into(),
+            source: source.into(),
             host_seconds: 0.0,
         };
     }
@@ -255,17 +282,18 @@ impl Simulator {
     pub fn step_n(&mut self, cycles: Cycle) -> StepStatus {
         let Backend::Loaded {
             engine,
-            trace,
+            source,
             host_seconds,
         } = &mut self.backend
         else {
             panic!("step_n without a loaded trace; call Simulator::load first");
         };
+        let trace = TraceCursor::new(&**source);
         let t0 = Instant::now();
         let target = engine.cycle().saturating_add(cycles);
         let mut alive = true;
         while engine.cycle() < target {
-            if !engine.step(trace) {
+            if !engine.step(&trace) {
                 alive = false;
                 break;
             }
@@ -277,14 +305,16 @@ impl Simulator {
                 processed: engine.processed(),
             };
         }
+        drop(trace);
         let Backend::Loaded {
             mut engine,
-            trace,
+            source,
             mut host_seconds,
         } = std::mem::replace(&mut self.backend, Backend::Idle)
         else {
             unreachable!()
         };
+        let trace = TraceCursor::new(&*source);
         let t1 = Instant::now();
         let result = engine.drain(&trace);
         host_seconds += t1.elapsed().as_secs_f64();
@@ -306,16 +336,17 @@ impl Simulator {
     pub fn advance_to_inst(&mut self, target: usize) -> bool {
         let Backend::Loaded {
             engine,
-            trace,
+            source,
             host_seconds,
         } = &mut self.backend
         else {
             panic!("advance_to_inst without a loaded trace; call Simulator::load first");
         };
+        let trace = TraceCursor::new(&**source);
         let t0 = Instant::now();
         let mut alive = true;
         while engine.processed() < target {
-            if !engine.step(trace) {
+            if !engine.step(&trace) {
                 alive = false;
                 break;
             }
@@ -326,23 +357,40 @@ impl Simulator {
 
     /// Captures the loaded run as a [`SimCheckpoint`]: the engine's complete
     /// serialized state plus the identity (name, length, digest) of the trace
-    /// it was simulating.  The simulator keeps running — checkpointing is
-    /// non-destructive.
+    /// it was simulating and the block coordinates of the resume point (block
+    /// geometry, resume block index, that block's digest), so a resume can
+    /// validate and seek *directly* to the right block of a streamed source
+    /// without touching anything before it.  The simulator keeps running —
+    /// checkpointing is non-destructive.
     ///
     /// # Errors
     ///
-    /// Fails if no trace is loaded or the engine cannot serialize (already
-    /// drained).
+    /// Fails if no trace is loaded, the engine cannot serialize (already
+    /// drained), or the source cannot produce the resume block's digest.
     pub fn checkpoint(&self) -> Result<SimCheckpoint, CkptError> {
-        let Backend::Loaded { engine, trace, .. } = &self.backend else {
+        let Backend::Loaded { engine, source, .. } = &self.backend else {
             return Err(CkptError::NotLoaded);
         };
         let snapshot = engine.save().map_err(CkptError::Engine)?;
+        let block_size = source.block_size().max(1) as u64;
+        let (resume_block, resume_block_digest) = if source.is_empty() {
+            (0, 0)
+        } else {
+            let blk = (engine.processed() / block_size as usize)
+                .min(source.block_count() - 1);
+            let digest = source
+                .block_digest(blk)
+                .map_err(|e| CkptError::Source(e.to_string()))?;
+            (blk as u64, digest)
+        };
         Ok(SimCheckpoint {
             config: self.config.clone(),
-            workload: trace.name().to_string(),
-            trace_len: trace.len() as u64,
-            trace_digest: trace.digest(),
+            workload: source.name().to_string(),
+            trace_len: source.len() as u64,
+            trace_digest: source.digest(),
+            block_size,
+            resume_block,
+            resume_block_digest,
             snapshot,
         })
     }
@@ -352,23 +400,50 @@ impl Simulator {
     /// [`Simulator::advance_to_inst`]) produces cycle counts, statistics and
     /// state digests bit-identical to the uninterrupted run.
     ///
+    /// Validation is two-level: the trace identity (name, length,
+    /// whole-trace digest — O(1) for arenas with a cached digest and for
+    /// trace files, whose header records it), and, when the source's block
+    /// geometry matches the checkpoint's, the *resume block's* digest.  The
+    /// resume block is then fetched, which seeks a streamed source directly
+    /// to the right offset — nothing before it is read, let alone decoded.
+    ///
     /// # Errors
     ///
-    /// Fails if the trace's name, length or digest do not match what the
-    /// checkpoint recorded, or if the snapshot cannot be restored.
+    /// Fails if the trace's identity or resume-block digest do not match
+    /// what the checkpoint recorded, or if the snapshot cannot be restored.
     pub fn resume(
         ckpt: &SimCheckpoint,
-        trace: impl Into<Arc<Trace>>,
+        source: impl Into<Arc<dyn TraceSource>>,
     ) -> Result<Simulator, CkptError> {
-        let trace: Arc<Trace> = trace.into();
-        if trace.name() != ckpt.workload
-            || trace.len() as u64 != ckpt.trace_len
-            || trace.digest() != ckpt.trace_digest
+        let source: Arc<dyn TraceSource> = source.into();
+        if source.name() != ckpt.workload
+            || source.len() as u64 != ckpt.trace_len
+            || source.digest() != ckpt.trace_digest
         {
             return Err(CkptError::TraceMismatch {
                 expected: format!("{} ({} insts, {:#018x})", ckpt.workload, ckpt.trace_len, ckpt.trace_digest),
-                found: format!("{} ({} insts, {:#018x})", trace.name(), trace.len(), trace.digest()),
+                found: format!("{} ({} insts, {:#018x})", source.name(), source.len(), source.digest()),
             });
+        }
+        if !source.is_empty() && source.block_size() as u64 == ckpt.block_size {
+            let blk = ckpt.resume_block as usize;
+            let found = source
+                .block_digest(blk)
+                .map_err(|e| CkptError::Source(e.to_string()))?;
+            if found != ckpt.resume_block_digest {
+                return Err(CkptError::BlockMismatch {
+                    block: ckpt.resume_block,
+                    expected: ckpt.resume_block_digest,
+                    found,
+                });
+            }
+            if source.as_arena().is_none() {
+                // Seek: pull the resume block into the streamed source's
+                // cache so the first step after resume pays no fault.
+                source
+                    .block(blk)
+                    .map_err(|e| CkptError::Source(e.to_string()))?;
+            }
         }
         let mut engine = ckpt.config.core.engine(&ckpt.config.cfg);
         engine.restore(&ckpt.snapshot).map_err(CkptError::Engine)?;
@@ -376,7 +451,7 @@ impl Simulator {
             config: ckpt.config.clone(),
             backend: Backend::Loaded {
                 engine,
-                trace,
+                source,
                 host_seconds: 0.0,
             },
         })

@@ -19,12 +19,14 @@
 //!   state digest) with a deterministic [`SweepReport::digest`], a
 //!   `BENCH_sweep.json` serializer and an aligned text matrix renderer.
 //!
-//! ## Shared traces and warm-forking
+//! ## Shared sources and warm-forking
 //!
 //! Every cell of a workload column simulates the identical trace, so the
-//! executor decodes each column's trace **once** into an `Arc<Trace>` shared
-//! by all of that column's jobs — large grids no longer pay per-job trace
-//! generation or hold per-job copies.
+//! executor builds each column's trace **once** as an
+//! `Arc<dyn TraceSource>` shared by all of that column's jobs — large grids
+//! no longer pay per-job trace generation or hold per-job copies, and a
+//! column backed by a streamed source (an `icfp-trace/v1` file, a resumable
+//! generator) shares one bounded block cache across the whole pool.
 //!
 //! With [`SweepSpec::warm_fork`] enabled, jobs are additionally grouped so
 //! that cells whose deterministic inputs are provably identical — same
@@ -47,7 +49,7 @@
 #![warn(missing_docs)]
 
 use icfp_core::{CoreConfig, CoreModel};
-use icfp_isa::Trace;
+use icfp_isa::{ArenaSource, Trace, TraceSource};
 use icfp_sim::{SimConfig, SimReport, Simulator};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -212,11 +214,19 @@ impl SweepJob {
         self.run_with_trace(&trace)
     }
 
-    /// Executes the job against an already generated trace (the executor
-    /// shares one `Arc<Trace>` per workload column across the pool).
+    /// Executes the job against an already generated trace.
     pub fn run_with_trace(&self, trace: &Trace) -> SweepCell {
         let config = SimConfig::with_config(self.model, self.config.clone());
         let median = icfp_sim::median_run(&config, trace, self.reps);
+        self.cell_from_report(&median)
+    }
+
+    /// Executes the job against a shared block-based source (the executor
+    /// shares one `Arc<dyn TraceSource>` per workload column across the
+    /// pool).  Deterministic outputs are independent of the backing.
+    pub fn run_with_source(&self, source: &dyn TraceSource) -> SweepCell {
+        let config = SimConfig::with_config(self.model, self.config.clone());
+        let median = icfp_sim::median_run_source(&config, source, self.reps);
         self.cell_from_report(&median)
     }
 
@@ -517,11 +527,11 @@ fn plan_groups(spec: &SweepSpec, jobs: &[SweepJob]) -> Vec<ForkGroup> {
 fn run_fork_group(
     jobs: &[SweepJob],
     group: &ForkGroup,
-    trace: &Arc<Trace>,
+    trace: &Arc<dyn TraceSource>,
 ) -> Vec<(usize, SweepCell)> {
     let leader = &jobs[group.jobs[0]];
     if group.jobs.len() == 1 {
-        return vec![(leader.index, leader.run_with_trace(trace))];
+        return vec![(leader.index, leader.run_with_source(&**trace))];
     }
     let mut sim = Simulator::new(SimConfig::with_config(leader.model, leader.config.clone()));
     sim.load(Arc::clone(trace));
@@ -564,14 +574,17 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, String
     let jobs = spec.expand();
     let n = jobs.len();
 
-    // One decoded trace per workload column, shared by reference everywhere.
-    let mut traces: HashMap<&str, Arc<Trace>> = HashMap::new();
+    // One trace source per workload column, shared by reference everywhere.
+    // Standard workloads materialize once into an arena (the cursor fast
+    // path); the same map could equally hold streamed sources — cells are
+    // backing-independent.
+    let mut traces: HashMap<&str, Arc<dyn TraceSource>> = HashMap::new();
     for w in &spec.workloads {
         traces.entry(w.as_str()).or_insert_with(|| {
-            Arc::new(
+            Arc::new(ArenaSource::new(
                 icfp_workloads::by_name(w, spec.insts, spec.workload_seed(w))
                     .expect("workload validated by SweepSpec::validate"),
-            )
+            ))
         });
     }
 
@@ -587,7 +600,7 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, String
         if spec.warm_fork {
             run_fork_group(&jobs, group, trace)
         } else {
-            vec![(leader.index, leader.run_with_trace(trace))]
+            vec![(leader.index, leader.run_with_source(&**trace))]
         }
     };
 

@@ -1,0 +1,496 @@
+//! `icfp-bbp/v1` — a basic-block-profile text format and its converter.
+//!
+//! The real-workload frontend: external traces arrive as a compact,
+//! hand-editable text profile — static basic blocks plus dynamic repeat
+//! counts — and convert into the workspace's dynamic-instruction stream (an
+//! in-memory [`Trace`] or, streamed through the `icfp-trace/v1` writer, an
+//! on-disk container that never fully materializes).  This mirrors how
+//! trace-driven simulators ingest SPEC/Alpha-style basic-block profiles: the
+//! profile compresses billions of dynamic instructions into blocks × counts.
+//!
+//! ## Grammar (line-oriented; `#` starts a comment)
+//!
+//! ```text
+//! name <workload-name>             # trace name (default: the file stem)
+//! pc 0x2000                        # set the next instruction's PC
+//! loop <count> ... end             # repeat the body <count> times (nestable)
+//! ld  r<D>, r<B>, <addr>           # load  r<D> = mem[<addr>]
+//! st  r<S>, r<B>, <addr>           # store mem[<addr>] = r<S>
+//! add|sub|and|or|xor|shl|shr|cmplt|mul|fadd|fmul <dst>, <src1>[, <src2>|#imm]
+//! br  r<C>, t|n, 0x<target> [<predictability>]
+//! nop
+//! ```
+//!
+//! Registers are `r0..r31` (integer) and `f0..f31` (floating point).
+//! `<addr>` is either a literal (`0x40000`) or a stride pattern
+//! (`0x40000+64*i`), where `i` is the innermost enclosing loop's iteration
+//! index — enough to express pointer walks, streaming scans and conflict
+//! sets.  A `pc` directive inside a loop re-applies every iteration, which
+//! models revisiting the same static PCs (what the branch predictor and
+//! stream prefetcher care about).
+//!
+//! Parsing is strict: any malformed line is a [`BbpError`] naming the line
+//! number — hostile input never panics.
+
+use crate::gen::TraceSink;
+use icfp_isa::{DynInst, Op, Reg, Trace, TraceBuilder, NUM_FP_REGS, NUM_INT_REGS};
+use std::fmt;
+
+/// A parse error, pointing at the offending line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BbpError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for BbpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bbp line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for BbpError {}
+
+fn err(line: usize, msg: impl Into<String>) -> BbpError {
+    BbpError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// An effective-address expression: `base [+ stride*i]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AddrExpr {
+    base: u64,
+    stride: u64,
+}
+
+impl AddrExpr {
+    fn resolve(self, iter: u64) -> u64 {
+        self.base.wrapping_add(self.stride.wrapping_mul(iter))
+    }
+}
+
+/// One parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+enum Item {
+    SetPc(u64),
+    Load {
+        dst: Reg,
+        base: Reg,
+        addr: AddrExpr,
+    },
+    Store {
+        data: Reg,
+        base: Reg,
+        addr: AddrExpr,
+    },
+    Alu {
+        op: Op,
+        dst: Reg,
+        src1: Reg,
+        src2: Option<Reg>,
+        imm: u64,
+    },
+    Branch {
+        cond: Reg,
+        taken: bool,
+        target: u64,
+        predictability: f32,
+    },
+    Nop,
+    Loop {
+        count: u64,
+        body: Vec<Item>,
+    },
+}
+
+/// A parsed `icfp-bbp/v1` program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BbpProgram {
+    /// Trace name (`name` directive), if present.
+    pub name: Option<String>,
+    items: Vec<Item>,
+}
+
+impl BbpProgram {
+    /// Total dynamic instructions the program expands to (loops multiplied
+    /// out; saturating so hostile counts cannot overflow).
+    pub fn dynamic_len(&self) -> u64 {
+        fn count(items: &[Item]) -> u64 {
+            items
+                .iter()
+                .map(|i| match i {
+                    Item::SetPc(_) => 0,
+                    Item::Loop { count: n, body } => n.saturating_mul(count(body)),
+                    _ => 1,
+                })
+                .fold(0u64, u64::saturating_add)
+        }
+        count(&self.items)
+    }
+
+    /// Expands the program into `sink` (a [`TraceBuilder`], the
+    /// `icfp-trace/v1` writer adapter, ...).  Memory use is bounded by the
+    /// parsed program, not the dynamic stream.
+    pub fn emit(&self, sink: &mut dyn TraceSink) {
+        emit_items(&self.items, 0, sink);
+    }
+
+    /// Expands the program into an in-memory [`Trace`] named `fallback_name`
+    /// unless the program names itself.
+    pub fn to_trace(&self, fallback_name: &str) -> Trace {
+        let name = self.name.as_deref().unwrap_or(fallback_name);
+        let mut b = TraceBuilder::new(name);
+        self.emit(&mut b);
+        b.build()
+    }
+}
+
+fn emit_items(items: &[Item], iter: u64, sink: &mut dyn TraceSink) {
+    for item in items {
+        match item {
+            Item::SetPc(pc) => sink.set_next_pc(*pc),
+            Item::Load { dst, base, addr } => {
+                sink.push(DynInst::load(*dst, *base, addr.resolve(iter)));
+            }
+            Item::Store { data, base, addr } => {
+                sink.push(DynInst::store(*data, *base, addr.resolve(iter)));
+            }
+            Item::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+                imm,
+            } => match src2 {
+                Some(s2) => sink.push(DynInst::alu(*op, *dst, *src1, *s2)),
+                None => sink.push(DynInst::alu_imm(*op, *dst, *src1, *imm)),
+            },
+            Item::Branch {
+                cond,
+                taken,
+                target,
+                predictability,
+            } => {
+                sink.push(DynInst::branch(*cond, *taken, *target, *predictability));
+            }
+            Item::Nop => sink.push(DynInst::nop()),
+            Item::Loop { count, body } => {
+                for k in 0..*count {
+                    emit_items(body, k, sink);
+                }
+            }
+        }
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, BbpError> {
+    let (class, rest) = tok
+        .split_at_checked(1)
+        .ok_or_else(|| err(line, format!("expected a register, got {tok:?}")))?;
+    let n: usize = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register {tok:?}")))?;
+    match class {
+        "r" if n < NUM_INT_REGS => Ok(Reg::int(n)),
+        "f" if n < NUM_FP_REGS => Ok(Reg::fp(n)),
+        "r" | "f" => Err(err(line, format!("register {tok:?} out of range"))),
+        _ => Err(err(line, format!("expected a register, got {tok:?}"))),
+    }
+}
+
+fn parse_u64(tok: &str, line: usize, what: &str) -> Result<u64, BbpError> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| err(line, format!("bad {what} {tok:?}")))
+}
+
+/// `0xBASE` or `0xBASE+STRIDE*i`.
+fn parse_addr(tok: &str, line: usize) -> Result<AddrExpr, BbpError> {
+    match tok.split_once('+') {
+        None => Ok(AddrExpr {
+            base: parse_u64(tok, line, "address")?,
+            stride: 0,
+        }),
+        Some((base, rest)) => {
+            let stride = rest
+                .strip_suffix("*i")
+                .ok_or_else(|| err(line, format!("bad address pattern {tok:?} (want BASE+STRIDE*i)")))?;
+            Ok(AddrExpr {
+                base: parse_u64(base, line, "address")?,
+                stride: parse_u64(stride, line, "stride")?,
+            })
+        }
+    }
+}
+
+fn alu_op(mnemonic: &str) -> Option<Op> {
+    Some(match mnemonic {
+        "add" => Op::Add,
+        "sub" => Op::Sub,
+        "and" => Op::And,
+        "or" => Op::Or,
+        "xor" => Op::Xor,
+        "shl" => Op::Shl,
+        "shr" => Op::Shr,
+        "cmplt" => Op::CmpLt,
+        "mul" => Op::Mul,
+        "fadd" => Op::FpAdd,
+        "fmul" => Op::FpMul,
+        _ => return None,
+    })
+}
+
+/// Parses an `icfp-bbp/v1` document.
+///
+/// # Errors
+///
+/// A [`BbpError`] naming the first malformed line.
+pub fn parse(text: &str) -> Result<BbpProgram, BbpError> {
+    let mut name = None;
+    // Stack of open scopes: the bottom is the program body, every `loop`
+    // pushes (count, body).
+    let mut stack: Vec<(u64, Vec<Item>)> = vec![(1, Vec::new())];
+    let mut loop_lines: Vec<usize> = Vec::new();
+
+    for (k, raw) in text.lines().enumerate() {
+        let line = k + 1;
+        let code = raw.split('#').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = code
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|t| !t.is_empty())
+            .collect();
+        let (mnemonic, args) = (toks[0], &toks[1..]);
+        let item = match mnemonic {
+            "name" => {
+                let [n] = args else {
+                    return Err(err(line, "name takes exactly one argument"));
+                };
+                name = Some(n.to_string());
+                continue;
+            }
+            "pc" => {
+                let [a] = args else {
+                    return Err(err(line, "pc takes exactly one address"));
+                };
+                Item::SetPc(parse_u64(a, line, "pc")?)
+            }
+            "loop" => {
+                let [n] = args else {
+                    return Err(err(line, "loop takes exactly one repeat count"));
+                };
+                let count = parse_u64(n, line, "loop count")?;
+                stack.push((count, Vec::new()));
+                loop_lines.push(line);
+                continue;
+            }
+            "end" => {
+                if !args.is_empty() {
+                    return Err(err(line, "end takes no arguments"));
+                }
+                let Some((count, body)) = stack.pop() else {
+                    unreachable!("bottom scope always present");
+                };
+                if stack.is_empty() {
+                    return Err(err(line, "end without a matching loop"));
+                }
+                loop_lines.pop();
+                Item::Loop { count, body }
+            }
+            "ld" | "st" => {
+                let [a, b, addr] = args else {
+                    return Err(err(line, format!("{mnemonic} takes reg, reg, addr")));
+                };
+                let (ra, rb, addr) =
+                    (parse_reg(a, line)?, parse_reg(b, line)?, parse_addr(addr, line)?);
+                if mnemonic == "ld" {
+                    Item::Load {
+                        dst: ra,
+                        base: rb,
+                        addr,
+                    }
+                } else {
+                    Item::Store {
+                        data: ra,
+                        base: rb,
+                        addr,
+                    }
+                }
+            }
+            "br" => {
+                let (cond, taken, target, pred) = match args {
+                    [c, t, a] => (c, t, a, 0.5f32),
+                    [c, t, a, p] => (
+                        c,
+                        t,
+                        a,
+                        p.parse::<f32>()
+                            .map_err(|_| err(line, format!("bad predictability {p:?}")))?,
+                    ),
+                    _ => return Err(err(line, "br takes cond, t|n, target [, predictability]")),
+                };
+                let taken = match *taken {
+                    "t" | "T" => true,
+                    "n" | "N" => false,
+                    other => return Err(err(line, format!("bad branch direction {other:?}"))),
+                };
+                if !(0.0..=1.0).contains(&pred) {
+                    return Err(err(line, format!("predictability {pred} outside 0..=1")));
+                }
+                Item::Branch {
+                    cond: parse_reg(cond, line)?,
+                    taken,
+                    target: parse_u64(target, line, "branch target")?,
+                    predictability: pred,
+                }
+            }
+            "nop" => {
+                if !args.is_empty() {
+                    return Err(err(line, "nop takes no arguments"));
+                }
+                Item::Nop
+            }
+            m => match alu_op(m) {
+                None => return Err(err(line, format!("unknown mnemonic {m:?}"))),
+                Some(op) => {
+                    let [d, s1, rest @ ..] = args else {
+                        return Err(err(line, format!("{m} takes dst, src1 [, src2|#imm]")));
+                    };
+                    let (dst, src1) = (parse_reg(d, line)?, parse_reg(s1, line)?);
+                    match rest {
+                        [] => Item::Alu {
+                            op,
+                            dst,
+                            src1,
+                            src2: None,
+                            imm: 0,
+                        },
+                        [x] => match x.strip_prefix('#') {
+                            Some(imm) => Item::Alu {
+                                op,
+                                dst,
+                                src1,
+                                src2: None,
+                                imm: parse_u64(imm, line, "immediate")?,
+                            },
+                            None => Item::Alu {
+                                op,
+                                dst,
+                                src1,
+                                src2: Some(parse_reg(x, line)?),
+                                imm: 0,
+                            },
+                        },
+                        _ => return Err(err(line, format!("{m} takes at most three operands"))),
+                    }
+                }
+            },
+        };
+        stack
+            .last_mut()
+            .expect("bottom scope always present")
+            .1
+            .push(item);
+    }
+
+    if stack.len() != 1 {
+        let open = loop_lines.last().copied().unwrap_or(0);
+        return Err(err(open, "loop without a matching end"));
+    }
+    let (_, items) = stack.pop().expect("bottom scope");
+    Ok(BbpProgram { name, items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a pointer walk over 64 lines with a biased exit branch
+name walk
+loop 8
+  pc 0x2000
+  ld r1, r1, 0x40000+64*i
+  add r2, r1, #1
+  br r2, t, 0x2000 0.95
+end
+st r2, r3, 0x9000
+nop
+";
+
+    #[test]
+    fn parses_and_expands_the_sample() {
+        let p = parse(SAMPLE).expect("parse");
+        assert_eq!(p.name.as_deref(), Some("walk"));
+        assert_eq!(p.dynamic_len(), 8 * 3 + 2);
+        let t = p.to_trace("fallback");
+        assert_eq!(t.name(), "walk");
+        assert_eq!(t.len(), 26);
+        // Stride pattern: iteration i reads 0x40000 + 64*i.
+        let loads: Vec<_> = t.iter().filter(|i| i.is_load()).collect();
+        assert_eq!(loads.len(), 8);
+        for (i, l) in loads.iter().enumerate() {
+            assert_eq!(l.addr, Some(0x40000 + 64 * i as u64));
+        }
+        // The pc directive re-applies every iteration: all branches share
+        // one static PC (the predictor-visible behaviour).
+        let brs: Vec<_> = t.iter().filter(|i| i.is_branch()).collect();
+        assert!(brs.windows(2).all(|w| w[0].pc == w[1].pc));
+    }
+
+    #[test]
+    fn fallback_name_applies_when_unnamed() {
+        let t = parse("nop\n").unwrap().to_trace("stem");
+        assert_eq!(t.name(), "stem");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let p = parse("loop 3\nloop 4\nnop\nend\nadd r1, r1, #1\nend\n").unwrap();
+        assert_eq!(p.dynamic_len(), 3 * (4 + 1));
+        assert_eq!(p.to_trace("x").len(), 15);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_with_line_numbers() {
+        for (text, want_line) in [
+            ("ld r1, r1\n", 1),                  // missing addr
+            ("nop\nbogus r1\n", 2),              // unknown mnemonic
+            ("ld r99, r1, 0x0\n", 1),            // register out of range
+            ("br r1, x, 0x40\n", 1),             // bad direction
+            ("br r1, t, 0x40 7.5\n", 1),         // predictability out of range
+            ("loop 2\nnop\n", 1),                // unterminated loop
+            ("end\n", 1),                        // stray end
+            ("ld r1, r2, 0x10+8\n", 1),          // malformed stride pattern
+            ("add r1\n", 1),                     // missing operands
+        ] {
+            let e = parse(text).expect_err(text);
+            assert_eq!(e.line, want_line, "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn register_classes_parse() {
+        let p = parse("fadd f1, f1, f2\n").unwrap();
+        let t = p.to_trace("fp");
+        assert_eq!(t.get(0).unwrap().op, Op::FpAdd);
+        assert_eq!(t.get(0).unwrap().dst, Some(Reg::fp(1)));
+    }
+
+    #[test]
+    fn hostile_loop_counts_do_not_overflow_len() {
+        let p = parse("loop 0xffffffffffffffff\nloop 0xffffffffffffffff\nnop\nend\nend\n")
+            .expect("parse");
+        assert_eq!(p.dynamic_len(), u64::MAX, "saturates instead of wrapping");
+    }
+}

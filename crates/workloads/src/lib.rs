@@ -9,20 +9,43 @@
 //! traces, which is what makes simulator runs reproducible and benchmark
 //! numbers comparable across machines and commits.
 //!
-//! The four standard scenarios (consumed by `icfp-bench` and the quickstart
-//! example):
+//! Each generator exists in two equivalent forms backed by one state machine
+//! (see [`gen`]):
 //!
-//! | Generator | Stress |
-//! |---|---|
-//! | [`pointer_chase`] | dependent misses: each load's address depends on the previous load |
-//! | [`dcache_thrash`] | independent conflict misses: MLP, slice-buffer growth |
-//! | [`branchy`] | mispredict-bound control flow with mixed predictability |
-//! | [`streaming`] | sequential walk: stream-prefetcher and bus bandwidth |
+//! * the **arena** functions below ([`pointer_chase`], ...) materialize a
+//!   whole [`Trace`] — content identical to every previous release;
+//! * [`WorkloadSpec::source`] produces a streaming
+//!   [`WorkloadSource`] whose blocks are re-generated on demand from
+//!   per-boundary resume snapshots, so a 100M-instruction trace never fully
+//!   materializes — and simulating either form is bit-identical.
+//!
+//! The four standard scenarios (consumed by `icfp-bench` and the quickstart
+//! example) live in one [`STANDARD`] registry table — name, workload class
+//! (for the figure renderer's geomeans) and constructor — from which
+//! [`by_name`], [`by_name_or_err`], [`standard_suite`] and
+//! [`STANDARD_NAMES`] all derive, so adding a workload is a one-line change:
+//!
+//! | Generator | Class | Stress |
+//! |---|---|---|
+//! | [`pointer_chase`] | memory | dependent misses: each load's address depends on the previous load |
+//! | [`dcache_thrash`] | memory | independent conflict misses: MLP, slice-buffer growth |
+//! | [`branchy`] | control | mispredict-bound control flow with mixed predictability |
+//! | [`streaming`] | streaming | sequential walk: stream-prefetcher and bus bandwidth |
+//!
+//! The [`bbp`] module converts an external basic-block-profile text format
+//! into traces (and, through the `icfp-trace/v1` writer, into on-disk
+//! containers), opening the suite beyond the four synthetic generators.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use icfp_isa::{DynInst, Op, Reg, Trace, TraceBuilder};
+pub mod bbp;
+pub mod gen;
+
+pub use gen::{TraceSink, WorkloadSource};
+
+use gen::{BranchyGen, DcacheThrashGen, Gen, PointerChaseGen, StreamingGen};
+use icfp_isa::Trace;
 
 /// A tiny deterministic PRNG (splitmix64).  Local so the workspace needs no
 /// external `rand` dependency and trace generation stays reproducible.
@@ -64,25 +87,11 @@ impl SplitMix64 {
 /// `insts` is the approximate dynamic instruction count; `working_set` the
 /// footprint in bytes (larger than L2 ⇒ every hop is an L2 miss).
 pub fn pointer_chase(insts: usize, working_set: u64, seed: u64) -> Trace {
-    let mut rng = SplitMix64::new(seed ^ 0xC0FFEE);
-    let mut b = TraceBuilder::new("pointer-chase");
-    let base = 0x10_0000u64;
-    let slots = (working_set / 64).max(4);
-    let mut cursor = rng.below(slots);
-    while b.len() < insts {
-        let addr = base + cursor * 64;
-        // The chase: ld r1, [r1]; the trace pre-resolves the address.
-        b.push(DynInst::load(Reg::int(1), Reg::int(1), addr));
-        // A short dependent computation on the loaded value.
-        b.push(DynInst::alu_imm(Op::Add, Reg::int(2), Reg::int(1), 1));
-        b.push(DynInst::alu(Op::Xor, Reg::int(3), Reg::int(2), Reg::int(3)));
-        // Some independent work the pipeline could overlap.
-        for _ in 0..rng.below(4) {
-            b.push(DynInst::alu_imm(Op::Add, Reg::int(4), Reg::int(5), 3));
-        }
-        cursor = rng.below(slots);
-    }
-    b.build()
+    gen::materialize(
+        "pointer-chase",
+        Gen::Chase(PointerChaseGen::new(working_set, seed)),
+        insts,
+    )
 }
 
 /// Data-cache thrashing: independent loads scattered over a working set that
@@ -90,49 +99,18 @@ pub fn pointer_chase(insts: usize, working_set: u64, seed: u64) -> Trace {
 /// use and a burst of independent ALU work.  High MLP: the scenario where
 /// advance execution overlaps many misses.
 pub fn dcache_thrash(insts: usize, working_set: u64, seed: u64) -> Trace {
-    let mut rng = SplitMix64::new(seed ^ 0xD0_D0);
-    let mut b = TraceBuilder::new("dcache-thrash");
-    let base = 0x40_0000u64;
-    let slots = (working_set / 64).max(8);
-    while b.len() < insts {
-        let addr = base + rng.below(slots) * 64;
-        let dst = 1 + (rng.below(6) as usize);
-        b.push(DynInst::load(Reg::int(dst), Reg::int(7), addr));
-        b.push(DynInst::alu_imm(Op::Add, Reg::int(8), Reg::int(dst), 1));
-        for _ in 0..2 + rng.below(4) {
-            b.push(DynInst::alu_imm(Op::Add, Reg::int(9), Reg::int(10), 5));
-        }
-        if rng.chance(0.25) {
-            // Occasional store to a recently loaded line: forwarding traffic.
-            b.push(DynInst::store(Reg::int(8), Reg::int(7), addr ^ 8));
-        }
-    }
-    b.build()
+    gen::materialize(
+        "dcache-thrash",
+        Gen::Thrash(DcacheThrashGen::new(working_set, seed)),
+        insts,
+    )
 }
 
 /// Branch-heavy code with a mix of biased and hard-to-predict branches over a
 /// small set of static PCs, exercising the PPM predictor, BTB and redirect
 /// penalty modelling.
 pub fn branchy(insts: usize, seed: u64) -> Trace {
-    let mut rng = SplitMix64::new(seed ^ 0xB4A4C4);
-    let mut b = TraceBuilder::new("branchy");
-    let mut bias_state = 0u64;
-    while b.len() < insts {
-        let pc = 0x2000 + rng.below(16) * 8;
-        let hard = rng.chance(0.3);
-        bias_state = bias_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let taken = if hard {
-            rng.chance(0.5)
-        } else {
-            bias_state & 0xF != 0 // ~94% taken
-        };
-        let predictability = if hard { 0.55 } else { 0.95 };
-        b.push(DynInst::alu_imm(Op::CmpLt, Reg::int(1), Reg::int(2), 1));
-        b.set_next_pc(pc);
-        b.push(DynInst::branch(Reg::int(1), taken, 0x4000 + pc, predictability));
-        b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(3), 1));
-    }
-    b.build()
+    gen::materialize("branchy", Gen::Branchy(BranchyGen::new(seed)), insts)
 }
 
 /// Streaming: a unit-stride walk over a large array with interleaved
@@ -140,44 +118,102 @@ pub fn branchy(insts: usize, seed: u64) -> Trace {
 /// convert most misses into prefetch hits; the memory bus interval becomes
 /// the bottleneck.
 pub fn streaming(insts: usize, seed: u64) -> Trace {
-    let mut rng = SplitMix64::new(seed ^ 0x57_12EA);
-    let mut b = TraceBuilder::new("streaming");
-    let base = 0x80_0000u64 + rng.below(64) * 4096;
-    let mut off = 0u64;
-    while b.len() < insts {
-        b.push(DynInst::load(Reg::int(1), Reg::int(2), base + off));
-        b.push(DynInst::alu(Op::FpAdd, Reg::fp(1), Reg::fp(1), Reg::fp(2)));
-        b.push(DynInst::alu_imm(Op::Add, Reg::int(3), Reg::int(1), 7));
-        if off % 128 == 64 {
-            b.push(DynInst::store(Reg::int(3), Reg::int(4), base + 0x200_0000 + off));
-        }
-        off += 8;
+    gen::materialize("streaming", Gen::Streaming(StreamingGen::new(seed)), insts)
+}
+
+/// One entry of the standard-workload registry: everything the rest of the
+/// workspace needs to know about a workload, in one place.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// The workload's name (`icfp-bench --workload`, sweep columns, ...).
+    pub name: &'static str,
+    /// Workload class, for per-class geomeans in the figure renderer
+    /// (`memory`, `control`, `streaming`).
+    pub class: &'static str,
+    ctor: fn(u64) -> Gen,
+}
+
+impl WorkloadSpec {
+    /// Materializes the workload as an in-memory [`Trace`] (content identical
+    /// to every previous release of the generators).
+    pub fn trace(&self, insts: usize, seed: u64) -> Trace {
+        gen::materialize(self.name, (self.ctor)(seed), insts)
     }
-    b.build()
+
+    /// The workload as a streaming block producer: bit-identical content,
+    /// never fully materialized.
+    pub fn source(&self, insts: usize, seed: u64, block_size: usize) -> WorkloadSource {
+        WorkloadSource::new(self.name, (self.ctor)(seed), insts, block_size)
+    }
+}
+
+/// The registry of standard scenarios, in suite order.  *The* table:
+/// [`by_name`], [`by_name_or_err`], [`standard_suite`], [`STANDARD_NAMES`]
+/// and [`class_of`] all derive from it, so a new workload is one added row.
+pub const STANDARD: [WorkloadSpec; 4] = [
+    WorkloadSpec {
+        name: "pointer-chase",
+        class: "memory",
+        ctor: |seed| Gen::Chase(PointerChaseGen::new(8 * 1024 * 1024, seed)),
+    },
+    WorkloadSpec {
+        name: "dcache-thrash",
+        class: "memory",
+        ctor: |seed| Gen::Thrash(DcacheThrashGen::new(256 * 1024, seed)),
+    },
+    WorkloadSpec {
+        name: "branchy",
+        class: "control",
+        ctor: |seed| Gen::Branchy(BranchyGen::new(seed)),
+    },
+    WorkloadSpec {
+        name: "streaming",
+        class: "streaming",
+        ctor: |seed| Gen::Streaming(StreamingGen::new(seed)),
+    },
+];
+
+/// Names of the standard scenarios, in suite order (derived from
+/// [`STANDARD`]).
+pub const STANDARD_NAMES: [&str; 4] = [
+    STANDARD[0].name,
+    STANDARD[1].name,
+    STANDARD[2].name,
+    STANDARD[3].name,
+];
+
+/// The registry row for `name`, if it is a standard workload.
+pub fn spec_by_name(name: &str) -> Option<&'static WorkloadSpec> {
+    STANDARD.iter().find(|s| s.name == name)
+}
+
+/// The workload class of a standard workload (`memory`, `control`,
+/// `streaming`); `None` for external (converted-trace) workloads.
+pub fn class_of(name: &str) -> Option<&'static str> {
+    spec_by_name(name).map(|s| s.class)
 }
 
 /// The four standard scenarios at a given dynamic-instruction budget,
 /// suitable for benchmarking and smoke tests.
 pub fn standard_suite(insts: usize, seed: u64) -> Vec<Trace> {
-    vec![
-        pointer_chase(insts, 8 * 1024 * 1024, seed),
-        dcache_thrash(insts, 256 * 1024, seed),
-        branchy(insts, seed),
-        streaming(insts, seed),
-    ]
+    STANDARD.iter().map(|s| s.trace(insts, seed)).collect()
 }
 
-/// Builds one of the standard scenarios by name (`pointer-chase`,
-/// `dcache-thrash`, `branchy`, `streaming`).  Returns `None` for an unknown
-/// name.
+/// Builds one of the standard scenarios by name (see [`STANDARD_NAMES`]).
+/// Returns `None` for an unknown name.
 pub fn by_name(name: &str, insts: usize, seed: u64) -> Option<Trace> {
-    match name {
-        "pointer-chase" => Some(pointer_chase(insts, 8 * 1024 * 1024, seed)),
-        "dcache-thrash" => Some(dcache_thrash(insts, 256 * 1024, seed)),
-        "branchy" => Some(branchy(insts, seed)),
-        "streaming" => Some(streaming(insts, seed)),
-        _ => None,
-    }
+    spec_by_name(name).map(|s| s.trace(insts, seed))
+}
+
+/// Builds one of the standard scenarios as a streaming block producer.
+/// Returns `None` for an unknown name.
+pub fn source_by_name(
+    name: &str,
+    insts: usize,
+    seed: u64,
+    block_size: usize,
+) -> Option<WorkloadSource> {
+    spec_by_name(name).map(|s| s.source(insts, seed, block_size))
 }
 
 /// [`by_name`], but an unknown name is an error message listing the valid
@@ -197,12 +233,10 @@ pub fn by_name_or_err(name: &str, insts: usize, seed: u64) -> Result<Trace, Stri
     })
 }
 
-/// Names of the standard scenarios, in suite order.
-pub const STANDARD_NAMES: [&str; 4] = ["pointer-chase", "dcache-thrash", "branchy", "streaming"];
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use icfp_isa::{Reg, TraceSource};
 
     #[test]
     fn generators_are_deterministic() {
@@ -242,6 +276,65 @@ mod tests {
     #[test]
     fn by_name_rejects_unknown() {
         assert!(by_name("nope", 10, 0).is_none());
+        assert!(source_by_name("nope", 10, 0, 64).is_none());
+        assert!(by_name_or_err("nope", 10, 0)
+            .unwrap_err()
+            .contains("pointer-chase"));
+    }
+
+    #[test]
+    fn registry_backs_every_lookup_consistently() {
+        assert_eq!(STANDARD.len(), STANDARD_NAMES.len());
+        for (spec, name) in STANDARD.iter().zip(STANDARD_NAMES) {
+            assert_eq!(spec.name, name);
+            assert_eq!(class_of(name), Some(spec.class));
+            let t = by_name(name, 300, 5).unwrap();
+            assert_eq!(t.name(), name);
+            assert_eq!(t.digest(), spec.trace(300, 5).digest());
+        }
+        assert_eq!(class_of("pointer-chase"), Some("memory"));
+        assert_eq!(class_of("branchy"), Some("control"));
+        assert_eq!(class_of("imported-trace"), None);
+    }
+
+    #[test]
+    fn streamed_source_matches_materialized_trace_exactly() {
+        for spec in &STANDARD {
+            let arena = spec.trace(700, 11);
+            let src = spec.source(700, 11, 64);
+            assert_eq!(src.name(), arena.name());
+            assert_eq!(src.len(), arena.len(), "{}", spec.name);
+            assert_eq!(src.digest(), arena.digest(), "{}", spec.name);
+            // Concatenated blocks reproduce the arena byte for byte.
+            let mut at = 0usize;
+            for k in 0..src.block_count() {
+                let b = src.block(k).unwrap();
+                assert_eq!(b.first, at);
+                for inst in b.insts() {
+                    assert_eq!(inst, arena.get(at).unwrap(), "{} inst {at}", spec.name);
+                    at += 1;
+                }
+                assert_eq!(src.block_digest(k).unwrap(), {
+                    icfp_isa::block_digest_of(b.insts())
+                });
+            }
+            assert_eq!(at, arena.len());
+            // Random re-access regenerates identically (snapshot resume).
+            let again = src.block(0).unwrap();
+            assert_eq!(again.insts()[0], *arena.get(0).unwrap());
+        }
+    }
+
+    #[test]
+    fn streamed_source_residency_is_bounded() {
+        let spec = &STANDARD[0];
+        let src = spec.source(5_000, 3, 128);
+        let cur = icfp_isa::TraceCursor::new(&src);
+        for k in 0..src.len() {
+            let _ = cur.get(k);
+        }
+        let peak = src.residency().expect("streamed source counts").peak();
+        assert!(peak <= 4, "peak resident blocks {peak} not bounded");
     }
 
     #[test]
