@@ -398,10 +398,47 @@ fn json_hex_field(obj: &str, key: &str) -> Option<u64> {
     u64::from_str_radix(s.trim_start_matches("0x"), 16).ok()
 }
 
+/// The deterministic figures of a sweep report's cells, as [`DetCell`]s for
+/// the baseline gate — one shared conversion so the local sweep CLI, the
+/// `sweep submit` client and the gate all label configurations identically.
+pub fn sweep_det_cells(report: &icfp_sweep::SweepReport) -> Vec<DetCell> {
+    report
+        .cells
+        .iter()
+        .map(|c| DetCell {
+            workload: c.workload.clone(),
+            core: c.model.clone(),
+            config: format!(
+                "sb={},mshr={},l2={}",
+                c.slice_buffer_entries, c.mshr_count, c.l2_hit_latency
+            ),
+            instructions: c.instructions,
+            cycles: c.cycles,
+            state_digest: c.state_digest,
+        })
+        .collect()
+}
+
 /// Parses the baseline figures out of a `BENCH_sim.json` / `BENCH_sweep.json`
-/// document (hand-rolled: the environment has no JSON parser dependency, and
-/// both writers emit one cell object per line).
-pub fn parse_baseline(doc: &str) -> BaselineDoc {
+/// document.  Sweep documents go through the one shared parser
+/// ([`icfp_sweep::schema::parse`]), which also verifies the recorded report
+/// digest; bench documents keep the legacy line scan (the environment has no
+/// JSON parser dependency, and the writer emits one cell object per line).
+///
+/// # Errors
+///
+/// A sweep document that fails the schema parser — wrong version, missing
+/// fields, or cells edited after the digest was recorded — is rejected with
+/// the parser's description rather than silently yielding partial figures.
+pub fn parse_baseline(doc: &str) -> Result<BaselineDoc, String> {
+    if doc.contains("\"schema\": \"icfp-sweep/") {
+        let report = icfp_sweep::schema::parse(doc).map_err(|e| e.to_string())?;
+        return Ok(BaselineDoc {
+            machine: None,
+            aggregate_mips: parse_aggregate_mips(doc),
+            cells: sweep_det_cells(&report),
+        });
+    }
     let mut out = BaselineDoc {
         aggregate_mips: parse_aggregate_mips(doc),
         ..BaselineDoc::default()
@@ -446,7 +483,7 @@ pub fn parse_baseline(doc: &str) -> BaselineDoc {
             state_digest,
         });
     }
-    out
+    Ok(out)
 }
 
 /// Outcome of the two-part baseline gate.
@@ -667,7 +704,7 @@ mod tests {
     #[test]
     fn baseline_json_parses_machine_and_cells() {
         let (cells, _, json) = session_and_baseline();
-        let doc = parse_baseline(&json);
+        let doc = parse_baseline(&json).unwrap();
         assert_eq!(doc.machine.as_deref(), Some(machine_class().as_str()));
         assert!(doc.aggregate_mips.is_some());
         assert_eq!(doc.cells, cells);
@@ -679,7 +716,7 @@ mod tests {
         // machine claims 100x the throughput.  On a mismatched machine class
         // the MIPS check must demote to advisory — the gate passes.
         let (cells, mips, json) = session_and_baseline();
-        let mut doc = parse_baseline(&json);
+        let mut doc = parse_baseline(&json).unwrap();
         doc.aggregate_mips = Some(mips * 100.0);
         doc.machine = Some("mars-quantum99".into());
         let report = gate_against_baseline(&cells, mips, &machine_class(), &doc, 20.0);
@@ -706,7 +743,7 @@ mod tests {
     #[test]
     fn single_cell_cycle_change_fails_regardless_of_machine_class() {
         let (cells, mips, json) = session_and_baseline();
-        let mut doc = parse_baseline(&json);
+        let mut doc = parse_baseline(&json).unwrap();
         doc.machine = Some("mars-quantum99".into()); // MIPS advisory...
         doc.cells[1].cycles += 1; // ...but determinism is not.
         let report = gate_against_baseline(&cells, mips, &machine_class(), &doc, 20.0);
@@ -718,7 +755,7 @@ mod tests {
         );
 
         // A digest change is equally fatal.
-        let mut doc = parse_baseline(&json);
+        let mut doc = parse_baseline(&json).unwrap();
         doc.cells[0].state_digest ^= 1;
         let report = gate_against_baseline(&cells, mips, &machine_class(), &doc, 20.0);
         assert!(report
@@ -727,7 +764,7 @@ mod tests {
             .any(|e| e.contains("state digest changed")));
 
         // A baseline cell the current run no longer produces is fatal too.
-        let mut doc = parse_baseline(&json);
+        let mut doc = parse_baseline(&json).unwrap();
         doc.cells.push(DetCell {
             workload: "pointer-chase".into(),
             core: "sltp".into(),
@@ -764,11 +801,24 @@ mod tests {
         );
         spec.slice_buffer_entries = vec![64, 128];
         let report = icfp_sweep::run_sweep(&spec, 1).unwrap();
-        let doc = parse_baseline(&report.to_json());
+        let json = report.to_json();
+        let doc = parse_baseline(&json).unwrap();
         assert_eq!(doc.cells.len(), 2);
         assert!(doc.cells[0].config.starts_with("sb=64,"));
         assert!(doc.cells[1].config.starts_with("sb=128,"));
         assert_eq!(doc.cells[0].core, "in-order");
+        assert_eq!(doc.cells, sweep_det_cells(&report));
+
+        // Sweep documents go through the shared schema parser, so a baseline
+        // whose cells were edited after the digest was recorded is rejected
+        // rather than silently gating against tampered figures.
+        let cycles = report.cells[0].cycles;
+        let edited = json.replace(
+            &format!("\"cycles\": {cycles}"),
+            &format!("\"cycles\": {}", cycles + 1),
+        );
+        let err = parse_baseline(&edited).unwrap_err();
+        assert!(err.contains("digest mismatch"), "{err}");
     }
 
     #[test]

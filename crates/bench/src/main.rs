@@ -10,7 +10,8 @@
 //!            [--out PATH] [--baseline PATH] [--max-regress-pct P]
 //!            [--sweep] [--warm-fork] [--sweep-slice N[,N...]]
 //!            [--sweep-mshr N[,N...]] [--sweep-l2 N[,N...]] [--threads N]
-//!            [--ckpt-smoke] [--figures PATH]
+//!            [--cache-dir DIR] [--ckpt-smoke] [--figures PATH]
+//! icfp-bench sweep submit --server ADDR [sweep flags as above]
 //! icfp-bench trace convert <in.bbp> <out.trace> [--block-size N] [--name S]
 //! icfp-bench trace info <file.trace>
 //! ```
@@ -40,14 +41,22 @@
 //! shared mid-trace checkpoint; `--ckpt-smoke` runs a save→restore→compare
 //! round-trip over every (model × workload) pair and exits non-zero on any
 //! divergence.
+//!
+//! `--cache-dir DIR` gives `--sweep` a persistent `icfp-cache/v1` result
+//! store: repeated or overlapping grids are served from disk, with reports
+//! byte-identical to cold runs.  `sweep submit --server ADDR` sends the same
+//! grid to a running `icfp-sweepd` over `icfp-wire/v1` instead of executing
+//! locally, reassembling the streamed cells into the identical report.
 
 use icfp_bench::{
     bench_source, bench_trace, gate_against_baseline, machine_class, parse_baseline,
-    render_figures, BenchSession, DetCell,
+    render_figures, sweep_det_cells, BenchSession, DetCell,
 };
 use icfp_isa::{TraceFile, TraceFileWriter, DEFAULT_BLOCK_INSTS};
 use icfp_sim::{CoreModel, SimCheckpoint, SimConfig, Simulator};
-use icfp_sweep::{run_sweep, SweepSpec};
+use icfp_sweep::{
+    run_sweep_streamed, CacheStats, ExecOptions, ResultCache, SweepReport, SweepSpec,
+};
 use icfp_workloads::TraceSink;
 
 struct Args {
@@ -69,6 +78,8 @@ struct Args {
     sweep_mshr: Vec<usize>,
     sweep_l2: Vec<u64>,
     threads: usize,
+    cache_dir: Option<String>,
+    server: Option<String>,
 }
 
 fn parse_list<T: std::str::FromStr>(name: &str, v: &str) -> Result<Vec<T>, String>
@@ -80,7 +91,7 @@ where
         .collect()
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut a = Args {
         smoke: false,
         insts: 0,
@@ -103,8 +114,10 @@ fn parse_args() -> Result<Args, String> {
         sweep_mshr: vec![64],
         sweep_l2: vec![20],
         threads: 0,
+        cache_dir: None,
+        server: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter().cloned();
     while let Some(arg) = it.next() {
         let mut val = |name: &str| {
             it.next()
@@ -172,13 +185,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--cache-dir" => a.cache_dir = Some(val("--cache-dir")?),
+            "--server" => a.server = Some(val("--server")?),
             "--help" | "-h" => {
                 println!(
                     "usage: icfp-bench [--smoke] [--insts N] [--reps N] [--seed N] \
                      [--core NAMES] [--workload NAMES|none] [--trace-file PATHS] \
                      [--out PATH] [--baseline PATH] [--max-regress-pct P] \
                      [--sweep] [--warm-fork] [--sweep-slice NS] [--sweep-mshr NS] \
-                     [--sweep-l2 NS] [--threads N] [--ckpt-smoke] [--figures PATH]\n\
+                     [--sweep-l2 NS] [--threads N] [--cache-dir DIR] \
+                     [--ckpt-smoke] [--figures PATH]\n\
+                     \u{20}      icfp-bench sweep submit --server ADDR \
+                     [sweep flags as above]\n\
                      \u{20}      icfp-bench trace convert <in.bbp> <out.trace> \
                      [--block-size N] [--name S]\n\
                      \u{20}      icfp-bench trace info <file.trace>\n\
@@ -216,7 +234,13 @@ fn gate_on_baseline(args: &Args, cells: &[DetCell], current_mips: f64) {
             std::process::exit(1);
         }
     };
-    let baseline = parse_baseline(&doc);
+    let baseline = match parse_baseline(&doc) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("icfp-bench: baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
     let machine = machine_class();
     let report = gate_against_baseline(cells, current_mips, &machine, &baseline, args.max_regress_pct);
     for note in &report.advisory {
@@ -248,7 +272,10 @@ fn write_out(path: &str, doc: &str) {
     println!("wrote {path}");
 }
 
-fn run_sweep_mode(args: &Args) {
+/// The sweep spec described by the command line — shared by the local
+/// `--sweep` runner and the `sweep submit` client, so both describe the
+/// identical grid (and produce digest-identical reports).
+fn sweep_spec_of(args: &Args) -> SweepSpec {
     let mut spec = SweepSpec::new(
         args.cores.clone(),
         args.workloads.clone(),
@@ -260,6 +287,33 @@ fn run_sweep_mode(args: &Args) {
     spec.l2_hit_latencies = args.sweep_l2.clone();
     spec.reps = args.reps;
     spec.warm_fork = args.warm_fork;
+    spec
+}
+
+/// Prints the matrix, the aggregate line, writes `BENCH_sweep.json` and
+/// applies the baseline gate — everything after a sweep report exists,
+/// whether it was computed locally or reassembled from a server stream.
+fn finish_sweep(args: &Args, report: &SweepReport) {
+    match report.render_matrix() {
+        Ok(m) => print!("{m}"),
+        Err(e) => {
+            eprintln!("icfp-bench: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "aggregate: {:.2} MIPS over {} cells  (report digest {:#018x})",
+        report.aggregate_mips(),
+        report.cells.len(),
+        report.digest()
+    );
+    let out = args.out.as_deref().unwrap_or("BENCH_sweep.json");
+    write_out(out, &report.to_json());
+    gate_on_baseline(args, &sweep_det_cells(report), report.aggregate_mips());
+}
+
+fn run_sweep_mode(args: &Args) {
+    let spec = sweep_spec_of(args);
     println!(
         "sweep: {} cells ({} models x {} configs x {} workloads) on {} threads{}",
         spec.cell_count(),
@@ -269,38 +323,63 @@ fn run_sweep_mode(args: &Args) {
         args.threads,
         if args.warm_fork { ", warm-fork" } else { "" }
     );
-    let report = match run_sweep(&spec, args.threads) {
-        Ok(r) => r,
+    let cache = match args.cache_dir.as_deref().map(ResultCache::open).transpose() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("icfp-bench: --cache-dir: {e}");
+            std::process::exit(1);
+        }
+    };
+    let opts = ExecOptions {
+        threads: args.threads,
+        cache: cache.as_ref(),
+    };
+    let outcome = match run_sweep_streamed(&spec, &opts, |_| {}) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("icfp-bench: {e}");
             std::process::exit(2);
         }
     };
-    print!("{}", report.render_matrix());
+    if cache.is_some() {
+        println!("cache: {}", outcome.cache.summary());
+    }
+    finish_sweep(args, &outcome.report);
+}
+
+/// `icfp-bench sweep submit --server ADDR`: submit the spec to a running
+/// `icfp-sweepd`, reassemble the streamed cells, and finish exactly like a
+/// local sweep — same matrix, same `BENCH_sweep.json`, same gate.
+fn run_sweep_submit(args: &Args) {
+    let Some(server) = args.server.as_deref() else {
+        eprintln!("icfp-bench: sweep submit requires --server ADDR");
+        std::process::exit(2);
+    };
+    let spec = sweep_spec_of(args);
     println!(
-        "aggregate: {:.2} MIPS over {} cells  (report digest {:#018x})",
-        report.aggregate_mips(),
-        report.cells.len(),
-        report.digest()
+        "sweep submit: {} cells ({} models x {} configs x {} workloads) -> {server}",
+        spec.cell_count(),
+        spec.models.len(),
+        spec.slice_buffer_entries.len() * spec.mshr_counts.len() * spec.l2_hit_latencies.len(),
+        spec.workloads.len(),
     );
-    let out = args.out.as_deref().unwrap_or("BENCH_sweep.json");
-    write_out(out, &report.to_json());
-    let cells: Vec<DetCell> = report
-        .cells
-        .iter()
-        .map(|c| DetCell {
-            workload: c.workload.clone(),
-            core: c.model.clone(),
-            config: format!(
-                "sb={},mshr={},l2={}",
-                c.slice_buffer_entries, c.mshr_count, c.l2_hit_latency
-            ),
-            instructions: c.instructions,
-            cycles: c.cycles,
-            state_digest: c.state_digest,
-        })
-        .collect();
-    gate_on_baseline(args, &cells, report.aggregate_mips());
+    let mut streamed = 0u64;
+    let outcome = match icfp_sweep::wire::submit(server, &spec, args.threads, |_, _, _| {
+        streamed += 1;
+    }) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("icfp-bench: sweep submit: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stats = CacheStats {
+        hits: outcome.hits,
+        misses: outcome.misses,
+        ..CacheStats::default()
+    };
+    println!("streamed {streamed} cells; server cache: {}", stats.summary());
+    finish_sweep(args, &outcome.report);
 }
 
 /// `--ckpt-smoke`: for every (model × standard workload) pair, run the front
@@ -542,7 +621,7 @@ fn run_figures(path: &str) {
             std::process::exit(1);
         }
     };
-    match render_figures(&parse_baseline(&doc)) {
+    match parse_baseline(&doc).and_then(|d| render_figures(&d)) {
         Ok(table) => print!("{table}"),
         Err(e) => {
             eprintln!("icfp-bench: --figures {path}: {e}");
@@ -552,13 +631,28 @@ fn run_figures(path: &str) {
 }
 
 fn main() {
-    // Subcommand form: `icfp-bench trace ...` (converter / inspector).
+    // Subcommand forms: `icfp-bench trace ...` (converter / inspector) and
+    // `icfp-bench sweep submit --server ADDR ...` (the icfp-sweepd client).
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("trace") {
         run_trace_subcommand(&argv[1..]);
         return;
     }
-    let args = match parse_args() {
+    if argv.first().map(String::as_str) == Some("sweep") {
+        if argv.get(1).map(String::as_str) != Some("submit") {
+            eprintln!("icfp-bench: usage: icfp-bench sweep submit --server ADDR [sweep flags]");
+            std::process::exit(2);
+        }
+        match parse_args(&argv[2..]) {
+            Ok(a) => run_sweep_submit(&a),
+            Err(e) => {
+                eprintln!("icfp-bench: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("icfp-bench: {e}");

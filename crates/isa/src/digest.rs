@@ -34,6 +34,17 @@ impl Fnv1a {
         self.write(&v.to_le_bytes());
     }
 
+    /// Folds a variable-length field as its `u64` length followed by its
+    /// bytes.  Composite keys built from several variable-length inputs (the
+    /// sweep result cache digests model name, normalized configuration
+    /// bytes, trace digest and instruction budget into one cell key) must use
+    /// this instead of [`Fnv1a::write`], which would let `("ab", "c")` and
+    /// `("a", "bc")` collide onto one digest.
+    pub fn write_field(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write(bytes);
+    }
+
     /// The current digest value.
     pub fn finish(&self) -> u64 {
         self.0
@@ -74,5 +85,29 @@ mod tests {
         let mut h = Fnv1a::new();
         h.write_u64(0x1122334455667788);
         assert_eq!(h.finish(), fnv1a(&0x1122334455667788u64.to_le_bytes()));
+    }
+
+    #[test]
+    fn length_prefixed_fields_do_not_collide_across_boundaries() {
+        let key = |fields: &[&[u8]]| {
+            let mut h = Fnv1a::new();
+            for f in fields {
+                h.write_field(f);
+            }
+            h.finish()
+        };
+        // Same concatenated bytes, different field boundaries.
+        assert_ne!(key(&[b"ab", b"c"]), key(&[b"a", b"bc"]));
+        assert_ne!(key(&[b"abc"]), key(&[b"abc", b""]));
+        assert_ne!(key(&[b"", b"abc"]), key(&[b"abc"]));
+        // Equal field sequences agree.
+        assert_eq!(key(&[b"ab", b"c"]), key(&[b"ab", b"c"]));
+        // write_field is write_u64(len) + write(bytes).
+        let mut h = Fnv1a::new();
+        h.write_field(b"xy");
+        let mut g = Fnv1a::new();
+        g.write_u64(2);
+        g.write(b"xy");
+        assert_eq!(h.finish(), g.finish());
     }
 }

@@ -1,0 +1,213 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! The sweep wire protocol (`icfp-wire/v1`) exchanges vendored-serde
+//! payloads over a TCP stream; this module is the transport layer beneath
+//! it: each frame is a `u32` little-endian payload length followed by the
+//! payload bytes.  The reader is defensive — a hostile length field is a
+//! typed [`FrameError`], never an allocation bomb or a panic — and
+//! distinguishes a clean end-of-stream (no bytes of a next frame,
+//! `Ok(None)`) from a stream that died mid-frame ([`FrameError::Truncated`]).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Default ceiling on a single frame's payload (16 MiB) — far above any
+/// legitimate sweep spec or cell, far below an allocation bomb.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Errors from reading or writing a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The stream ended in the middle of a frame (inside the length prefix
+    /// after at least one byte, or inside the payload).
+    Truncated {
+        /// Payload bytes expected, if the length prefix was complete.
+        expected: Option<usize>,
+        /// Bytes actually read of the truncated part.
+        got: usize,
+    },
+    /// The length prefix exceeds the reader's ceiling — a hostile or
+    /// corrupted frame.
+    TooLarge {
+        /// The length the prefix claimed.
+        len: usize,
+        /// The ceiling it exceeded.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::Truncated { expected, got } => match expected {
+                Some(n) => write!(f, "stream ended mid-frame ({got} of {n} payload bytes)"),
+                None => write!(f, "stream ended inside a frame length prefix ({got} of 4 bytes)"),
+            },
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte ceiling")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: `u32` LE payload length, then the payload.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] if the payload exceeds [`MAX_FRAME_LEN`] (the
+/// writer enforces the same ceiling readers do, so a compliant peer never
+/// produces an unreadable frame), or [`FrameError::Io`] on stream failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge {
+            len: payload.len(),
+            max: MAX_FRAME_LEN,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame's payload, bounded by `max_len`.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (EOF before any byte of the
+/// length prefix) — how a peer signals it is done.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] if the stream ends inside the prefix or the
+/// payload, [`FrameError::TooLarge`] if the prefix claims more than
+/// `max_len` bytes, or [`FrameError::Io`] on any other stream failure.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::Truncated {
+                        expected: None,
+                        got: filled,
+                    })
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max_len {
+        return Err(FrameError::TooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    expected: Some(len),
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(payloads: &[&[u8]]) {
+        let mut buf = Vec::new();
+        for p in payloads {
+            write_frame(&mut buf, p).expect("write");
+        }
+        let mut r = &buf[..];
+        for p in payloads {
+            let back = read_frame(&mut r, MAX_FRAME_LEN).expect("read").expect("frame");
+            assert_eq!(&back[..], *p);
+        }
+        assert!(read_frame(&mut r, MAX_FRAME_LEN).expect("eof").is_none());
+    }
+
+    #[test]
+    fn frames_round_trip_including_empty() {
+        round_trip(&[b"hello"]);
+        round_trip(&[b"", b"a", b"bc", &[0xA5; 1000]]);
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_an_error() {
+        let mut r: &[u8] = &[];
+        assert!(read_frame(&mut r, 64).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn truncation_inside_prefix_and_payload_are_typed_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").expect("write");
+        // Inside the 4-byte prefix.
+        for cut in 1..4 {
+            let mut r = &buf[..cut];
+            match read_frame(&mut r, 64) {
+                Err(FrameError::Truncated { expected: None, got }) => assert_eq!(got, cut),
+                other => panic!("cut {cut}: expected prefix truncation, got {other:?}"),
+            }
+        }
+        // Inside the payload.
+        for cut in 4..buf.len() {
+            let mut r = &buf[..cut];
+            match read_frame(&mut r, 64) {
+                Err(FrameError::Truncated {
+                    expected: Some(7),
+                    got,
+                }) => assert_eq!(got, cut - 4),
+                other => panic!("cut {cut}: expected payload truncation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_without_allocating() {
+        let mut bytes = (u32::MAX).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        let mut r = &bytes[..];
+        match read_frame(&mut r, 1 << 20) {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1 << 20);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_refuses_oversized_payloads() {
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, &huge),
+            Err(FrameError::TooLarge { .. })
+        ));
+        assert!(sink.is_empty(), "nothing written for a refused frame");
+    }
+}

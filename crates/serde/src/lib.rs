@@ -30,6 +30,9 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::hash::Hash;
 
+pub mod frame;
+
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use serde_derive::{Deserialize, Serialize};
 
 /// A value encodable to the vendored binary format.

@@ -108,7 +108,47 @@ pub struct SimReport {
     pub result: RunResult,
 }
 
+/// The per-cell figures of one finished run, in serializable form — the
+/// payload the sweep result cache persists (`icfp-cache/v1`) and the wire
+/// protocol streams, shared here so every consumer of a cell result encodes
+/// it identically.  Everything except `host_seconds`/`mips` is deterministic;
+/// the host figures record the measurement the figures were produced by, so
+/// replaying a cached cell reproduces the original report byte for byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFigures {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions per simulated cycle.
+    pub ipc: f64,
+    /// L1 data-cache misses per 1000 instructions.
+    pub l1d_mpki: f64,
+    /// L2 misses per 1000 instructions.
+    pub l2_mpki: f64,
+    /// Host wall-clock seconds of the run that produced the figures.
+    pub host_seconds: f64,
+    /// Simulated MIPS of that run.
+    pub mips: f64,
+    /// FNV-1a digest of the final architectural state.
+    pub state_digest: u64,
+}
+
 impl SimReport {
+    /// This run's figures in the shared serializable form.
+    pub fn figures(&self) -> CellFigures {
+        CellFigures {
+            instructions: self.instructions,
+            cycles: self.cycles,
+            ipc: self.ipc,
+            l1d_mpki: self.l1d_mpki,
+            l2_mpki: self.l2_mpki,
+            host_seconds: self.host_seconds,
+            mips: self.mips,
+            state_digest: self.state_digest,
+        }
+    }
+
     fn from_result(result: RunResult, host_seconds: f64) -> Self {
         let s = &result.stats;
         SimReport {

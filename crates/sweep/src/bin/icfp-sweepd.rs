@@ -1,0 +1,146 @@
+//! `icfp-sweepd` — the persistent sweep service.
+//!
+//! Listens on a TCP address, accepts `icfp-wire/v1` connections
+//! (`icfp-bench sweep submit --server ADDR` is the client), executes each
+//! submitted sweep through the shared executor, and streams cells back as
+//! they finish.  With `--cache-dir` the server keeps a persistent
+//! `icfp-cache/v1` result store: repeated or overlapping grids are served
+//! from disk with reports byte-identical to cold runs.
+
+use icfp_sweep::wire::{handle_conn, ServeOptions};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "icfp-sweepd — persistent sweep service (icfp-wire/v1)
+
+USAGE:
+    icfp-sweepd [OPTIONS]
+
+OPTIONS:
+    --listen ADDR      address to bind (default 127.0.0.1:7400; use :0 for
+                       an ephemeral port)
+    --threads N        default worker threads for submissions that request 0
+                       (default: host parallelism)
+    --cache-dir DIR    enable the persistent icfp-cache/v1 result cache
+    --ready-file PATH  after binding, write the bound address to PATH
+                       (for scripts that need the ephemeral port)
+    --max-conns N      exit after serving N connections (default: serve
+                       forever)
+    --help             print this help
+";
+
+struct Args {
+    listen: String,
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    ready_file: Option<PathBuf>,
+    max_conns: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:7400".to_string(),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        cache_dir: None,
+        ready_file: None,
+        max_conns: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--ready-file" => args.ready_file = Some(PathBuf::from(value("--ready-file")?)),
+            "--max-conns" => {
+                args.max_conns = Some(
+                    value("--max-conns")?
+                        .parse()
+                        .map_err(|e| format!("--max-conns: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("icfp-sweepd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("icfp-sweepd: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| args.listen.clone());
+    if let Some(path) = &args.ready_file {
+        if let Err(e) = std::fs::write(path, &bound) {
+            eprintln!("icfp-sweepd: cannot write ready file {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "icfp-sweepd: listening on {bound} ({} worker threads, cache {})",
+        args.threads,
+        match &args.cache_dir {
+            Some(d) => d.display().to_string(),
+            None => "disabled".to_string(),
+        }
+    );
+
+    let opts = ServeOptions {
+        threads: args.threads,
+        cache_dir: args.cache_dir.clone(),
+    };
+    let mut served = 0u64;
+    // Connections are served one at a time: each sweep already saturates the
+    // host with its own worker pool, so interleaving sweeps would only slow
+    // both down.
+    while args.max_conns.is_none_or(|n| served < n) {
+        let stream = match listener.accept() {
+            Ok((stream, peer)) => {
+                eprintln!("icfp-sweepd: connection from {peer}");
+                stream
+            }
+            Err(e) => {
+                eprintln!("icfp-sweepd: accept failed: {e}");
+                continue;
+            }
+        };
+        match handle_conn(stream, &opts) {
+            Ok(summary) => eprintln!(
+                "icfp-sweepd: connection closed ({} sweeps, {} cache hits, {} computed)",
+                summary.submits, summary.hits, summary.misses
+            ),
+            Err(e) => eprintln!("icfp-sweepd: connection failed: {e}"),
+        }
+        served += 1;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,357 @@
+//! The persistent content-addressed sweep result cache (`icfp-cache/v1`).
+//!
+//! Between the executor and the report sits an on-disk store of per-cell
+//! deterministic figures, keyed by [`crate::SweepJob::cache_key`] — a digest
+//! of everything a cell's outputs depend on (model, normalized
+//! configuration, trace content digest, instruction budget).  Repeated or
+//! overlapping grids are served from disk; a cache-hit report is
+//! digest-identical to a cold one because entries store the *complete*
+//! [`CellFigures`], host-time measurements included, so replay reproduces
+//! the original report byte-for-byte rather than re-measuring.
+//!
+//! ## Container layout (one file per entry)
+//!
+//! ```text
+//! offset  size  field
+//! 0       13    magic "icfp-cache/v1"
+//! 13      8     cache key, u64 LE (self-check against the file's name)
+//! 21      8     payload length, u64 LE
+//! 29      n     payload: vendored-serde encoding of CellFigures
+//! 29+n    8     FNV-1a 64 digest of the payload, u64 LE
+//! ```
+//!
+//! Entries are written first-write-wins via a temp file + atomic rename, so
+//! concurrent sweeps over one cache directory never observe a torn entry.
+//! Every load failure — wrong magic, truncation, key or digest mismatch,
+//! undecodable payload — is a typed [`CacheError`], never a panic; the
+//! executor treats a damaged entry as a miss and recomputes.
+
+use icfp_isa::fnv1a;
+use icfp_sim::CellFigures;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The container magic (and version): bump to invalidate every entry.
+pub const MAGIC: &[u8] = b"icfp-cache/v1";
+
+/// Distinguishes concurrent writers' temp files within one process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Typed failures loading or storing a cache entry.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The entry does not begin with [`MAGIC`] — foreign file or a future
+    /// container version.
+    BadMagic,
+    /// The entry is shorter than its own framing claims.
+    Truncated,
+    /// The key recorded inside the entry is not the key it was looked up
+    /// under (a renamed or misplaced entry file).
+    KeyMismatch {
+        /// The key the caller asked for.
+        expected: u64,
+        /// The key the entry records.
+        found: u64,
+    },
+    /// The payload digest check failed — bit rot or a torn write.
+    DigestMismatch {
+        /// The digest the entry records.
+        expected: u64,
+        /// The digest the payload actually has.
+        found: u64,
+    },
+    /// The payload would not decode as [`CellFigures`].
+    Decode(String),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "cache i/o: {e}"),
+            CacheError::BadMagic => write!(f, "not an icfp-cache/v1 entry"),
+            CacheError::Truncated => write!(f, "cache entry is truncated"),
+            CacheError::KeyMismatch { expected, found } => write!(
+                f,
+                "cache entry records key {found:#018x}, looked up as {expected:#018x}"
+            ),
+            CacheError::DigestMismatch { expected, found } => write!(
+                f,
+                "cache entry digest mismatch: recorded {expected:#018x}, payload has {found:#018x}"
+            ),
+            CacheError::Decode(e) => write!(f, "cache payload would not decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<io::Error> for CacheError {
+    fn from(e: io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+/// A persistent result cache rooted at one directory; one `.cell` file per
+/// entry, named by the entry's key.  Cheap to clone conceptually (it holds
+/// only the path) and safe to share across the executor's worker threads.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CacheError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.cell"))
+    }
+
+    /// Encodes one entry's bytes (exposed for tests and tooling).
+    pub fn encode_entry(key: u64, figures: &CellFigures) -> Vec<u8> {
+        let payload = serde::to_bytes(figures);
+        let mut out = Vec::with_capacity(MAGIC.len() + 24 + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&key.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out
+    }
+
+    /// Decodes and verifies one entry's bytes against the key it was looked
+    /// up under.
+    ///
+    /// # Errors
+    ///
+    /// Any non-[`CacheError::Io`] variant, per the container checks.
+    pub fn decode_entry(key: u64, bytes: &[u8]) -> Result<CellFigures, CacheError> {
+        let rest = bytes.strip_prefix(MAGIC).ok_or(CacheError::BadMagic)?;
+        if rest.len() < 16 {
+            return Err(CacheError::Truncated);
+        }
+        let found_key = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+        if found_key != key {
+            return Err(CacheError::KeyMismatch {
+                expected: key,
+                found: found_key,
+            });
+        }
+        let payload_len = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+        let rest = &rest[16..];
+        // Overflow-safe: compare in u64 before casting the length down.
+        if (rest.len() as u64) < 8 || (rest.len() as u64) - 8 < payload_len {
+            return Err(CacheError::Truncated);
+        }
+        let payload_len = payload_len as usize;
+        let (payload, tail) = rest.split_at(payload_len);
+        if tail.len() != 8 {
+            // Trailing garbage after the digest is as suspect as truncation.
+            return Err(CacheError::Truncated);
+        }
+        let recorded = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        let actual = fnv1a(payload);
+        if recorded != actual {
+            return Err(CacheError::DigestMismatch {
+                expected: recorded,
+                found: actual,
+            });
+        }
+        serde::from_bytes(payload).map_err(|e| CacheError::Decode(e.to_string()))
+    }
+
+    /// Loads the entry for `key`, if present and intact.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CacheError`] for a present-but-damaged entry; a missing entry
+    /// is `Ok(None)`, not an error.
+    pub fn load(&self, key: u64) -> Result<Option<CellFigures>, CacheError> {
+        let bytes = match fs::read(self.entry_path(key)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Self::decode_entry(key, &bytes).map(Some)
+    }
+
+    /// Stores an entry, first-write-wins: an existing entry is left alone
+    /// (returns `Ok(false)`), otherwise the entry is written to a temp file
+    /// and atomically renamed in (returns `Ok(true)`).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] on filesystem failure.
+    pub fn store(&self, key: u64, figures: &CellFigures) -> Result<bool, CacheError> {
+        let path = self.entry_path(key);
+        if path.exists() {
+            return Ok(false);
+        }
+        let tmp = self.dir.join(format!(
+            "{key:016x}.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, Self::encode_entry(key, figures))?;
+        fs::rename(&tmp, &path)?;
+        Ok(true)
+    }
+
+    /// Removes the entry for `key` (used by the executor to evict a damaged
+    /// entry before recomputing, so first-write-wins can land the repair).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] on filesystem failure; a missing entry is fine.
+    pub fn remove(&self, key: u64) -> Result<(), CacheError> {
+        match fs::remove_file(self.entry_path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Number of entries on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] if the directory cannot be read.
+    pub fn entry_count(&self) -> Result<usize, CacheError> {
+        let mut n = 0;
+        for e in fs::read_dir(&self.dir)? {
+            if e?.path().extension().is_some_and(|x| x == "cell") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figures() -> CellFigures {
+        CellFigures {
+            instructions: 600,
+            cycles: 900,
+            ipc: 600.0 / 900.0,
+            l1d_mpki: 12.5,
+            l2_mpki: 3.25,
+            host_seconds: 0.001_25,
+            mips: 480.0,
+            state_digest: 0xFEED_FACE_CAFE_BEEF,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "icfp-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn entries_round_trip_and_first_write_wins() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = 0x0123_4567_89AB_CDEF;
+        assert!(cache.load(key).unwrap().is_none(), "empty cache misses");
+        assert!(cache.store(key, &figures()).unwrap(), "first write lands");
+        let back = cache.load(key).unwrap().expect("hit");
+        assert_eq!(back, figures());
+        // Second store of the same key is a no-op (first write wins).
+        let mut other = figures();
+        other.cycles = 1;
+        assert!(!cache.store(key, &other).unwrap());
+        assert_eq!(cache.load(key).unwrap().unwrap(), figures());
+        assert_eq!(cache.entry_count().unwrap(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_entries_are_typed_errors_not_panics() {
+        let key = 0xAA55_AA55_AA55_AA55;
+        let good = ResultCache::encode_entry(key, &figures());
+
+        // Wrong magic (foreign file / future version).
+        let mut bumped = good.clone();
+        bumped[MAGIC.len() - 1] = b'2';
+        assert!(matches!(
+            ResultCache::decode_entry(key, &bumped),
+            Err(CacheError::BadMagic)
+        ));
+        assert!(matches!(
+            ResultCache::decode_entry(key, b"not a cache entry at all"),
+            Err(CacheError::BadMagic)
+        ));
+
+        // Truncation at every boundary inside the container.
+        for cut in [MAGIC.len(), MAGIC.len() + 4, MAGIC.len() + 16, good.len() - 1] {
+            assert!(
+                matches!(
+                    ResultCache::decode_entry(key, &good[..cut]),
+                    Err(CacheError::Truncated)
+                ),
+                "cut at {cut}"
+            );
+        }
+
+        // Key mismatch (entry filed under the wrong name).
+        assert!(matches!(
+            ResultCache::decode_entry(key + 1, &good),
+            Err(CacheError::KeyMismatch { .. })
+        ));
+
+        // Flipped payload bit: digest check catches it.
+        let mut rotted = good.clone();
+        rotted[MAGIC.len() + 20] ^= 0x01;
+        assert!(matches!(
+            ResultCache::decode_entry(key, &rotted),
+            Err(CacheError::DigestMismatch { .. })
+        ));
+
+        // A hostile length field cannot read out of bounds.
+        let mut hostile = good.clone();
+        let at = MAGIC.len() + 8;
+        hostile[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            ResultCache::decode_entry(key, &hostile),
+            Err(CacheError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn damaged_files_on_disk_surface_as_load_errors() {
+        let dir = tmp_dir("damage");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = 0x1111_2222_3333_4444;
+        cache.store(key, &figures()).unwrap();
+        let path = dir.join(format!("{key:016x}.cell"));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(cache.load(key), Err(CacheError::Truncated)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,681 @@
+//! The sweep executor: a `std::thread` pool pulling fork groups from an
+//! atomic counter, with optional warm-forking and an optional persistent
+//! result cache, streaming cells to a callback as they finish.
+
+use crate::cache::ResultCache;
+use crate::job::SweepJob;
+use crate::report::{SweepCell, SweepReport};
+use crate::spec::SweepSpec;
+use icfp_isa::{ArenaSource, TraceSource};
+use icfp_sim::{CellFigures, SimConfig, Simulator};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Executor options beyond the spec itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions<'a> {
+    /// Worker threads (0 or 1 = serial, in the calling thread).
+    pub threads: usize,
+    /// Persistent result cache to serve and populate, if any.
+    pub cache: Option<&'a ResultCache>,
+}
+
+/// Counters describing how a sweep's cells were produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cells served from the on-disk cache.
+    pub hits: u64,
+    /// Cells computed (cache absent, cold, or entry damaged).
+    pub misses: u64,
+    /// Damaged entries encountered and treated as misses.
+    pub invalid: u64,
+    /// Entries newly written to the cache.
+    pub stored: u64,
+}
+
+impl CacheStats {
+    /// Percentage of cells served from cache (0 when no cells ran).
+    pub fn hit_percent(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// One-line human summary, e.g. `"32 hits, 0 misses (100% cache hits)"`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} hits, {} misses ({:.0}% cache hits)",
+            self.hits,
+            self.misses,
+            self.hit_percent()
+        )
+    }
+}
+
+/// A sweep's full outcome: the report plus how it was produced.  The cache
+/// counters live *beside* the report, never inside it — a fully cached rerun
+/// must reproduce the cold report (and its JSON document) byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The assembled report, cells in [`SweepSpec::expand`] order.
+    pub report: SweepReport,
+    /// Cache counters for this execution.
+    pub cache: CacheStats,
+}
+
+/// One finished cell, streamed to the [`run_sweep_streamed`] callback (on
+/// the calling thread) as it completes — completion order, not index order.
+#[derive(Debug)]
+pub struct CellEvent<'a> {
+    /// The cell's position in [`SweepSpec::expand`] order.
+    pub index: usize,
+    /// Whether the cell was served from the result cache.
+    pub cached: bool,
+    /// The finished cell.
+    pub cell: &'a SweepCell,
+}
+
+/// A set of jobs executed from one simulation: the leader (first, lowest
+/// expand index) runs — in warm-fork mode checkpointing at the column's
+/// halfway point — and every member resumes from the leader's checkpoint
+/// (or, in cached mode, replays the leader's figures).
+pub(crate) struct ForkGroup {
+    /// Expand indices, leader first (ascending).
+    pub(crate) jobs: Vec<usize>,
+}
+
+/// Groups jobs by [`SweepJob::fork_key`] (`group_equivalent`) or one group
+/// per job.  Group order follows the leaders' expand order, so the plan —
+/// and therefore every deterministic output — is independent of thread
+/// count and scheduling.
+pub(crate) fn plan_groups(group_equivalent: bool, jobs: &[SweepJob]) -> Vec<ForkGroup> {
+    if !group_equivalent {
+        return jobs
+            .iter()
+            .map(|j| ForkGroup { jobs: vec![j.index] })
+            .collect();
+    }
+    let mut by_key: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut groups: Vec<ForkGroup> = Vec::new();
+    for job in jobs {
+        match by_key.entry(job.fork_key()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                groups[*e.get()].jobs.push(job.index);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(groups.len());
+                groups.push(ForkGroup {
+                    jobs: vec![job.index],
+                });
+            }
+        }
+    }
+    groups
+}
+
+/// Executes one warm-fork group.
+///
+/// Singleton groups — cells nothing else can share — keep the cold path
+/// (warmup + median-of-reps timing) and pay no checkpoint.  Groups with
+/// members fork: the leader advances to the column's halfway instruction,
+/// checkpoints, finishes; each member resumes from the checkpoint.  For the
+/// incremental iCFP model that is a genuine mid-trace state (this arises
+/// when a grid repeats a configuration); for the whole-trace comparison
+/// models — today's only source of multi-member groups, via the inert slice
+/// axis — the first step simulates the entire trace, so the checkpoint
+/// captures the *finished, undrained* run and members replay its result
+/// rather than re-simulating.  Either way the checkpoint round-trip is
+/// bit-identical to an uninterrupted run and members share the leader's
+/// fork key (identical deterministic inputs), so every produced cell equals
+/// its cold-run counterpart in all digested fields.  Host-time figures of
+/// forked cells are single-run estimates: each member is charged the
+/// group's shared pre-checkpoint wall time plus its own post-resume time,
+/// so its MIPS approximates a whole-trace rate instead of counting every
+/// instruction against a fraction of the work.
+fn run_fork_group(
+    jobs: &[SweepJob],
+    group: &ForkGroup,
+    trace: &Arc<dyn TraceSource>,
+) -> Vec<(usize, SweepCell)> {
+    let leader = &jobs[group.jobs[0]];
+    if group.jobs.len() == 1 {
+        return vec![(leader.index, leader.run_with_source(&**trace))];
+    }
+    let mut sim = Simulator::new(SimConfig::with_config(leader.model, leader.config.clone()));
+    sim.load(Arc::clone(trace));
+    let t0 = std::time::Instant::now();
+    sim.advance_to_inst(trace.len() / 2);
+    let front_seconds = t0.elapsed().as_secs_f64();
+    let ckpt = sim
+        .checkpoint()
+        .expect("engine is loaded and not drained at the fork point");
+    let mut cells = Vec::with_capacity(group.jobs.len());
+    let leader_report = sim.finish_loaded();
+    cells.push((leader.index, leader.cell_from_report(&leader_report)));
+    for &member in &group.jobs[1..] {
+        let mut resumed = Simulator::resume(&ckpt, Arc::clone(trace))
+            .expect("resuming against the checkpoint's own trace");
+        let mut report = resumed.finish_loaded();
+        report.host_seconds += front_seconds;
+        report.mips = if report.host_seconds > 0.0 {
+            report.instructions as f64 / report.host_seconds / 1.0e6
+        } else {
+            0.0
+        };
+        cells.push((member, jobs[member].cell_from_report(&report)));
+    }
+    cells
+}
+
+/// Per-execution cache counters, shared across the worker pool.
+#[derive(Default)]
+struct Tallies {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalid: AtomicU64,
+    stored: AtomicU64,
+}
+
+impl Tallies {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            stored: self.stored.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Executes one group against the result cache.  On a hit every cell of the
+/// group replays the stored figures; on a miss the leader computes once
+/// (cold timing protocol), the figures are stored first-write-wins, and
+/// members replay them — cells sharing a cache key have identical
+/// deterministic inputs, so replaying is exact, and sharing the leader's
+/// host figures is what makes a later fully-cached rerun reproduce this
+/// report byte-for-byte.  A damaged entry is counted and treated as a miss.
+fn run_cached_group(
+    jobs: &[SweepJob],
+    group: &ForkGroup,
+    trace: &Arc<dyn TraceSource>,
+    cache: &ResultCache,
+    tallies: &Tallies,
+) -> (bool, Vec<(usize, SweepCell)>) {
+    let leader = &jobs[group.jobs[0]];
+    let key = leader.cache_key(trace.digest());
+    match cache.load(key) {
+        Ok(Some(figures)) => {
+            tallies
+                .hits
+                .fetch_add(group.jobs.len() as u64, Ordering::Relaxed);
+            let cells = group
+                .jobs
+                .iter()
+                .map(|&j| (j, jobs[j].cell_from_figures(&figures)))
+                .collect();
+            return (true, cells);
+        }
+        Ok(None) => {}
+        Err(_) => {
+            // Damaged entry: count it, evict it so the recompute's store can
+            // land, and fall through to the miss path.
+            tallies.invalid.fetch_add(1, Ordering::Relaxed);
+            let _ = cache.remove(key);
+        }
+    }
+    tallies
+        .misses
+        .fetch_add(group.jobs.len() as u64, Ordering::Relaxed);
+    let leader_cell = leader.run_with_source(&**trace);
+    let figures = CellFigures {
+        instructions: leader_cell.instructions,
+        cycles: leader_cell.cycles,
+        ipc: leader_cell.ipc,
+        l1d_mpki: leader_cell.l1d_mpki,
+        l2_mpki: leader_cell.l2_mpki,
+        host_seconds: leader_cell.host_seconds,
+        mips: leader_cell.mips,
+        state_digest: leader_cell.state_digest,
+    };
+    if let Ok(true) = cache.store(key, &figures) {
+        tallies.stored.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut cells = Vec::with_capacity(group.jobs.len());
+    cells.push((leader.index, leader_cell));
+    for &member in &group.jobs[1..] {
+        cells.push((member, jobs[member].cell_from_figures(&figures)));
+    }
+    (false, cells)
+}
+
+/// Executes a sweep on `threads` worker threads (1 = serial, in the calling
+/// thread).  Each workload column's trace is generated once and shared via
+/// `Arc` across every job; with [`SweepSpec::warm_fork`] set, fork groups of
+/// equivalent cells resume from one checkpoint per group.  The report's
+/// cells are in [`SweepSpec::expand`] order and its digest is independent of
+/// `threads` and of warm-forking.
+///
+/// # Errors
+///
+/// Returns the [`SweepSpec::validate`] error without running anything.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, String> {
+    run_sweep_streamed(
+        spec,
+        &ExecOptions {
+            threads,
+            cache: None,
+        },
+        |_| {},
+    )
+    .map(|outcome| outcome.report)
+}
+
+/// Executes a sweep, streaming each finished cell to `on_cell` (invoked on
+/// the calling thread, in completion order — carry the event's index to
+/// reassemble).  With [`ExecOptions::cache`] set, groups of cells with
+/// identical deterministic inputs are served from, and populate, the
+/// persistent result cache; the returned [`SweepOutcome::cache`] counters
+/// say how many cells hit.  The report — cells, digest, JSON document — is
+/// byte-identical across thread counts, cache states and transports.
+///
+/// # Errors
+///
+/// Returns the [`SweepSpec::validate`] error without running anything.
+pub fn run_sweep_streamed(
+    spec: &SweepSpec,
+    opts: &ExecOptions<'_>,
+    mut on_cell: impl FnMut(CellEvent<'_>),
+) -> Result<SweepOutcome, String> {
+    spec.validate()?;
+    let jobs = spec.expand();
+    let n = jobs.len();
+
+    // One trace source per workload column, shared by reference everywhere.
+    // Standard workloads materialize once into an arena (the cursor fast
+    // path); the same map could equally hold streamed sources — cells are
+    // backing-independent.
+    let mut traces: HashMap<&str, Arc<dyn TraceSource>> = HashMap::new();
+    for w in &spec.workloads {
+        traces.entry(w.as_str()).or_insert_with(|| {
+            Arc::new(ArenaSource::new(
+                icfp_workloads::by_name(w, spec.insts, spec.workload_seed(w))
+                    .expect("workload validated by SweepSpec::validate"),
+            ))
+        });
+    }
+
+    // Warm-forking and caching share one equivalence relation (the fork
+    // key), so either turns grouping on.
+    let groups = plan_groups(spec.warm_fork || opts.cache.is_some(), &jobs);
+    let num_groups = groups.len();
+    let workers = opts.threads.clamp(1, num_groups.max(1));
+    let mut cells: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
+    let tallies = Tallies::default();
+
+    let run_group = |k: usize| -> (bool, Vec<(usize, SweepCell)>) {
+        let group = &groups[k];
+        let leader = &jobs[group.jobs[0]];
+        let trace = &traces[leader.workload.as_str()];
+        if let Some(cache) = opts.cache {
+            run_cached_group(&jobs, group, trace, cache, &tallies)
+        } else {
+            // No cache: every cell is computed, so it counts as a miss (the
+            // hits/misses pair always totals the cell count).
+            tallies
+                .misses
+                .fetch_add(group.jobs.len() as u64, Ordering::Relaxed);
+            if spec.warm_fork {
+                (false, run_fork_group(&jobs, group, trace))
+            } else {
+                (false, vec![(leader.index, leader.run_with_source(&**trace))])
+            }
+        }
+    };
+
+    if workers == 1 {
+        for k in 0..num_groups {
+            let (cached, batch) = run_group(k);
+            for (idx, cell) in batch {
+                on_cell(CellEvent {
+                    index: idx,
+                    cached,
+                    cell: &cell,
+                });
+                cells[idx] = Some(cell);
+            }
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(bool, Vec<(usize, SweepCell)>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let run_group = &run_group;
+                scope.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= num_groups {
+                        break;
+                    }
+                    // A send only fails if the receiver is gone (sweep
+                    // abandoned): stop pulling work.
+                    if tx.send(run_group(k)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (cached, batch) in rx {
+                for (idx, cell) in batch {
+                    on_cell(CellEvent {
+                        index: idx,
+                        cached,
+                        cell: &cell,
+                    });
+                    cells[idx] = Some(cell);
+                }
+            }
+        });
+    }
+
+    Ok(SweepOutcome {
+        report: SweepReport {
+            threads: workers,
+            warm_fork: spec.warm_fork,
+            insts: spec.insts,
+            seed: spec.seed,
+            reps: spec.reps.max(1),
+            workloads: spec.workloads.clone(),
+            cells: cells
+                .into_iter()
+                .map(|c| c.expect("every job posts exactly one cell"))
+                .collect(),
+        },
+        cache: tallies.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_spec;
+    use icfp_core::CoreModel;
+    use std::fs;
+    use std::path::PathBuf;
+
+    #[test]
+    fn same_spec_twice_gives_identical_digests() {
+        let spec = tiny_spec();
+        let a = run_sweep(&spec, 1).unwrap();
+        let b = run_sweep(&spec, 1).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.cycles, cb.cycles);
+            assert_eq!(ca.state_digest, cb.state_digest);
+        }
+    }
+
+    #[test]
+    fn serial_and_eight_thread_pools_agree_byte_for_byte() {
+        // The acceptance grid: 2 models × 4 configs × 4 workloads.
+        let spec = tiny_spec();
+        let serial = run_sweep(&spec, 1).unwrap();
+        let pooled = run_sweep(&spec, 8).unwrap();
+        assert_eq!(serial.digest(), pooled.digest());
+        assert_eq!(serial.cells.len(), pooled.cells.len());
+        for (cs, cp) in serial.cells.iter().zip(&pooled.cells) {
+            assert_eq!(cs.model, cp.model);
+            assert_eq!(cs.workload, cp.workload);
+            assert_eq!(cs.cycles, cp.cycles, "{} {}", cs.model, cs.workload);
+            assert_eq!(cs.ipc, cp.ipc);
+            assert_eq!(cs.state_digest, cp.state_digest);
+        }
+    }
+
+    /// Per-cell deterministic fields (everything in the digest) must match.
+    fn assert_deterministically_equal(a: &SweepReport, b: &SweepReport) {
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.model, cb.model);
+            assert_eq!(ca.workload, cb.workload);
+            assert_eq!(ca.slice_buffer_entries, cb.slice_buffer_entries);
+            assert_eq!(ca.mshr_count, cb.mshr_count);
+            assert_eq!(ca.l2_hit_latency, cb.l2_hit_latency);
+            assert_eq!(ca.seed, cb.seed);
+            assert_eq!(ca.instructions, cb.instructions);
+            assert_eq!(ca.cycles, cb.cycles, "{} {}", ca.model, ca.workload);
+            assert_eq!(ca.ipc, cb.ipc);
+            assert_eq!(ca.l1d_mpki, cb.l1d_mpki);
+            assert_eq!(ca.l2_mpki, cb.l2_mpki);
+            assert_eq!(ca.state_digest, cb.state_digest);
+        }
+    }
+
+    #[test]
+    fn warm_fork_groups_cells_along_inert_axes_only() {
+        let spec = {
+            let mut s = tiny_spec();
+            s.warm_fork = true;
+            s
+        };
+        let jobs = spec.expand();
+        let groups = plan_groups(true, &jobs);
+        // icfp reads the slice axis: its 4 configs × 4 workloads stay
+        // singleton groups (16).  in-order ignores it: {sb 64, sb 128}
+        // collapse per (l2 latency, workload) — 2 × 4 = 8 groups of two.
+        assert_eq!(jobs.len(), 32);
+        assert_eq!(groups.len(), 16 + 8, "grouping changed unexpectedly");
+        let pairs = groups.iter().filter(|g| g.jobs.len() == 2).count();
+        assert_eq!(pairs, 8);
+        for g in &groups {
+            assert!(
+                g.jobs.windows(2).all(|w| w[0] < w[1]),
+                "leader is lowest index"
+            );
+            let leader = &jobs[g.jobs[0]];
+            for &m in &g.jobs[1..] {
+                assert_eq!(jobs[m].model, leader.model);
+                assert_eq!(jobs[m].workload, leader.workload);
+                assert!(!jobs[m].model.reads_slice_buffer());
+            }
+        }
+        // Cold mode: no grouping at all.
+        assert_eq!(plan_groups(false, &jobs).len(), jobs.len());
+    }
+
+    #[test]
+    fn warm_fork_report_is_deterministically_identical_to_cold_run() {
+        // The PR 3 acceptance grid: 2 models × 4 configs × 4 workloads.
+        let cold_spec = tiny_spec();
+        let warm_spec = {
+            let mut s = tiny_spec();
+            s.warm_fork = true;
+            s
+        };
+        let cold = run_sweep(&cold_spec, 1).unwrap();
+        let warm_serial = run_sweep(&warm_spec, 1).unwrap();
+        let warm_pooled = run_sweep(&warm_spec, 8).unwrap();
+        assert!(warm_serial.warm_fork && !cold.warm_fork);
+        assert_deterministically_equal(&cold, &warm_serial);
+        assert_deterministically_equal(&cold, &warm_pooled);
+        assert_deterministically_equal(&warm_serial, &warm_pooled);
+    }
+
+    #[test]
+    fn l2_latency_axis_moves_cycles_monotonically() {
+        let mut spec = tiny_spec();
+        spec.models = vec![CoreModel::InOrder];
+        spec.slice_buffer_entries = vec![128];
+        spec.workloads = vec!["pointer-chase".into()];
+        spec.l2_hit_latencies = vec![10, 40];
+        let r = run_sweep(&spec, 2).unwrap();
+        assert_eq!(r.cells.len(), 2);
+        assert!(
+            r.cells[0].cycles <= r.cells[1].cycles,
+            "higher L2 latency cannot be faster: {} vs {}",
+            r.cells[0].cycles,
+            r.cells[1].cycles
+        );
+        // Same trace either way.
+        assert_eq!(r.cells[0].state_digest, r.cells[1].state_digest);
+    }
+
+    fn tmp_cache(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "icfp-sweep-exec-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn cold_then_cached_runs_reproduce_the_report_byte_for_byte() {
+        let dir = tmp_cache("cold-warm");
+        let cache = ResultCache::open(&dir).unwrap();
+        let spec = tiny_spec();
+        let opts = ExecOptions {
+            threads: 1,
+            cache: Some(&cache),
+        };
+
+        let mut events = 0usize;
+        let cold = run_sweep_streamed(&spec, &opts, |e| {
+            assert!(!e.cached, "fresh cache cannot hit");
+            events += 1;
+        })
+        .unwrap();
+        assert_eq!(events, 32);
+        assert_eq!(cold.cache.hits, 0);
+        assert_eq!(cold.cache.misses, 32);
+        assert!(cold.cache.stored > 0);
+
+        // Second submission: everything served from disk, report identical
+        // to the last byte of the JSON document.
+        let mut seen = [false; 32];
+        let warm = run_sweep_streamed(&spec, &opts, |e| {
+            assert!(e.cached, "warm cache must hit");
+            assert!(!seen[e.index], "cell streamed twice");
+            seen[e.index] = true;
+        })
+        .unwrap();
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(warm.cache.hits, 32);
+        assert_eq!(warm.cache.misses, 0);
+        assert_eq!(warm.cache.stored, 0);
+        assert_eq!(warm.report, cold.report);
+        assert_eq!(warm.report.to_json(), cold.report.to_json());
+
+        // Threaded cached run: digest-identical too (host figures replay).
+        let warm8 = run_sweep_streamed(
+            &spec,
+            &ExecOptions {
+                threads: 8,
+                cache: Some(&cache),
+            },
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(warm8.cache.hits, 32);
+        assert_deterministically_equal(&cold.report, &warm8.report);
+        // Only the advisory thread count differs.
+        assert_eq!(warm8.report.cells, cold.report.cells);
+
+        // And cached runs agree with an uncached cold run on every
+        // deterministic field.
+        let uncached = run_sweep(&spec, 1).unwrap();
+        assert_deterministically_equal(&uncached, &warm.report);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inert_axis_cells_share_one_cache_entry() {
+        let dir = tmp_cache("inert");
+        let cache = ResultCache::open(&dir).unwrap();
+        // in-order never reads the slice buffer: two slice sizes, one of
+        // everything else ⇒ 2 cells, 1 fork group, 1 cache entry.
+        let mut spec = tiny_spec();
+        spec.models = vec![CoreModel::InOrder];
+        spec.slice_buffer_entries = vec![64, 128];
+        spec.l2_hit_latencies = vec![20];
+        spec.workloads = vec!["pointer-chase".into()];
+        let opts = ExecOptions {
+            threads: 1,
+            cache: Some(&cache),
+        };
+        let cold = run_sweep_streamed(&spec, &opts, |_| {}).unwrap();
+        assert_eq!(cold.report.cells.len(), 2);
+        assert_eq!(cold.cache.misses, 2);
+        assert_eq!(cold.cache.stored, 1, "one entry for the whole group");
+        assert_eq!(cache.entry_count().unwrap(), 1);
+        // Both cells carry their own axis labels but identical figures.
+        let [a, b] = &cold.report.cells[..] else {
+            panic!("two cells")
+        };
+        assert_ne!(a.slice_buffer_entries, b.slice_buffer_entries);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.state_digest, b.state_digest);
+        assert_eq!(a.host_seconds, b.host_seconds, "members replay figures");
+
+        let warm = run_sweep_streamed(&spec, &opts, |_| {}).unwrap();
+        assert_eq!(warm.cache.hits, 2);
+        assert_eq!(warm.report, cold.report);
+
+        // The icfp model *reads* the slice axis: same grid stores two
+        // entries and never collapses cells.
+        let mut icfp_spec = spec.clone();
+        icfp_spec.models = vec![CoreModel::Icfp];
+        let icfp = run_sweep_streamed(&icfp_spec, &opts, |_| {}).unwrap();
+        assert_eq!(icfp.cache.misses, 2, "no grouping for a live axis");
+        assert_eq!(icfp.cache.stored, 2, "one entry per distinct key");
+        assert_eq!(cache.entry_count().unwrap(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_cache_entries_are_recomputed_not_trusted() {
+        let dir = tmp_cache("damaged");
+        let cache = ResultCache::open(&dir).unwrap();
+        let mut spec = tiny_spec();
+        spec.models = vec![CoreModel::Icfp];
+        spec.slice_buffer_entries = vec![128];
+        spec.l2_hit_latencies = vec![20];
+        spec.workloads = vec!["branchy".into()];
+        let opts = ExecOptions {
+            threads: 1,
+            cache: Some(&cache),
+        };
+        let cold = run_sweep_streamed(&spec, &opts, |_| {}).unwrap();
+        assert_eq!(cold.cache.stored, 1);
+
+        // Truncate the single entry on disk.
+        let entry = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "cell"))
+            .expect("one entry");
+        let bytes = fs::read(&entry).unwrap();
+        fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+
+        let redo = run_sweep_streamed(&spec, &opts, |e| assert!(!e.cached)).unwrap();
+        assert_eq!(redo.cache.hits, 0);
+        assert_eq!(redo.cache.invalid, 1, "damage is counted");
+        assert_eq!(redo.cache.misses, 1);
+        assert_eq!(redo.cache.stored, 1, "the evicted entry is re-stored");
+        assert_deterministically_equal(&cold.report, &redo.report);
+
+        // The recompute evicted and replaced the damaged entry, so the cache
+        // self-heals: a third run is fully served from disk again.
+        let third = run_sweep_streamed(&spec, &opts, |_| {}).unwrap();
+        assert_eq!(third.cache.hits, 1);
+        assert_eq!(third.report, redo.report);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

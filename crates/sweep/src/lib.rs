@@ -2,22 +2,33 @@
 //!
 //! The paper's headline results (the Figure 6/7-style comparisons) come from
 //! running one binary's timing models across *many* machine configurations.
-//! This crate is the subsystem that does that at scale:
+//! This crate is the subsystem that does that at scale, layered bottom-up:
 //!
-//! * [`SweepSpec`] — a cartesian grid over [`CoreConfig`] axes (slice-buffer
-//!   capacity, MSHR count, L2 hit latency) crossed with core models and
-//!   workloads;
-//! * [`SweepSpec::expand`] — the grid flattened into an ordered list of
-//!   [`SweepJob`]s with *deterministic per-job seeds* (a pure function of the
-//!   spec seed and the workload name, so every cell of a workload column
+//! * [`spec`] — [`SweepSpec`]: a cartesian grid over [`icfp_core::CoreConfig`]
+//!   axes (slice-buffer capacity, MSHR count, L2 hit latency) crossed with
+//!   core models and workloads, expanded ([`SweepSpec::expand`]) into an
+//!   ordered job list with *deterministic per-job seeds* (a pure function of
+//!   the spec seed and the workload name, so every cell of a workload column
 //!   simulates the identical trace and cells are comparable);
-//! * [`run_sweep`] — executes the jobs on a `std::thread` pool.  Workers pull
-//!   jobs from an atomic counter and post results back by job index, so the
-//!   assembled [`SweepReport`] is byte-identical regardless of thread count
-//!   or scheduling;
-//! * [`SweepReport`] — one [`SweepCell`] per grid point (IPC, MPKI, MIPS,
-//!   state digest) with a deterministic [`SweepReport::digest`], a
-//!   `BENCH_sweep.json` serializer and an aligned text matrix renderer.
+//! * [`job`] — [`SweepJob`]: one grid point, its execution paths, and its
+//!   identity keys (the warm-fork key; the content-addressed cache key);
+//! * [`executor`] — [`run_sweep`] / [`run_sweep_streamed`]: a `std::thread`
+//!   pool pulling fork groups from an atomic counter and posting results
+//!   back by job index, so the assembled report is byte-identical regardless
+//!   of thread count or scheduling; cells stream to a callback as they
+//!   finish;
+//! * [`cache`] — [`ResultCache`]: the persistent `icfp-cache/v1` store
+//!   between executor and report — each cell keyed by a digest of its
+//!   deterministic inputs, so repeated and overlapping grids are served from
+//!   disk and a cache-hit report is digest-identical to a cold one;
+//! * [`report`] — [`SweepReport`]: one [`SweepCell`] per grid point (IPC,
+//!   MPKI, MIPS, state digest) with a deterministic [`SweepReport::digest`]
+//!   and an aligned text matrix renderer;
+//! * [`schema`] — the one `BENCH_sweep.json` (`icfp-sweep/v2`) emitter and
+//!   parser, shared by the CLI, the server and the baseline gate;
+//! * [`wire`] — the `icfp-wire/v1` protocol: submit a spec to a running
+//!   `icfp-sweepd`, stream cells back as they finish, reassemble a report
+//!   byte-identical to a local run.
 //!
 //! ## Shared sources and warm-forking
 //!
@@ -31,634 +42,49 @@
 //! With [`SweepSpec::warm_fork`] enabled, jobs are additionally grouped so
 //! that cells whose deterministic inputs are provably identical — same
 //! model, same workload trace, and configurations that differ only along
-//! axes the model never reads (see [`CoreModel::reads_slice_buffer`]) — run
-//! as one *fork group*: the group leader runs to the column's halfway
-//! instruction, captures a [`icfp_sim::SimCheckpoint`] (a mid-trace state
-//! for the incremental iCFP model; the finished, undrained run for the
-//! whole-trace models, which complete on their first step), finishes its
-//! own run, and every member resumes from that checkpoint instead of
-//! re-simulating from cycle zero.  Because checkpoint resume is
-//! bit-identical to an uninterrupted run,
-//! the warm-fork report's deterministic fields (cycles, IPC, MPKI, state
-//! digests — everything in [`SweepReport::digest`]) equal the cold run's
-//! exactly, serial or threaded; only the advisory host-time figures change.
+//! axes the model never reads (see
+//! [`icfp_core::CoreModel::reads_slice_buffer`]) — run as one *fork group*:
+//! the group leader runs to the column's halfway instruction, captures a
+//! [`icfp_sim::SimCheckpoint`], finishes its own run, and every member
+//! resumes from that checkpoint instead of re-simulating from cycle zero.
+//! Because checkpoint resume is bit-identical to an uninterrupted run, the
+//! warm-fork report's deterministic fields equal the cold run's exactly;
+//! only the advisory host-time figures change.
 //!
-//! `icfp-bench --sweep` (with `--warm-fork`) is the CLI front end.
+//! `icfp-bench --sweep` is the local CLI front end; `icfp-sweepd` serves
+//! sweeps over TCP and `icfp-bench sweep submit --server ADDR` is its
+//! client.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use icfp_core::{CoreConfig, CoreModel};
-use icfp_isa::{ArenaSource, Trace, TraceSource};
-use icfp_sim::{SimConfig, SimReport, Simulator};
-use std::collections::HashMap;
-use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
+pub mod cache;
+pub mod executor;
+pub mod job;
+pub mod report;
+pub mod schema;
+pub mod spec;
+pub mod wire;
 
-use icfp_isa::Fnv1a;
-
-/// One splitmix64 scramble step (for deriving per-workload trace seeds).
-fn splitmix(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// A cartesian sweep specification: models × config axes × workloads.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SweepSpec {
-    /// Core models to sweep (rows of the matrix).
-    pub models: Vec<CoreModel>,
-    /// Slice-buffer capacities to sweep (Table 1 default: 128).
-    pub slice_buffer_entries: Vec<usize>,
-    /// MSHR counts to sweep (Table 1 default: 64).
-    pub mshr_counts: Vec<usize>,
-    /// L2 hit latencies to sweep (the Figure 6 axis; Table 1 default: 20).
-    pub l2_hit_latencies: Vec<u64>,
-    /// Workload names (columns; resolved via [`icfp_workloads::by_name`]).
-    pub workloads: Vec<String>,
-    /// Dynamic instruction budget per workload trace.
-    pub insts: usize,
-    /// Base seed; per-workload trace seeds are derived from it.
-    pub seed: u64,
-    /// Timing repetitions per cell (the median host time is reported).
-    pub reps: u32,
-    /// Warm-fork execution: fork groups of equivalent cells resume from one
-    /// checkpoint per group instead of re-simulating from cycle zero (see the
-    /// crate docs).  Deterministic outputs are unchanged; host-time figures
-    /// measure only the work actually performed.
-    pub warm_fork: bool,
-}
-
-impl SweepSpec {
-    /// A spec over `models` × `workloads` at the paper-default configuration
-    /// point (single value on every axis).
-    pub fn new(models: Vec<CoreModel>, workloads: Vec<String>, insts: usize, seed: u64) -> Self {
-        SweepSpec {
-            models,
-            slice_buffer_entries: vec![128],
-            mshr_counts: vec![64],
-            l2_hit_latencies: vec![20],
-            workloads,
-            insts,
-            seed,
-            reps: 1,
-            warm_fork: false,
-        }
-    }
-
-    /// Number of grid cells the spec expands to.
-    pub fn cell_count(&self) -> usize {
-        self.models.len()
-            * self.slice_buffer_entries.len()
-            * self.mshr_counts.len()
-            * self.l2_hit_latencies.len()
-            * self.workloads.len()
-    }
-
-    /// Validates the spec: every axis non-empty, every workload known.
-    ///
-    /// # Errors
-    ///
-    /// Returns a human-readable description of the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.models.is_empty() {
-            return Err("sweep spec has no models".into());
-        }
-        if self.workloads.is_empty() {
-            return Err("sweep spec has no workloads".into());
-        }
-        if self.slice_buffer_entries.is_empty()
-            || self.mshr_counts.is_empty()
-            || self.l2_hit_latencies.is_empty()
-        {
-            return Err("sweep spec has an empty configuration axis".into());
-        }
-        if self.insts == 0 {
-            return Err("sweep spec has a zero instruction budget".into());
-        }
-        for w in &self.workloads {
-            icfp_workloads::by_name_or_err(w, 1, 0)?;
-        }
-        Ok(())
-    }
-
-    /// The deterministic trace seed for a workload column: a pure function of
-    /// the spec seed and the workload name, so every cell in the column
-    /// simulates the identical trace regardless of job order or thread count.
-    pub fn workload_seed(&self, workload: &str) -> u64 {
-        splitmix(self.seed ^ icfp_isa::fnv1a(workload.as_bytes()))
-    }
-
-    /// Expands the grid into jobs, in deterministic row-major order
-    /// (model, slice buffer, MSHRs, L2 latency, workload — workload
-    /// innermost, so each matrix row is a contiguous run of jobs).
-    pub fn expand(&self) -> Vec<SweepJob> {
-        let mut jobs = Vec::with_capacity(self.cell_count());
-        for &model in &self.models {
-            for &slice in &self.slice_buffer_entries {
-                for &mshrs in &self.mshr_counts {
-                    for &l2 in &self.l2_hit_latencies {
-                        for workload in &self.workloads {
-                            let mut config = model.default_config();
-                            config.slice_buffer_entries = slice;
-                            config.mem.max_outstanding_misses = mshrs;
-                            config.mem.l2_hit_latency = l2;
-                            jobs.push(SweepJob {
-                                index: jobs.len(),
-                                model,
-                                config,
-                                workload: workload.clone(),
-                                insts: self.insts,
-                                seed: self.workload_seed(workload),
-                                reps: self.reps.max(1),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        jobs
-    }
-}
-
-/// One grid point, ready to execute.
-#[derive(Debug, Clone)]
-pub struct SweepJob {
-    /// Position in the expanded job list (and in `SweepReport::cells`).
-    pub index: usize,
-    /// Core model.
-    pub model: CoreModel,
-    /// Fully resolved configuration (model default + axis overrides).
-    pub config: CoreConfig,
-    /// Workload name.
-    pub workload: String,
-    /// Dynamic instruction budget.
-    pub insts: usize,
-    /// Deterministic trace seed (see [`SweepSpec::workload_seed`]).
-    pub seed: u64,
-    /// Timing repetitions (median is kept).
-    pub reps: u32,
-}
-
-impl SweepJob {
-    /// Executes the job standalone: generates its trace and runs it through
-    /// the shared warmup + median-of-N timing protocol
-    /// ([`icfp_sim::median_run`]).
-    pub fn run(&self) -> SweepCell {
-        let trace = icfp_workloads::by_name(&self.workload, self.insts, self.seed)
-            .expect("workload validated by SweepSpec::validate");
-        self.run_with_trace(&trace)
-    }
-
-    /// Executes the job against an already generated trace.
-    pub fn run_with_trace(&self, trace: &Trace) -> SweepCell {
-        let config = SimConfig::with_config(self.model, self.config.clone());
-        let median = icfp_sim::median_run(&config, trace, self.reps);
-        self.cell_from_report(&median)
-    }
-
-    /// Executes the job against a shared block-based source (the executor
-    /// shares one `Arc<dyn TraceSource>` per workload column across the
-    /// pool).  Deterministic outputs are independent of the backing.
-    pub fn run_with_source(&self, source: &dyn TraceSource) -> SweepCell {
-        let config = SimConfig::with_config(self.model, self.config.clone());
-        let median = icfp_sim::median_run_source(&config, source, self.reps);
-        self.cell_from_report(&median)
-    }
-
-    /// Builds this job's cell from a finished report (the configuration
-    /// labels come from the job; the figures from the report).
-    fn cell_from_report(&self, report: &SimReport) -> SweepCell {
-        SweepCell {
-            model: report.core.clone(),
-            workload: report.workload.clone(),
-            slice_buffer_entries: self.config.slice_buffer_entries,
-            mshr_count: self.config.mem.max_outstanding_misses,
-            l2_hit_latency: self.config.mem.l2_hit_latency,
-            seed: self.seed,
-            instructions: report.instructions,
-            cycles: report.cycles,
-            ipc: report.ipc,
-            l1d_mpki: report.l1d_mpki,
-            l2_mpki: report.l2_mpki,
-            host_seconds: report.host_seconds,
-            mips: report.mips,
-            state_digest: report.state_digest,
-        }
-    }
-
-    /// The job's *fork key*: two jobs may share one warm-fork checkpoint iff
-    /// their keys are byte-identical — same model, workload, seed and
-    /// instruction budget, and configurations equal after normalizing the
-    /// axes this model never reads.  Keys are the vendored-serde encoding of
-    /// exactly those inputs, so equality is equality of deterministic inputs.
-    fn fork_key(&self) -> Vec<u8> {
-        let mut cfg = self.config.clone();
-        if !self.model.reads_slice_buffer() {
-            // The slice-buffer axis is inert for this model: cells differing
-            // only along it run the identical simulation.
-            cfg.slice_buffer_entries = 0;
-            cfg.chain_table_entries = 0;
-        }
-        serde::to_bytes(&(
-            self.model.name().to_string(),
-            self.workload.clone(),
-            (self.seed, self.insts as u64),
-            serde::to_bytes(&cfg),
-        ))
-    }
-}
-
-/// One completed grid cell of a [`SweepReport`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct SweepCell {
-    /// Core model name.
-    pub model: String,
-    /// Workload name.
-    pub workload: String,
-    /// Slice-buffer capacity of this cell's configuration.
-    pub slice_buffer_entries: usize,
-    /// MSHR count of this cell's configuration.
-    pub mshr_count: usize,
-    /// L2 hit latency of this cell's configuration.
-    pub l2_hit_latency: u64,
-    /// Trace seed the cell simulated.
-    pub seed: u64,
-    /// Committed instructions.
-    pub instructions: u64,
-    /// Simulated cycles.
-    pub cycles: u64,
-    /// Instructions per simulated cycle.
-    pub ipc: f64,
-    /// L1 data-cache misses per 1000 instructions.
-    pub l1d_mpki: f64,
-    /// L2 misses per 1000 instructions.
-    pub l2_mpki: f64,
-    /// Median host seconds over the cell's repetitions.
-    pub host_seconds: f64,
-    /// Simulated MIPS of the median rep.
-    pub mips: f64,
-    /// Digest of the final architectural state.
-    pub state_digest: u64,
-}
-
-impl SweepCell {
-    /// Folds the cell's *deterministic* fields (timing-model outputs, not
-    /// host timing) into an FNV-1a accumulator.
-    fn fold_digest(&self, h: &mut Fnv1a) {
-        h.write(self.model.as_bytes());
-        h.write(self.workload.as_bytes());
-        for v in [
-            self.slice_buffer_entries as u64,
-            self.mshr_count as u64,
-            self.l2_hit_latency,
-            self.seed,
-            self.instructions,
-            self.cycles,
-            self.state_digest,
-        ] {
-            h.write_u64(v);
-        }
-    }
-}
-
-/// The assembled result of a sweep.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SweepReport {
-    /// Worker threads the sweep ran on (1 = serial; excluded from the
-    /// digest — parallelism must not change results).
-    pub threads: usize,
-    /// Whether the sweep executed in warm-fork mode (excluded from the
-    /// digest — forking must not change deterministic results).
-    pub warm_fork: bool,
-    /// Instruction budget per trace.
-    pub insts: usize,
-    /// The spec's base seed.
-    pub seed: u64,
-    /// Timing repetitions per cell.
-    pub reps: u32,
-    /// One cell per grid point, in [`SweepSpec::expand`] order.
-    pub cells: Vec<SweepCell>,
-}
-
-impl SweepReport {
-    /// Deterministic digest over every cell's timing-model outputs.  Two
-    /// sweeps of the same spec — serial or on any number of threads — must
-    /// produce byte-identical digests.
-    pub fn digest(&self) -> u64 {
-        let mut h = Fnv1a::new();
-        h.write_u64(self.cells.len() as u64);
-        h.write_u64(self.insts as u64);
-        h.write_u64(self.seed);
-        for c in &self.cells {
-            c.fold_digest(&mut h);
-        }
-        h.finish()
-    }
-
-    /// Aggregate throughput over the sweep: total simulated instructions per
-    /// total host second, in millions.
-    pub fn aggregate_mips(&self) -> f64 {
-        let inst: u64 = self.cells.iter().map(|c| c.instructions).sum();
-        let secs: f64 = self.cells.iter().map(|c| c.host_seconds).sum();
-        if secs > 0.0 {
-            inst as f64 / secs / 1.0e6
-        } else {
-            0.0
-        }
-    }
-
-    /// Renders the report as the `BENCH_sweep.json` document
-    /// (schema `icfp-sweep/v1`; hand-rolled writer, flat and stable).
-    pub fn to_json(&self) -> String {
-        let mut s = String::new();
-        s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"icfp-sweep/v1\",");
-        let _ = writeln!(s, "  \"threads\": {},", self.threads);
-        let _ = writeln!(s, "  \"warm_fork\": {},", self.warm_fork);
-        let _ = writeln!(s, "  \"insts\": {},", self.insts);
-        let _ = writeln!(s, "  \"seed\": {},", self.seed);
-        let _ = writeln!(s, "  \"reps\": {},", self.reps);
-        let _ = writeln!(s, "  \"report_digest\": \"{:#018x}\",", self.digest());
-        s.push_str("  \"cells\": [\n");
-        for (k, c) in self.cells.iter().enumerate() {
-            let _ = write!(
-                s,
-                "    {{\"model\": {:?}, \"workload\": {:?}, \"slice_buffer\": {}, \
-                 \"mshrs\": {}, \"l2_hit_latency\": {}, \"seed\": {}, \
-                 \"instructions\": {}, \"cycles\": {}, \"ipc\": {:.4}, \
-                 \"l1d_mpki\": {:.3}, \"l2_mpki\": {:.3}, \"host_seconds\": {:.6}, \
-                 \"mips\": {:.3}, \"state_digest\": \"{:#018x}\"}}",
-                c.model,
-                c.workload,
-                c.slice_buffer_entries,
-                c.mshr_count,
-                c.l2_hit_latency,
-                c.seed,
-                c.instructions,
-                c.cycles,
-                c.ipc,
-                c.l1d_mpki,
-                c.l2_mpki,
-                c.host_seconds,
-                c.mips,
-                c.state_digest
-            );
-            s.push_str(if k + 1 == self.cells.len() { "\n" } else { ",\n" });
-        }
-        s.push_str("  ],\n");
-        let _ = writeln!(s, "  \"aggregate_mips\": {:.3}", self.aggregate_mips());
-        s.push_str("}\n");
-        s
-    }
-
-    /// Renders the sweep as an aligned text matrix: one row per
-    /// (model, configuration) point, one IPC column per workload.
-    pub fn render_matrix(&self) -> String {
-        let mut workloads: Vec<&str> = Vec::new();
-        for c in &self.cells {
-            if !workloads.contains(&c.workload.as_str()) {
-                workloads.push(&c.workload);
-            }
-        }
-        let col = workloads
-            .iter()
-            .map(|w| w.len())
-            .max()
-            .unwrap_or(0)
-            .max(7);
-        let mut rows: Vec<(String, Vec<Option<f64>>)> = Vec::new();
-        for c in &self.cells {
-            let label = format!(
-                "{:<10} sb={:<4} mshr={:<3} l2={:<3}",
-                c.model, c.slice_buffer_entries, c.mshr_count, c.l2_hit_latency
-            );
-            if rows.last().map(|(l, _)| l.as_str()) != Some(label.as_str()) {
-                rows.push((label, vec![None; workloads.len()]));
-            }
-            let wl = workloads.iter().position(|w| *w == c.workload).unwrap();
-            rows.last_mut().unwrap().1[wl] = Some(c.ipc);
-        }
-        let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
-        let mut s = String::new();
-        let _ = write!(s, "{:<label_w$}", "ipc");
-        for w in &workloads {
-            let _ = write!(s, "  {w:>col$}");
-        }
-        s.push('\n');
-        for (label, vals) in &rows {
-            let _ = write!(s, "{label:<label_w$}");
-            for v in vals {
-                match v {
-                    Some(ipc) => {
-                        let _ = write!(s, "  {ipc:>col$.3}");
-                    }
-                    None => {
-                        let _ = write!(s, "  {:>col$}", "-");
-                    }
-                }
-            }
-            s.push('\n');
-        }
-        s
-    }
-}
-
-/// A set of jobs executed from one simulation: the leader (first, lowest
-/// expand index) runs — in warm-fork mode checkpointing at the column's
-/// halfway point — and every member resumes from the leader's checkpoint.
-struct ForkGroup {
-    /// Expand indices, leader first (ascending).
-    jobs: Vec<usize>,
-}
-
-/// Groups jobs by [`SweepJob::fork_key`] (warm-fork mode) or one group per
-/// job (cold mode).  Group order follows the leaders' expand order, so the
-/// plan — and therefore every deterministic output — is independent of
-/// thread count and scheduling.
-fn plan_groups(spec: &SweepSpec, jobs: &[SweepJob]) -> Vec<ForkGroup> {
-    if !spec.warm_fork {
-        return jobs
-            .iter()
-            .map(|j| ForkGroup { jobs: vec![j.index] })
-            .collect();
-    }
-    let mut by_key: HashMap<Vec<u8>, usize> = HashMap::new();
-    let mut groups: Vec<ForkGroup> = Vec::new();
-    for job in jobs {
-        match by_key.entry(job.fork_key()) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                groups[*e.get()].jobs.push(job.index);
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(groups.len());
-                groups.push(ForkGroup {
-                    jobs: vec![job.index],
-                });
-            }
-        }
-    }
-    groups
-}
-
-/// Executes one warm-fork group.
-///
-/// Singleton groups — cells nothing else can share — keep the cold path
-/// (warmup + median-of-reps timing) and pay no checkpoint.  Groups with
-/// members fork: the leader advances to the column's halfway instruction,
-/// checkpoints, finishes; each member resumes from the checkpoint.  For the
-/// incremental iCFP model that is a genuine mid-trace state (this arises
-/// when a grid repeats a configuration); for the whole-trace comparison
-/// models — today's only source of multi-member groups, via the inert slice
-/// axis — the first step simulates the entire trace, so the checkpoint
-/// captures the *finished, undrained* run and members replay its result
-/// rather than re-simulating.  Either way the checkpoint round-trip is
-/// bit-identical to an uninterrupted run and members share the leader's
-/// fork key (identical deterministic inputs), so every produced cell equals
-/// its cold-run counterpart in all digested fields.  Host-time figures of
-/// forked cells are single-run estimates: each member is charged the
-/// group's shared pre-checkpoint wall time plus its own post-resume time,
-/// so its MIPS approximates a whole-trace rate instead of counting every
-/// instruction against a fraction of the work.
-fn run_fork_group(
-    jobs: &[SweepJob],
-    group: &ForkGroup,
-    trace: &Arc<dyn TraceSource>,
-) -> Vec<(usize, SweepCell)> {
-    let leader = &jobs[group.jobs[0]];
-    if group.jobs.len() == 1 {
-        return vec![(leader.index, leader.run_with_source(&**trace))];
-    }
-    let mut sim = Simulator::new(SimConfig::with_config(leader.model, leader.config.clone()));
-    sim.load(Arc::clone(trace));
-    let t0 = std::time::Instant::now();
-    sim.advance_to_inst(trace.len() / 2);
-    let front_seconds = t0.elapsed().as_secs_f64();
-    let ckpt = sim
-        .checkpoint()
-        .expect("engine is loaded and not drained at the fork point");
-    let mut cells = Vec::with_capacity(group.jobs.len());
-    let leader_report = sim.finish_loaded();
-    cells.push((leader.index, leader.cell_from_report(&leader_report)));
-    for &member in &group.jobs[1..] {
-        let mut resumed = Simulator::resume(&ckpt, Arc::clone(trace))
-            .expect("resuming against the checkpoint's own trace");
-        let mut report = resumed.finish_loaded();
-        report.host_seconds += front_seconds;
-        report.mips = if report.host_seconds > 0.0 {
-            report.instructions as f64 / report.host_seconds / 1.0e6
-        } else {
-            0.0
-        };
-        cells.push((member, jobs[member].cell_from_report(&report)));
-    }
-    cells
-}
-
-/// Executes a sweep on `threads` worker threads (1 = serial, in the calling
-/// thread).  Each workload column's trace is generated once and shared via
-/// `Arc` across every job; with [`SweepSpec::warm_fork`] set, fork groups of
-/// equivalent cells resume from one checkpoint per group.  The report's
-/// cells are in [`SweepSpec::expand`] order and its digest is independent of
-/// `threads` and of warm-forking.
-///
-/// # Errors
-///
-/// Returns the [`SweepSpec::validate`] error without running anything.
-pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, String> {
-    spec.validate()?;
-    let jobs = spec.expand();
-    let n = jobs.len();
-
-    // One trace source per workload column, shared by reference everywhere.
-    // Standard workloads materialize once into an arena (the cursor fast
-    // path); the same map could equally hold streamed sources — cells are
-    // backing-independent.
-    let mut traces: HashMap<&str, Arc<dyn TraceSource>> = HashMap::new();
-    for w in &spec.workloads {
-        traces.entry(w.as_str()).or_insert_with(|| {
-            Arc::new(ArenaSource::new(
-                icfp_workloads::by_name(w, spec.insts, spec.workload_seed(w))
-                    .expect("workload validated by SweepSpec::validate"),
-            ))
-        });
-    }
-
-    let groups = plan_groups(spec, &jobs);
-    let num_groups = groups.len();
-    let workers = threads.clamp(1, num_groups.max(1));
-    let mut cells: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
-
-    let run_group = |k: usize| -> Vec<(usize, SweepCell)> {
-        let group = &groups[k];
-        let leader = &jobs[group.jobs[0]];
-        let trace = &traces[leader.workload.as_str()];
-        if spec.warm_fork {
-            run_fork_group(&jobs, group, trace)
-        } else {
-            vec![(leader.index, leader.run_with_source(&**trace))]
-        }
-    };
-
-    if workers == 1 {
-        for k in 0..num_groups {
-            for (idx, cell) in run_group(k) {
-                cells[idx] = Some(cell);
-            }
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<Vec<(usize, SweepCell)>>();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let run_group = &run_group;
-                scope.spawn(move || loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= num_groups {
-                        break;
-                    }
-                    // A send only fails if the receiver is gone (sweep
-                    // abandoned): stop pulling work.
-                    if tx.send(run_group(k)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            for batch in rx {
-                for (idx, cell) in batch {
-                    cells[idx] = Some(cell);
-                }
-            }
-        });
-    }
-
-    Ok(SweepReport {
-        threads: workers,
-        warm_fork: spec.warm_fork,
-        insts: spec.insts,
-        seed: spec.seed,
-        reps: spec.reps.max(1),
-        cells: cells
-            .into_iter()
-            .map(|c| c.expect("every job posts exactly one cell"))
-            .collect(),
-    })
-}
+pub use cache::{CacheError, ResultCache};
+pub use executor::{
+    run_sweep, run_sweep_streamed, CacheStats, CellEvent, ExecOptions, SweepOutcome,
+};
+pub use job::SweepJob;
+pub use report::{ReportError, SweepCell, SweepReport};
+pub use schema::SchemaError;
+pub use spec::SweepSpec;
+pub use wire::{ServeOptions, SubmitOutcome, WireError};
 
 #[cfg(test)]
-mod tests {
-    use super::*;
+pub(crate) mod testutil {
+    use crate::SweepSpec;
+    use icfp_core::CoreModel;
 
-    fn tiny_spec() -> SweepSpec {
-        // 2 models × (2 slice × 1 mshr × 2 l2 = 4 configs) × 4 workloads
-        // = 32 cells, small instruction budget to keep the test fast.
+    /// The acceptance grid shared across module tests: 2 models ×
+    /// (2 slice × 1 mshr × 2 l2 = 4 configs) × 4 workloads = 32 cells,
+    /// small instruction budget to keep tests fast.
+    pub(crate) fn tiny_spec() -> SweepSpec {
         let mut s = SweepSpec::new(
             vec![CoreModel::Icfp, CoreModel::InOrder],
             icfp_workloads::STANDARD_NAMES
@@ -672,192 +98,4 @@ mod tests {
         s.l2_hit_latencies = vec![10, 20];
         s
     }
-
-    #[test]
-    fn expand_is_cartesian_and_ordered() {
-        let spec = tiny_spec();
-        let jobs = spec.expand();
-        assert_eq!(jobs.len(), spec.cell_count());
-        assert_eq!(jobs.len(), 32);
-        for (k, j) in jobs.iter().enumerate() {
-            assert_eq!(j.index, k);
-        }
-        // Workload is the innermost axis: the first four jobs share a config.
-        assert_eq!(jobs[0].workload, "pointer-chase");
-        assert_eq!(jobs[3].workload, "streaming");
-        assert_eq!(jobs[0].config.slice_buffer_entries, jobs[3].config.slice_buffer_entries);
-        // Same workload column ⇒ same trace seed, across models and configs.
-        let seed0 = jobs[0].seed;
-        for j in jobs.iter().filter(|j| j.workload == "pointer-chase") {
-            assert_eq!(j.seed, seed0);
-        }
-        // Different workloads get different seeds.
-        assert_ne!(jobs[0].seed, jobs[1].seed);
-    }
-
-    #[test]
-    fn validate_rejects_bad_specs() {
-        let mut s = tiny_spec();
-        s.workloads.push("nope".into());
-        assert!(run_sweep(&s, 1).is_err());
-        let mut s = tiny_spec();
-        s.models.clear();
-        assert!(s.validate().is_err());
-        let mut s = tiny_spec();
-        s.l2_hit_latencies.clear();
-        assert!(s.validate().is_err());
-        let mut s = tiny_spec();
-        s.insts = 0;
-        assert!(s.validate().is_err());
-    }
-
-    #[test]
-    fn same_spec_twice_gives_identical_digests() {
-        let spec = tiny_spec();
-        let a = run_sweep(&spec, 1).unwrap();
-        let b = run_sweep(&spec, 1).unwrap();
-        assert_eq!(a.digest(), b.digest());
-        assert_eq!(a.cells.len(), b.cells.len());
-        for (ca, cb) in a.cells.iter().zip(&b.cells) {
-            assert_eq!(ca.cycles, cb.cycles);
-            assert_eq!(ca.state_digest, cb.state_digest);
-        }
-    }
-
-    #[test]
-    fn serial_and_eight_thread_pools_agree_byte_for_byte() {
-        // The acceptance grid: 2 models × 4 configs × 4 workloads.
-        let spec = tiny_spec();
-        let serial = run_sweep(&spec, 1).unwrap();
-        let pooled = run_sweep(&spec, 8).unwrap();
-        assert_eq!(serial.digest(), pooled.digest());
-        assert_eq!(serial.cells.len(), pooled.cells.len());
-        for (cs, cp) in serial.cells.iter().zip(&pooled.cells) {
-            assert_eq!(cs.model, cp.model);
-            assert_eq!(cs.workload, cp.workload);
-            assert_eq!(cs.cycles, cp.cycles, "{} {}", cs.model, cs.workload);
-            assert_eq!(cs.ipc, cp.ipc);
-            assert_eq!(cs.state_digest, cp.state_digest);
-        }
-    }
-
-    /// Per-cell deterministic fields (everything in the digest) must match.
-    fn assert_deterministically_equal(a: &SweepReport, b: &SweepReport) {
-        assert_eq!(a.digest(), b.digest());
-        assert_eq!(a.cells.len(), b.cells.len());
-        for (ca, cb) in a.cells.iter().zip(&b.cells) {
-            assert_eq!(ca.model, cb.model);
-            assert_eq!(ca.workload, cb.workload);
-            assert_eq!(ca.slice_buffer_entries, cb.slice_buffer_entries);
-            assert_eq!(ca.mshr_count, cb.mshr_count);
-            assert_eq!(ca.l2_hit_latency, cb.l2_hit_latency);
-            assert_eq!(ca.seed, cb.seed);
-            assert_eq!(ca.instructions, cb.instructions);
-            assert_eq!(ca.cycles, cb.cycles, "{} {}", ca.model, ca.workload);
-            assert_eq!(ca.ipc, cb.ipc);
-            assert_eq!(ca.l1d_mpki, cb.l1d_mpki);
-            assert_eq!(ca.l2_mpki, cb.l2_mpki);
-            assert_eq!(ca.state_digest, cb.state_digest);
-        }
-    }
-
-    #[test]
-    fn warm_fork_groups_cells_along_inert_axes_only() {
-        let spec = {
-            let mut s = tiny_spec();
-            s.warm_fork = true;
-            s
-        };
-        let jobs = spec.expand();
-        let groups = plan_groups(&spec, &jobs);
-        // icfp reads the slice axis: its 4 configs × 4 workloads stay
-        // singleton groups (16).  in-order ignores it: {sb 64, sb 128}
-        // collapse per (l2 latency, workload) — 2 × 4 = 8 groups of two.
-        assert_eq!(jobs.len(), 32);
-        assert_eq!(groups.len(), 16 + 8, "grouping changed unexpectedly");
-        let pairs = groups.iter().filter(|g| g.jobs.len() == 2).count();
-        assert_eq!(pairs, 8);
-        for g in &groups {
-            assert!(g.jobs.windows(2).all(|w| w[0] < w[1]), "leader is lowest index");
-            let leader = &jobs[g.jobs[0]];
-            for &m in &g.jobs[1..] {
-                assert_eq!(jobs[m].model, leader.model);
-                assert_eq!(jobs[m].workload, leader.workload);
-                assert!(!jobs[m].model.reads_slice_buffer());
-            }
-        }
-        // Cold mode: no grouping at all.
-        let cold = tiny_spec();
-        assert_eq!(plan_groups(&cold, &jobs).len(), jobs.len());
-    }
-
-    #[test]
-    fn warm_fork_report_is_deterministically_identical_to_cold_run() {
-        // The PR 3 acceptance grid: 2 models × 4 configs × 4 workloads.
-        let cold_spec = tiny_spec();
-        let warm_spec = {
-            let mut s = tiny_spec();
-            s.warm_fork = true;
-            s
-        };
-        let cold = run_sweep(&cold_spec, 1).unwrap();
-        let warm_serial = run_sweep(&warm_spec, 1).unwrap();
-        let warm_pooled = run_sweep(&warm_spec, 8).unwrap();
-        assert!(warm_serial.warm_fork && !cold.warm_fork);
-        assert_deterministically_equal(&cold, &warm_serial);
-        assert_deterministically_equal(&cold, &warm_pooled);
-        assert_deterministically_equal(&warm_serial, &warm_pooled);
-    }
-
-    #[test]
-    fn l2_latency_axis_moves_cycles_monotonically() {
-        let mut spec = tiny_spec();
-        spec.models = vec![CoreModel::InOrder];
-        spec.slice_buffer_entries = vec![128];
-        spec.workloads = vec!["pointer-chase".into()];
-        spec.l2_hit_latencies = vec![10, 40];
-        let r = run_sweep(&spec, 2).unwrap();
-        assert_eq!(r.cells.len(), 2);
-        assert!(
-            r.cells[0].cycles <= r.cells[1].cycles,
-            "higher L2 latency cannot be faster: {} vs {}",
-            r.cells[0].cycles,
-            r.cells[1].cycles
-        );
-        // Same trace either way.
-        assert_eq!(r.cells[0].state_digest, r.cells[1].state_digest);
-    }
-
-    #[test]
-    fn json_is_well_formed_and_carries_the_digest() {
-        let mut spec = tiny_spec();
-        spec.workloads = vec!["branchy".into()];
-        spec.l2_hit_latencies = vec![20];
-        let r = run_sweep(&spec, 2).unwrap();
-        let json = r.to_json();
-        assert!(json.contains("\"schema\": \"icfp-sweep/v1\""));
-        assert!(json.contains(&format!("{:#018x}", r.digest())));
-        assert!(json.contains("\"workload\": \"branchy\""));
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
-    }
-
-    #[test]
-    fn matrix_rendering_is_aligned_and_complete() {
-        let spec = tiny_spec();
-        let r = run_sweep(&spec, 4).unwrap();
-        let m = r.render_matrix();
-        let lines: Vec<&str> = m.lines().collect();
-        // Header + one row per (model, config) = 1 + 2*4.
-        assert_eq!(lines.len(), 1 + 8, "{m}");
-        let width = lines[0].len();
-        for l in &lines {
-            assert_eq!(l.len(), width, "misaligned row: {l:?}\n{m}");
-        }
-        for w in icfp_workloads::STANDARD_NAMES {
-            assert!(lines[0].contains(w));
-        }
-        assert!(m.contains("sb=64") && m.contains("sb=128"));
-    }
-
 }

@@ -1,0 +1,194 @@
+//! Sweep specifications: cartesian grids over models × config axes ×
+//! workloads, expanded into deterministic job lists.
+
+use crate::job::SweepJob;
+use icfp_core::CoreModel;
+use serde::{Deserialize, Serialize};
+
+/// One splitmix64 scramble step (for deriving per-workload trace seeds).
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A cartesian sweep specification: models × config axes × workloads.
+///
+/// Serializable (vendored-serde) so a spec travels whole over the
+/// `icfp-wire/v1` protocol — the server expands and validates the identical
+/// grid the client described.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Core models to sweep (rows of the matrix).
+    pub models: Vec<CoreModel>,
+    /// Slice-buffer capacities to sweep (Table 1 default: 128).
+    pub slice_buffer_entries: Vec<usize>,
+    /// MSHR counts to sweep (Table 1 default: 64).
+    pub mshr_counts: Vec<usize>,
+    /// L2 hit latencies to sweep (the Figure 6 axis; Table 1 default: 20).
+    pub l2_hit_latencies: Vec<u64>,
+    /// Workload names (columns; resolved via [`icfp_workloads::by_name`]).
+    pub workloads: Vec<String>,
+    /// Dynamic instruction budget per workload trace.
+    pub insts: usize,
+    /// Base seed; per-workload trace seeds are derived from it.
+    pub seed: u64,
+    /// Timing repetitions per cell (the median host time is reported).
+    pub reps: u32,
+    /// Warm-fork execution: fork groups of equivalent cells resume from one
+    /// checkpoint per group instead of re-simulating from cycle zero (see the
+    /// crate docs).  Deterministic outputs are unchanged; host-time figures
+    /// measure only the work actually performed.
+    pub warm_fork: bool,
+}
+
+impl SweepSpec {
+    /// A spec over `models` × `workloads` at the paper-default configuration
+    /// point (single value on every axis).
+    pub fn new(models: Vec<CoreModel>, workloads: Vec<String>, insts: usize, seed: u64) -> Self {
+        SweepSpec {
+            models,
+            slice_buffer_entries: vec![128],
+            mshr_counts: vec![64],
+            l2_hit_latencies: vec![20],
+            workloads,
+            insts,
+            seed,
+            reps: 1,
+            warm_fork: false,
+        }
+    }
+
+    /// Number of grid cells the spec expands to.
+    pub fn cell_count(&self) -> usize {
+        self.models.len()
+            * self.slice_buffer_entries.len()
+            * self.mshr_counts.len()
+            * self.l2_hit_latencies.len()
+            * self.workloads.len()
+    }
+
+    /// Validates the spec: every axis non-empty, every workload known.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.models.is_empty() {
+            return Err("sweep spec has no models".into());
+        }
+        if self.workloads.is_empty() {
+            return Err("sweep spec has no workloads".into());
+        }
+        if self.slice_buffer_entries.is_empty()
+            || self.mshr_counts.is_empty()
+            || self.l2_hit_latencies.is_empty()
+        {
+            return Err("sweep spec has an empty configuration axis".into());
+        }
+        if self.insts == 0 {
+            return Err("sweep spec has a zero instruction budget".into());
+        }
+        for w in &self.workloads {
+            icfp_workloads::by_name_or_err(w, 1, 0)?;
+        }
+        Ok(())
+    }
+
+    /// The deterministic trace seed for a workload column: a pure function of
+    /// the spec seed and the workload name, so every cell in the column
+    /// simulates the identical trace regardless of job order or thread count.
+    pub fn workload_seed(&self, workload: &str) -> u64 {
+        splitmix(self.seed ^ icfp_isa::fnv1a(workload.as_bytes()))
+    }
+
+    /// Expands the grid into jobs, in deterministic row-major order
+    /// (model, slice buffer, MSHRs, L2 latency, workload — workload
+    /// innermost, so each matrix row is a contiguous run of jobs).
+    pub fn expand(&self) -> Vec<SweepJob> {
+        let mut jobs = Vec::with_capacity(self.cell_count());
+        for &model in &self.models {
+            for &slice in &self.slice_buffer_entries {
+                for &mshrs in &self.mshr_counts {
+                    for &l2 in &self.l2_hit_latencies {
+                        for workload in &self.workloads {
+                            let mut config = model.default_config();
+                            config.slice_buffer_entries = slice;
+                            config.mem.max_outstanding_misses = mshrs;
+                            config.mem.l2_hit_latency = l2;
+                            jobs.push(SweepJob {
+                                index: jobs.len(),
+                                model,
+                                config,
+                                workload: workload.clone(),
+                                insts: self.insts,
+                                seed: self.workload_seed(workload),
+                                reps: self.reps.max(1),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_sweep;
+    use crate::testutil::tiny_spec;
+
+    #[test]
+    fn expand_is_cartesian_and_ordered() {
+        let spec = tiny_spec();
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), spec.cell_count());
+        assert_eq!(jobs.len(), 32);
+        for (k, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, k);
+        }
+        // Workload is the innermost axis: the first four jobs share a config.
+        assert_eq!(jobs[0].workload, "pointer-chase");
+        assert_eq!(jobs[3].workload, "streaming");
+        assert_eq!(
+            jobs[0].config.slice_buffer_entries,
+            jobs[3].config.slice_buffer_entries
+        );
+        // Same workload column ⇒ same trace seed, across models and configs.
+        let seed0 = jobs[0].seed;
+        for j in jobs.iter().filter(|j| j.workload == "pointer-chase") {
+            assert_eq!(j.seed, seed0);
+        }
+        // Different workloads get different seeds.
+        assert_ne!(jobs[0].seed, jobs[1].seed);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut s = tiny_spec();
+        s.workloads.push("nope".into());
+        assert!(run_sweep(&s, 1).is_err());
+        let mut s = tiny_spec();
+        s.models.clear();
+        assert!(s.validate().is_err());
+        let mut s = tiny_spec();
+        s.l2_hit_latencies.clear();
+        assert!(s.validate().is_err());
+        let mut s = tiny_spec();
+        s.insts = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn specs_round_trip_through_the_wire_encoding() {
+        let mut spec = tiny_spec();
+        spec.reps = 3;
+        spec.warm_fork = true;
+        let bytes = serde::to_bytes(&spec);
+        let back: SweepSpec = serde::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, spec);
+    }
+}

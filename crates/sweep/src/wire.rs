@@ -1,0 +1,718 @@
+//! The sweep service wire protocol (`icfp-wire/v1`).
+//!
+//! A client submits a whole [`SweepSpec`] to a running `icfp-sweepd`; the
+//! server expands, validates and executes it (through the shared executor
+//! and result cache) and streams each cell back *as it finishes*, closing
+//! with the report digest and cache counters.  The client reassembles the
+//! streamed cells — by index, so arrival order is irrelevant — into a
+//! [`SweepReport`] byte-identical to a local [`crate::run_sweep`] of the
+//! same spec, and verifies its digest against the server's.
+//!
+//! ## Transport
+//!
+//! Messages are vendored-serde payloads in length-prefixed frames
+//! ([`serde::frame`]: `u32` LE length + payload, 16 MiB ceiling).  The
+//! conversation:
+//!
+//! ```text
+//! client                          server
+//! ──────────────────────────────────────────────────────────
+//! Hello{version}          ──▶
+//!                         ◀──    Hello{version}
+//! Submit{spec, threads}   ──▶
+//!                         ◀──    Accepted{cells, threads}
+//!                         ◀──    Cell{index, cached, cell}   (× cells)
+//!                         ◀──    Done{report_digest, hits, misses}
+//! (next Submit, or close)
+//! ```
+//!
+//! Anything unexpected — an undecodable frame, a version mismatch, an
+//! invalid spec — is answered with an `Error` frame where possible and is
+//! always a typed [`WireError`] on both sides, never a panic: a hostile
+//! peer cannot take the server down.
+
+use crate::executor::{run_sweep_streamed, ExecOptions};
+use crate::report::{SweepCell, SweepReport};
+use crate::spec::SweepSpec;
+use crate::ResultCache;
+use serde::frame::{read_frame, write_frame, FrameError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// The protocol version string exchanged in `Hello`.
+pub const WIRE_VERSION: &str = "icfp-wire/v1";
+
+/// Frame ceiling for this protocol (the transport default).
+pub const MAX_WIRE_FRAME: usize = serde::MAX_FRAME_LEN;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Protocol handshake; must be the first message on a connection.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: String,
+    },
+    /// Run this sweep and stream the cells back.
+    Submit {
+        /// The full grid to execute.
+        spec: SweepSpec,
+        /// Requested worker threads (0 = server default).
+        threads: u64,
+    },
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake reply.
+    Hello {
+        /// The server's [`WIRE_VERSION`].
+        version: String,
+    },
+    /// The submitted spec validated; cells will stream next.
+    Accepted {
+        /// Number of cells the spec expands to.
+        cells: u64,
+        /// Worker threads the server will actually use.
+        threads: u64,
+    },
+    /// One finished cell (streamed in completion order).
+    Cell {
+        /// The cell's position in [`SweepSpec::expand`] order.
+        index: u64,
+        /// Whether it was served from the server's result cache.
+        cached: bool,
+        /// The cell itself.
+        cell: SweepCell,
+    },
+    /// The sweep finished; no more cells follow for this submission.
+    Done {
+        /// Digest of the assembled report ([`SweepReport::digest`]).
+        report_digest: u64,
+        /// Cells served from the server's result cache.
+        hits: u64,
+        /// Cells the server computed.
+        misses: u64,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Typed failures on either side of the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The transport layer rejected a frame (hostile length, truncation).
+    Frame(FrameError),
+    /// A frame arrived but its payload would not decode.
+    Decode(String),
+    /// The peer violated the protocol (wrong message, wrong version, bad
+    /// index, missing cells).
+    Protocol(String),
+    /// The server answered with an `Error` frame.
+    Server(String),
+    /// The spec failed validation before anything was sent.
+    Spec(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+            WireError::Frame(e) => write!(f, "wire framing: {e}"),
+            WireError::Decode(e) => write!(f, "wire payload would not decode: {e}"),
+            WireError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            WireError::Server(e) => write!(f, "server error: {e}"),
+            WireError::Spec(e) => write!(f, "invalid sweep spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => WireError::Io(io),
+            other => WireError::Frame(other),
+        }
+    }
+}
+
+/// Writes one message as a frame.
+fn send<T: Serialize>(w: &mut impl std::io::Write, msg: &T) -> Result<(), WireError> {
+    write_frame(w, &serde::to_bytes(msg))?;
+    w.flush().map_err(WireError::Io)
+}
+
+/// Reads one message frame; `Ok(None)` is a clean peer close.
+fn recv<T: Deserialize>(r: &mut impl std::io::Read) -> Result<Option<T>, WireError> {
+    match read_frame(r, MAX_WIRE_FRAME)? {
+        None => Ok(None),
+        Some(bytes) => serde::from_bytes(&bytes)
+            .map(Some)
+            .map_err(|e| WireError::Decode(e.to_string())),
+    }
+}
+
+/// Reads one message frame, treating peer close as a protocol violation
+/// (used where the conversation is mid-flight and a message is owed).
+fn recv_expected<T: Deserialize>(r: &mut impl std::io::Read) -> Result<T, WireError> {
+    recv(r)?.ok_or_else(|| WireError::Protocol("peer closed mid-conversation".into()))
+}
+
+/// The result of one client submission.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// The reassembled report — byte-identical to a local run of the spec.
+    pub report: SweepReport,
+    /// Cells the server served from its result cache.
+    pub hits: u64,
+    /// Cells the server computed.
+    pub misses: u64,
+}
+
+/// Submits a sweep to a running `icfp-sweepd` at `addr` (e.g.
+/// `127.0.0.1:7400`), reassembling the streamed cells into a report.
+/// `threads` is the requested server-side worker count (0 = server
+/// default).  `on_cell` sees each cell as it arrives (completion order).
+///
+/// # Errors
+///
+/// Any [`WireError`].  The returned report's digest is verified against the
+/// server's `Done` digest, so a successful return is a report identical to
+/// the server's — and, by the executor's determinism, to a local run.
+pub fn submit(
+    addr: &str,
+    spec: &SweepSpec,
+    threads: usize,
+    mut on_cell: impl FnMut(usize, bool, &SweepCell),
+) -> Result<SubmitOutcome, WireError> {
+    spec.validate().map_err(WireError::Spec)?;
+    let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(WireError::Io)?);
+    let mut writer = BufWriter::new(stream);
+
+    send(
+        &mut writer,
+        &Request::Hello {
+            version: WIRE_VERSION.to_string(),
+        },
+    )?;
+    match recv_expected::<Response>(&mut reader)? {
+        Response::Hello { version } if version == WIRE_VERSION => {}
+        Response::Hello { version } => {
+            return Err(WireError::Protocol(format!(
+                "server speaks {version:?}, client speaks {WIRE_VERSION:?}"
+            )))
+        }
+        Response::Error { message } => return Err(WireError::Server(message)),
+        other => {
+            return Err(WireError::Protocol(format!(
+                "expected Hello, got {other:?}"
+            )))
+        }
+    }
+
+    send(
+        &mut writer,
+        &Request::Submit {
+            spec: spec.clone(),
+            threads: threads as u64,
+        },
+    )?;
+    let (cells_expected, server_threads) = match recv_expected::<Response>(&mut reader)? {
+        Response::Accepted { cells, threads } => (cells as usize, threads as usize),
+        Response::Error { message } => return Err(WireError::Server(message)),
+        other => {
+            return Err(WireError::Protocol(format!(
+                "expected Accepted, got {other:?}"
+            )))
+        }
+    };
+    if cells_expected != spec.cell_count() {
+        return Err(WireError::Protocol(format!(
+            "server accepted {cells_expected} cells for a {}-cell spec",
+            spec.cell_count()
+        )));
+    }
+
+    let mut cells: Vec<Option<SweepCell>> = (0..cells_expected).map(|_| None).collect();
+    loop {
+        match recv_expected::<Response>(&mut reader)? {
+            Response::Cell {
+                index,
+                cached,
+                cell,
+            } => {
+                let index = index as usize;
+                if index >= cells_expected {
+                    return Err(WireError::Protocol(format!(
+                        "cell index {index} out of range ({cells_expected} cells)"
+                    )));
+                }
+                if cells[index].is_some() {
+                    return Err(WireError::Protocol(format!("cell {index} streamed twice")));
+                }
+                on_cell(index, cached, &cell);
+                cells[index] = Some(cell);
+            }
+            Response::Done {
+                report_digest,
+                hits,
+                misses,
+            } => {
+                let mut assembled = Vec::with_capacity(cells_expected);
+                for (k, c) in cells.into_iter().enumerate() {
+                    assembled.push(c.ok_or_else(|| {
+                        WireError::Protocol(format!("server finished without streaming cell {k}"))
+                    })?);
+                }
+                let report = SweepReport {
+                    threads: server_threads,
+                    warm_fork: spec.warm_fork,
+                    insts: spec.insts,
+                    seed: spec.seed,
+                    reps: spec.reps.max(1),
+                    workloads: spec.workloads.clone(),
+                    cells: assembled,
+                };
+                let digest = report.digest();
+                if digest != report_digest {
+                    return Err(WireError::Protocol(format!(
+                        "reassembled report digest {digest:#018x} does not match the server's {report_digest:#018x}"
+                    )));
+                }
+                return Ok(SubmitOutcome {
+                    report,
+                    hits,
+                    misses,
+                });
+            }
+            Response::Error { message } => return Err(WireError::Server(message)),
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected Cell or Done, got {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Server-side options for a connection.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Default worker threads for submissions that request 0.
+    pub threads: usize,
+    /// Result cache directory, if caching is enabled.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Per-connection summary returned by [`handle_conn`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnSummary {
+    /// Sweeps executed on this connection.
+    pub submits: u64,
+    /// Total cells served from the result cache across them.
+    pub hits: u64,
+    /// Total cells computed across them.
+    pub misses: u64,
+}
+
+/// Serves one client connection: handshake, then any number of submissions,
+/// until the client closes.  Every failure path answers with an `Error`
+/// frame when the stream still works and returns a typed [`WireError`] —
+/// a hostile or confused peer never panics the server.
+///
+/// # Errors
+///
+/// Any [`WireError`]; the caller (the `icfp-sweepd` accept loop) logs it
+/// and moves on to the next connection.
+pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary, WireError> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(WireError::Io)?);
+    let mut writer = BufWriter::new(stream);
+    let mut summary = ConnSummary::default();
+
+    // Handshake.  An undecodable first frame still gets an Error reply.
+    let hello = match recv::<Request>(&mut reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return Ok(summary),
+        Err(e) => {
+            let _ = send(
+                &mut writer,
+                &Response::Error {
+                    message: format!("bad handshake: {e}"),
+                },
+            );
+            return Err(e);
+        }
+    };
+    match hello {
+        Request::Hello { ref version } if version == WIRE_VERSION => {}
+        Request::Hello { version } => {
+            let message = format!("server speaks {WIRE_VERSION:?}, client sent {version:?}");
+            let _ = send(&mut writer, &Response::Error { message: message.clone() });
+            return Err(WireError::Protocol(message));
+        }
+        other => {
+            let message = format!("expected Hello first, got {other:?}");
+            let _ = send(&mut writer, &Response::Error { message: message.clone() });
+            return Err(WireError::Protocol(message));
+        }
+    }
+    send(
+        &mut writer,
+        &Response::Hello {
+            version: WIRE_VERSION.to_string(),
+        },
+    )?;
+
+    // Submission loop.
+    loop {
+        let (spec, threads) = match recv::<Request>(&mut reader) {
+            Ok(Some(Request::Submit { spec, threads })) => (spec, threads),
+            Ok(Some(other)) => {
+                let message = format!("expected Submit, got {other:?}");
+                let _ = send(&mut writer, &Response::Error { message: message.clone() });
+                return Err(WireError::Protocol(message));
+            }
+            Ok(None) => return Ok(summary),
+            Err(e) => {
+                let _ = send(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                );
+                return Err(e);
+            }
+        };
+
+        if let Err(e) = spec.validate() {
+            // An invalid spec fails the submission, not the connection.
+            send(&mut writer, &Response::Error { message: e })?;
+            continue;
+        }
+        let requested = if threads == 0 {
+            opts.threads.max(1)
+        } else {
+            threads as usize
+        };
+        let cache = match &opts.cache_dir {
+            Some(dir) => match ResultCache::open(dir) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    let message = format!("result cache unavailable: {e}");
+                    let _ = send(&mut writer, &Response::Error { message: message.clone() });
+                    return Err(WireError::Protocol(message));
+                }
+            },
+            None => None,
+        };
+
+        // Mirror the executor's thread clamp so the Accepted message (which
+        // the client copies into its reassembled report header) states the
+        // worker count the report will actually record.
+        let num_groups = crate::executor::plan_groups(
+            spec.warm_fork || cache.is_some(),
+            &spec.expand(),
+        )
+        .len();
+        let workers = requested.clamp(1, num_groups.max(1));
+
+        send(
+            &mut writer,
+            &Response::Accepted {
+                cells: spec.cell_count() as u64,
+                threads: workers as u64,
+            },
+        )?;
+
+        // Stream cells as the executor completes them.  A send failure mid-
+        // sweep is recorded and surfaced after the executor returns (the
+        // callback itself must not unwind through the thread pool).
+        let mut send_err: Option<WireError> = None;
+        let exec = ExecOptions {
+            threads: workers,
+            cache: cache.as_ref(),
+        };
+        let outcome = run_sweep_streamed(&spec, &exec, |event| {
+            if send_err.is_none() {
+                if let Err(e) = send(
+                    &mut writer,
+                    &Response::Cell {
+                        index: event.index as u64,
+                        cached: event.cached,
+                        cell: event.cell.clone(),
+                    },
+                ) {
+                    send_err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = send_err {
+            return Err(e);
+        }
+        // validate() passed, so the executor cannot fail; keep the typed
+        // path anyway.
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => {
+                let _ = send(&mut writer, &Response::Error { message: e.clone() });
+                return Err(WireError::Protocol(e));
+            }
+        };
+        send(
+            &mut writer,
+            &Response::Done {
+                report_digest: outcome.report.digest(),
+                hits: outcome.cache.hits,
+                misses: outcome.cache.misses,
+            },
+        )?;
+        summary.submits += 1;
+        summary.hits += outcome.cache.hits;
+        summary.misses += outcome.cache.misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_sweep;
+    use crate::testutil::tiny_spec;
+    use std::net::TcpListener;
+
+    /// Starts a one-connection-at-a-time server on an ephemeral port,
+    /// returning its address and the accept-loop thread handle.
+    fn spawn_server(
+        opts: ServeOptions,
+        conns: usize,
+    ) -> (String, std::thread::JoinHandle<Vec<Result<ConnSummary, String>>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let handle = std::thread::spawn(move || {
+            let mut results = Vec::new();
+            for _ in 0..conns {
+                let (stream, _) = listener.accept().expect("accept");
+                results.push(handle_conn(stream, &opts).map_err(|e| e.to_string()));
+            }
+            results
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn submitted_sweep_reassembles_byte_identical_to_a_local_run() {
+        let (addr, server) = spawn_server(ServeOptions::default(), 1);
+        let spec = tiny_spec();
+        let mut streamed = 0usize;
+        let outcome = submit(&addr, &spec, 2, |_, cached, _| {
+            assert!(!cached, "no cache configured");
+            streamed += 1;
+        })
+        .expect("submit");
+        assert_eq!(streamed, 32);
+        assert_eq!(outcome.hits, 0);
+        assert_eq!(outcome.misses, 32);
+
+        // Digest-identical to a local run: every deterministic field agrees
+        // (host-time figures are wall-clock measurements of two different
+        // executions, so they are the one thing that can differ).
+        let local = run_sweep(&spec, 2).expect("local run");
+        assert_eq!(outcome.report.digest(), local.digest());
+        assert_eq!(outcome.report.threads, local.threads);
+        assert_eq!(outcome.report.workloads, local.workloads);
+        for (a, b) in outcome.report.cells.iter().zip(&local.cells) {
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.ipc, b.ipc);
+            assert_eq!(a.state_digest, b.state_digest);
+        }
+
+        let summaries = server.join().expect("server thread");
+        assert_eq!(summaries, vec![Ok(ConnSummary { submits: 1, hits: 0, misses: 32 })]);
+    }
+
+    #[test]
+    fn resubmission_is_served_from_the_server_cache_with_identical_report() {
+        let dir = std::env::temp_dir().join(format!(
+            "icfp-wire-test-cache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ServeOptions {
+            threads: 2,
+            cache_dir: Some(dir.clone()),
+        };
+        let (addr, server) = spawn_server(opts, 2);
+        let mut spec = tiny_spec();
+        spec.workloads.truncate(2);
+        spec.l2_hit_latencies = vec![20];
+        let n = spec.cell_count();
+
+        let first = submit(&addr, &spec, 0, |_, _, _| {}).expect("first submit");
+        assert_eq!(first.hits, 0);
+        assert_eq!(first.misses, n as u64);
+        let second = submit(&addr, &spec, 0, |_, cached, _| assert!(cached))
+            .expect("second submit");
+        assert_eq!(second.hits, n as u64, "fully served from cache");
+        assert_eq!(second.misses, 0);
+        assert_eq!(second.report, first.report);
+        assert_eq!(second.report.to_json(), first.report.to_json());
+
+        server.join().expect("server thread");
+
+        // A *local* cached run over the same cache directory replays the
+        // same stored figures: byte-identical to the wire reports, document
+        // included — local and server runs are interchangeable.
+        let cache = crate::ResultCache::open(&dir).expect("open cache");
+        let local = crate::run_sweep_streamed(
+            &spec,
+            &crate::ExecOptions {
+                threads: 2,
+                cache: Some(&cache),
+            },
+            |_| {},
+        )
+        .expect("local cached run");
+        assert_eq!(local.cache.hits, n as u64);
+        assert_eq!(local.report, second.report);
+        assert_eq!(local.report.to_json(), second.report.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_and_confused_clients_get_typed_errors_not_panics() {
+        use std::io::Write as _;
+
+        // 1. Garbage bytes that are a valid frame but not a Request.
+        let (addr, server) = spawn_server(ServeOptions::default(), 1);
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        write_frame(&mut stream, b"\xFF\xFF not a request").expect("frame");
+        stream.flush().expect("flush");
+        // The server answers with an Error frame, then drops the connection.
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        match recv::<Response>(&mut reader).expect("error frame") {
+            Some(Response::Error { message }) => {
+                assert!(message.contains("bad handshake"), "{message}");
+            }
+            other => panic!("expected Error frame, got {other:?}"),
+        }
+        let errs = server.join().expect("server thread");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].is_err(), "typed error, not a panic: {errs:?}");
+
+        // 2. A hostile length prefix (4 GiB frame) — rejected by the
+        //    transport without allocating; server survives to return.
+        let (addr, server) = spawn_server(ServeOptions::default(), 1);
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.write_all(&u32::MAX.to_le_bytes()).expect("prefix");
+        drop(stream);
+        let errs = server.join().expect("server thread");
+        assert!(errs[0].as_ref().is_err());
+        assert!(
+            errs[0].as_ref().unwrap_err().contains("ceiling"),
+            "hostile length is a framing error: {errs:?}"
+        );
+
+        // 3. Wrong protocol version.
+        let (addr, server) = spawn_server(ServeOptions::default(), 1);
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        send(
+            &mut stream,
+            &Request::Hello {
+                version: "icfp-wire/v0".into(),
+            },
+        )
+        .expect("send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        match recv::<Response>(&mut reader).expect("reply") {
+            Some(Response::Error { message }) => assert!(message.contains("icfp-wire/v0")),
+            other => panic!("expected Error frame, got {other:?}"),
+        }
+        assert!(server.join().expect("join")[0].is_err());
+
+        // 4. An invalid spec fails the submission but not the connection:
+        //    a corrected spec on the same connection still runs.
+        let (addr, server) = spawn_server(ServeOptions::default(), 1);
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream);
+        send(
+            &mut writer,
+            &Request::Hello {
+                version: WIRE_VERSION.into(),
+            },
+        )
+        .expect("hello");
+        assert!(matches!(
+            recv::<Response>(&mut reader).expect("hello back"),
+            Some(Response::Hello { .. })
+        ));
+        let mut bad = tiny_spec();
+        bad.workloads = vec!["no-such-workload".into()];
+        send(
+            &mut writer,
+            &Request::Submit {
+                spec: bad,
+                threads: 1,
+            },
+        )
+        .expect("submit bad");
+        match recv::<Response>(&mut reader).expect("reply") {
+            Some(Response::Error { message }) => {
+                assert!(message.contains("no-such-workload"), "{message}")
+            }
+            other => panic!("expected Error frame, got {other:?}"),
+        }
+        let mut good = tiny_spec();
+        good.workloads.truncate(1);
+        good.slice_buffer_entries = vec![128];
+        good.l2_hit_latencies = vec![20];
+        send(
+            &mut writer,
+            &Request::Submit {
+                spec: good.clone(),
+                threads: 1,
+            },
+        )
+        .expect("submit good");
+        let mut done = false;
+        let mut cells = 0;
+        while !done {
+            match recv::<Response>(&mut reader).expect("stream").expect("msg") {
+                Response::Accepted { cells: n, .. } => assert_eq!(n, 2),
+                Response::Cell { .. } => cells += 1,
+                Response::Done { report_digest, .. } => {
+                    assert_eq!(report_digest, run_sweep(&good, 1).unwrap().digest());
+                    done = true;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(cells, 2);
+        drop(writer);
+        drop(reader);
+        let summary = server.join().expect("join").remove(0).expect("clean close");
+        assert_eq!(summary.submits, 1);
+
+        // 5. Client-side: submitting an invalid spec never touches the
+        //    network.
+        let mut bad = tiny_spec();
+        bad.insts = 0;
+        match submit("127.0.0.1:1", &bad, 1, |_, _, _| {}) {
+            Err(WireError::Spec(msg)) => assert!(msg.contains("instruction budget")),
+            other => panic!("expected Spec error, got {other:?}"),
+        }
+    }
+}
