@@ -11,7 +11,8 @@
 //!            [--sweep] [--warm-fork] [--sweep-slice N[,N...]]
 //!            [--sweep-mshr N[,N...]] [--sweep-l2 N[,N...]] [--threads N]
 //!            [--cache-dir DIR] [--ckpt-smoke] [--figures PATH]
-//! icfp-bench sweep submit --server ADDR [sweep flags as above]
+//! icfp-bench sweep submit --server ADDR [--retries N] [--retry-base-ms MS]
+//!            [--io-timeout-ms MS] [sweep flags as above]
 //! icfp-bench trace convert <in.bbp> <out.trace> [--block-size N] [--name S]
 //! icfp-bench trace info <file.trace>
 //! ```
@@ -55,7 +56,8 @@ use icfp_bench::{
 use icfp_isa::{TraceFile, TraceFileWriter, DEFAULT_BLOCK_INSTS};
 use icfp_sim::{CoreModel, SimCheckpoint, SimConfig, Simulator};
 use icfp_sweep::{
-    run_sweep_streamed, CacheStats, ExecOptions, ResultCache, SweepReport, SweepSpec,
+    run_sweep_streamed, CacheStats, ExecOptions, ResultCache, RetryPolicy, SweepReport, SweepSpec,
+    WireError,
 };
 use icfp_workloads::TraceSink;
 
@@ -80,6 +82,9 @@ struct Args {
     threads: usize,
     cache_dir: Option<String>,
     server: Option<String>,
+    retries: u32,
+    retry_base_ms: u64,
+    io_timeout_ms: u64,
 }
 
 fn parse_list<T: std::str::FromStr>(name: &str, v: &str) -> Result<Vec<T>, String>
@@ -116,6 +121,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         threads: 0,
         cache_dir: None,
         server: None,
+        retries: RetryPolicy::default().retries,
+        retry_base_ms: RetryPolicy::default().base_delay_ms,
+        io_timeout_ms: RetryPolicy::default().io_timeout_ms,
     };
     let mut it = argv.iter().cloned();
     while let Some(arg) = it.next() {
@@ -187,6 +195,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--cache-dir" => a.cache_dir = Some(val("--cache-dir")?),
             "--server" => a.server = Some(val("--server")?),
+            "--retries" => {
+                a.retries = val("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--retry-base-ms" => {
+                a.retry_base_ms = val("--retry-base-ms")?
+                    .parse()
+                    .map_err(|e| format!("--retry-base-ms: {e}"))?
+            }
+            "--io-timeout-ms" => {
+                a.io_timeout_ms = val("--io-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--io-timeout-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: icfp-bench [--smoke] [--insts N] [--reps N] [--seed N] \
@@ -196,7 +219,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                      [--sweep-l2 NS] [--threads N] [--cache-dir DIR] \
                      [--ckpt-smoke] [--figures PATH]\n\
                      \u{20}      icfp-bench sweep submit --server ADDR \
+                     [--retries N] [--retry-base-ms MS] [--io-timeout-ms MS] \
                      [sweep flags as above]\n\
+                     \u{20}      sweep submit exit codes: 2 invalid spec/usage, \
+                     3 connect/transport failed, 4 protocol/digest mismatch, \
+                     5 server-reported error\n\
                      \u{20}      icfp-bench trace convert <in.bbp> <out.trace> \
                      [--block-size N] [--name S]\n\
                      \u{20}      icfp-bench trace info <file.trace>\n\
@@ -333,6 +360,7 @@ fn run_sweep_mode(args: &Args) {
     let opts = ExecOptions {
         threads: args.threads,
         cache: cache.as_ref(),
+        ..ExecOptions::default()
     };
     let outcome = match run_sweep_streamed(&spec, &opts, |_| {}) {
         Ok(o) => o,
@@ -347,9 +375,31 @@ fn run_sweep_mode(args: &Args) {
     finish_sweep(args, &outcome.report);
 }
 
+/// Exit codes for `sweep submit` failures, one per failure class so scripts
+/// can branch without parsing stderr:
+///
+/// * `2` — the spec (or usage) is invalid; nothing was sent.
+/// * `3` — connect or transport failed after every retry (refused,
+///   timed out, torn frames, server vanished mid-stream).
+/// * `4` — the conversation itself went wrong: protocol violation,
+///   undecodable payload, or a reassembled-report digest mismatch.
+/// * `5` — the server answered with a typed error (e.g. it rejected the
+///   spec, or was draining for shutdown).
+fn wire_exit_code(e: &WireError) -> i32 {
+    match e {
+        WireError::Spec(_) => 2,
+        WireError::Io(_) | WireError::Frame(_) | WireError::Disconnected => 3,
+        WireError::Protocol(_) | WireError::Decode(_) => 4,
+        WireError::Server(_) => 5,
+    }
+}
+
 /// `icfp-bench sweep submit --server ADDR`: submit the spec to a running
 /// `icfp-sweepd`, reassemble the streamed cells, and finish exactly like a
-/// local sweep — same matrix, same `BENCH_sweep.json`, same gate.
+/// local sweep — same matrix, same `BENCH_sweep.json`, same gate.  Retriable
+/// transport failures reconnect with deterministic exponential backoff
+/// (`--retries`, `--retry-base-ms`); failures exit with [`wire_exit_code`]'s
+/// documented codes.
 fn run_sweep_submit(args: &Args) {
     let Some(server) = args.server.as_deref() else {
         eprintln!("icfp-bench: sweep submit requires --server ADDR");
@@ -363,14 +413,20 @@ fn run_sweep_submit(args: &Args) {
         spec.slice_buffer_entries.len() * spec.mshr_counts.len() * spec.l2_hit_latencies.len(),
         spec.workloads.len(),
     );
+    let policy = RetryPolicy {
+        retries: args.retries,
+        base_delay_ms: args.retry_base_ms,
+        io_timeout_ms: args.io_timeout_ms,
+        ..RetryPolicy::default()
+    };
     let mut streamed = 0u64;
-    let outcome = match icfp_sweep::wire::submit(server, &spec, args.threads, |_, _, _| {
+    let outcome = match icfp_sweep::submit_with(server, &spec, args.threads, &policy, |_, _, _| {
         streamed += 1;
     }) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("icfp-bench: sweep submit: {e}");
-            std::process::exit(1);
+            std::process::exit(wire_exit_code(&e));
         }
     };
     let stats = CacheStats {

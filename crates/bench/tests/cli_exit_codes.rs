@@ -1,0 +1,119 @@
+//! `icfp-bench sweep submit` exit codes, end to end through the real binary:
+//! each documented failure class (invalid spec, connect/transport failure,
+//! protocol violation, server-reported error) must map to its own distinct
+//! exit code so scripts can tell "fix the spec" from "retry later" from
+//! "incompatible peer".
+
+use icfp_sweep::wire::{Request, Response, WIRE_VERSION};
+use serde::frame::{read_frame, write_frame};
+use serde::{from_bytes, to_bytes, MAX_FRAME_LEN};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_icfp-bench");
+
+fn submit_status(extra: &[&str]) -> i32 {
+    let out = Command::new(BIN)
+        .args(["sweep", "submit"])
+        .args(extra)
+        .args(["--retries", "0", "--insts", "200"])
+        .output()
+        .expect("spawn icfp-bench");
+    out.status.code().expect("exit code, not a signal")
+}
+
+fn recv_req(r: &mut BufReader<TcpStream>) -> Request {
+    let bytes = read_frame(r, MAX_FRAME_LEN)
+        .expect("read frame")
+        .expect("peer sent a frame");
+    from_bytes(&bytes).expect("decode request")
+}
+
+fn send_resp(w: &mut BufWriter<TcpStream>, resp: &Response) {
+    use std::io::Write;
+    write_frame(w, &to_bytes(resp)).expect("write frame");
+    w.flush().expect("flush frame");
+}
+
+/// A one-connection scripted server: accepts, answers Hello, then hands the
+/// streams to `script` for the rest of the conversation.
+fn scripted_server(
+    script: impl FnOnce(&mut BufReader<TcpStream>, &mut BufWriter<TcpStream>) + Send + 'static,
+) -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut r = BufReader::new(stream.try_clone().expect("clone"));
+        let mut w = BufWriter::new(stream);
+        match recv_req(&mut r) {
+            Request::Hello { version } => assert_eq!(version, WIRE_VERSION),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        script(&mut r, &mut w);
+    });
+    (addr, handle)
+}
+
+#[test]
+fn an_invalid_spec_exits_2_without_connecting() {
+    // Port 1 would refuse the connection — but validation fails first, so
+    // the distinct spec code (2) must win over the transport code (3).
+    let code = submit_status(&[
+        "--server",
+        "127.0.0.1:1",
+        "--workload",
+        "no-such-workload",
+    ]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn a_refused_connection_exits_3_after_retries() {
+    let code = submit_status(&["--server", "127.0.0.1:1"]);
+    assert_eq!(code, 3);
+}
+
+#[test]
+fn a_protocol_violation_exits_4() {
+    // The server "accepts" a cell count that cannot match the submitted
+    // spec; the client must refuse the conversation, not stream forever.
+    let (addr, server) = scripted_server(|r, w| {
+        send_resp(
+            w,
+            &Response::Hello {
+                version: WIRE_VERSION.to_string(),
+            },
+        );
+        match recv_req(r) {
+            Request::Submit { .. } => {}
+            other => panic!("expected Submit, got {other:?}"),
+        }
+        send_resp(
+            w,
+            &Response::Accepted {
+                cells: 999_999,
+                threads: 1,
+            },
+        );
+    });
+    let code = submit_status(&["--server", &addr]);
+    server.join().expect("server thread");
+    assert_eq!(code, 4);
+}
+
+#[test]
+fn a_server_reported_error_exits_5() {
+    let (addr, server) = scripted_server(|_r, w| {
+        send_resp(
+            w,
+            &Response::Error {
+                message: "draining for shutdown".to_string(),
+            },
+        );
+    });
+    let code = submit_status(&["--server", &addr]);
+    server.join().expect("server thread");
+    assert_eq!(code, 5);
+}

@@ -7,6 +7,15 @@
 //! typed [`FrameError`], never an allocation bomb or a panic — and
 //! distinguishes a clean end-of-stream (no bytes of a next frame,
 //! `Ok(None)`) from a stream that died mid-frame ([`FrameError::Truncated`]).
+//!
+//! ## Deadlines
+//!
+//! Frame operations honour whatever read/write deadline the underlying
+//! stream enforces (`TcpStream::set_read_timeout` / `set_write_timeout`): a
+//! stream operation that times out surfaces as the typed
+//! [`FrameError::TimedOut`], not a bare I/O error, so callers can reap a
+//! stalled peer (slow-loris resistance) without string-matching error
+//! messages.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -36,6 +45,10 @@ pub enum FrameError {
         /// The ceiling it exceeded.
         max: usize,
     },
+    /// The stream's read/write deadline expired mid-operation — a stalled
+    /// peer, distinguished from other I/O failures so it can be reaped
+    /// deliberately.
+    TimedOut,
 }
 
 impl fmt::Display for FrameError {
@@ -49,6 +62,7 @@ impl fmt::Display for FrameError {
             FrameError::TooLarge { len, max } => {
                 write!(f, "frame length {len} exceeds the {max}-byte ceiling")
             }
+            FrameError::TimedOut => write!(f, "frame i/o deadline expired (stalled peer)"),
         }
     }
 }
@@ -57,7 +71,16 @@ impl std::error::Error for FrameError {}
 
 impl From<io::Error> for FrameError {
     fn from(e: io::Error) -> Self {
-        FrameError::Io(e)
+        // `set_read_timeout`/`set_write_timeout` expirations surface as
+        // WouldBlock (unix) or TimedOut (windows); both mean "deadline".
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            FrameError::TimedOut
+        } else {
+            FrameError::Io(e)
+        }
     }
 }
 
@@ -197,6 +220,43 @@ mod tests {
                 assert_eq!(max, 1 << 20);
             }
             other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_stream_deadlines_are_typed_timeouts() {
+        /// Yields `limit` bytes of a framed payload, then times out — the
+        /// shape of a peer that stalls mid-frame under a read deadline.
+        struct Stalling {
+            bytes: Vec<u8>,
+            at: usize,
+            limit: usize,
+        }
+        impl Read for Stalling {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.at >= self.limit {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "deadline"));
+                }
+                let n = buf.len().min(self.limit - self.at).min(1);
+                buf[..n].copy_from_slice(&self.bytes[self.at..self.at + n]);
+                self.at += n;
+                Ok(n)
+            }
+        }
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"payload").expect("write");
+        // Stall inside the prefix, at the prefix/payload boundary, and
+        // inside the payload: all typed TimedOut, never Io.
+        for limit in [0, 2, 4, 7] {
+            let mut r = Stalling {
+                bytes: framed.clone(),
+                at: 0,
+                limit,
+            };
+            match read_frame(&mut r, MAX_FRAME_LEN) {
+                Err(FrameError::TimedOut) => {}
+                other => panic!("limit {limit}: expected TimedOut, got {other:?}"),
+            }
         }
     }
 

@@ -4,13 +4,24 @@
 //! (`icfp-bench sweep submit --server ADDR` is the client), executes each
 //! submitted sweep through the shared executor, and streams cells back as
 //! they finish.  With `--cache-dir` the server keeps a persistent
-//! `icfp-cache/v1` result store: repeated or overlapping grids are served
-//! from disk with reports byte-identical to cold runs.
+//! `icfp-cache/v1` result store — opened once and shared by every
+//! connection — so repeated or overlapping grids are served from disk with
+//! reports byte-identical to cold runs.
+//!
+//! Connections are served concurrently (thread-per-connection, bounded by
+//! `--conn-limit`), each under an `--io-timeout-ms` read/write deadline so
+//! a stalled peer is reaped instead of hanging a thread.  SIGINT/SIGTERM
+//! trigger a graceful drain: the server stops accepting, in-flight cells
+//! finish (and land in the cache), interrupted submissions get a typed
+//! error frame, and the process exits cleanly.
 
-use icfp_sweep::wire::{handle_conn, ServeOptions};
+use icfp_sweep::wire::{serve, AcceptOptions, ServeOptions};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "icfp-sweepd — persistent sweep service (icfp-wire/v1)
 
@@ -18,16 +29,29 @@ USAGE:
     icfp-sweepd [OPTIONS]
 
 OPTIONS:
-    --listen ADDR      address to bind (default 127.0.0.1:7400; use :0 for
-                       an ephemeral port)
-    --threads N        default worker threads for submissions that request 0
-                       (default: host parallelism)
-    --cache-dir DIR    enable the persistent icfp-cache/v1 result cache
-    --ready-file PATH  after binding, write the bound address to PATH
-                       (for scripts that need the ephemeral port)
-    --max-conns N      exit after serving N connections (default: serve
-                       forever)
-    --help             print this help
+    --listen ADDR        address to bind (default 127.0.0.1:7400; use :0 for
+                         an ephemeral port)
+    --threads N          default worker threads for submissions that request
+                         0 (default: host parallelism)
+    --cache-dir DIR      enable the persistent icfp-cache/v1 result cache
+                         (opened once, shared by all connections)
+    --ready-file PATH    after binding, write the bound address to PATH
+                         (for scripts that need the ephemeral port)
+    --max-conns N        exit after N successfully served submissions
+                         (default: serve forever; failed handshakes and
+                         hostile connections never count)
+    --conn-limit N       serve at most N connections concurrently; further
+                         connections queue in the accept backlog (default 4)
+    --io-timeout-ms MS   per-stream read/write deadline; stalled peers are
+                         reaped with a typed timeout (default 30000; 0 = no
+                         deadline)
+    --panic-retries N    retries for a panicking cell before it is recorded
+                         as a typed failed cell in the report (default 2)
+    --help               print this help
+
+SIGNALS:
+    SIGINT/SIGTERM       graceful drain: stop accepting, finish in-flight
+                         cells (cache flushed per cell), then exit
 ";
 
 struct Args {
@@ -36,6 +60,9 @@ struct Args {
     cache_dir: Option<PathBuf>,
     ready_file: Option<PathBuf>,
     max_conns: Option<u64>,
+    conn_limit: usize,
+    io_timeout_ms: u64,
+    panic_retries: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
         cache_dir: None,
         ready_file: None,
         max_conns: None,
+        conn_limit: 4,
+        io_timeout_ms: 30_000,
+        panic_retries: icfp_sweep::executor::DEFAULT_PANIC_RETRIES,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -70,6 +100,21 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-conns: {e}"))?,
                 )
             }
+            "--conn-limit" => {
+                args.conn_limit = value("--conn-limit")?
+                    .parse()
+                    .map_err(|e| format!("--conn-limit: {e}"))?
+            }
+            "--io-timeout-ms" => {
+                args.io_timeout_ms = value("--io-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--io-timeout-ms: {e}"))?
+            }
+            "--panic-retries" => {
+                args.panic_retries = value("--panic-retries")?
+                    .parse()
+                    .map_err(|e| format!("--panic-retries: {e}"))?
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -78,6 +123,24 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// The process-wide graceful-shutdown flag, set by the signal handler.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // Only async-signal-safe work here: flip the flag.  The serve loop's
+    // watcher thread polls it and wakes the blocked accept.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// `signal(2)`.  Declared directly (the workspace carries no libc
+    /// crate); the returned previous handler is ignored.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
 }
 
 fn main() -> ExitCode {
@@ -106,41 +169,59 @@ fn main() -> ExitCode {
         }
     }
     eprintln!(
-        "icfp-sweepd: listening on {bound} ({} worker threads, cache {})",
+        "icfp-sweepd: listening on {bound} ({} worker threads, {} concurrent conns, \
+         {} io deadline, cache {})",
         args.threads,
+        args.conn_limit,
+        if args.io_timeout_ms > 0 {
+            format!("{}ms", args.io_timeout_ms)
+        } else {
+            "no".to_string()
+        },
         match &args.cache_dir {
             Some(d) => d.display().to_string(),
             None => "disabled".to_string(),
         }
     );
 
+    // SAFETY: `signal` only installs `on_signal`, which does nothing but
+    // store to an atomic — async-signal-safe by construction.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // Bridge the C-handler static into the Arc the serve loop watches.
+    {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || loop {
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    }
+
     let opts = ServeOptions {
         threads: args.threads,
         cache_dir: args.cache_dir.clone(),
+        io_timeout: (args.io_timeout_ms > 0).then(|| Duration::from_millis(args.io_timeout_ms)),
+        panic_retries: args.panic_retries,
+        cancel: Some(Arc::clone(&shutdown)),
+        ..ServeOptions::default()
     };
-    let mut served = 0u64;
-    // Connections are served one at a time: each sweep already saturates the
-    // host with its own worker pool, so interleaving sweeps would only slow
-    // both down.
-    while args.max_conns.is_none_or(|n| served < n) {
-        let stream = match listener.accept() {
-            Ok((stream, peer)) => {
-                eprintln!("icfp-sweepd: connection from {peer}");
-                stream
-            }
-            Err(e) => {
-                eprintln!("icfp-sweepd: accept failed: {e}");
-                continue;
-            }
-        };
-        match handle_conn(stream, &opts) {
-            Ok(summary) => eprintln!(
-                "icfp-sweepd: connection closed ({} sweeps, {} cache hits, {} computed)",
-                summary.submits, summary.hits, summary.misses
-            ),
-            Err(e) => eprintln!("icfp-sweepd: connection failed: {e}"),
-        }
-        served += 1;
-    }
+    let accept = AcceptOptions {
+        max_inflight: args.conn_limit.max(1),
+        max_submissions: args.max_conns,
+        shutdown: Some(Arc::clone(&shutdown)),
+    };
+    let summary = serve(listener, opts, accept, |line| {
+        eprintln!("icfp-sweepd: {line}");
+    });
+    eprintln!(
+        "icfp-sweepd: drained and exiting ({} connections, {} submissions served, {} failed)",
+        summary.connections, summary.submissions, summary.failed
+    );
     ExitCode::SUCCESS
 }

@@ -26,6 +26,7 @@
 //! undecodable payload — is a typed [`CacheError`], never a panic; the
 //! executor treats a damaged entry as a miss and recomputes.
 
+use crate::fault::FaultPlan;
 use icfp_isa::fnv1a;
 use icfp_sim::CellFigures;
 use std::fmt;
@@ -33,6 +34,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The container magic (and version): bump to invalidate every entry.
 pub const MAGIC: &[u8] = b"icfp-cache/v1";
@@ -102,6 +104,9 @@ impl From<io::Error> for CacheError {
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    /// Armed only by the fault-injection harness: tears the chosen entry
+    /// write before it reaches disk (see [`FaultPlan::corrupt_cache_write`]).
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl ResultCache {
@@ -113,7 +118,15 @@ impl ResultCache {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CacheError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir })
+        Ok(ResultCache { dir, fault: None })
+    }
+
+    /// Arms a [`FaultPlan`] on this cache's write path — the deterministic
+    /// fault-injection seam the robustness matrix drives.  Production code
+    /// never calls this.
+    pub fn with_fault(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// The cache's root directory.
@@ -210,7 +223,13 @@ impl ResultCache {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp, Self::encode_entry(key, figures))?;
+        let mut bytes = Self::encode_entry(key, figures);
+        if let Some(plan) = &self.fault {
+            // The injection harness tears the write *before* the atomic
+            // rename, reproducing what only a mid-write crash could leave.
+            plan.corrupt_cache_write(&mut bytes);
+        }
+        fs::write(&tmp, bytes)?;
         fs::rename(&tmp, &path)?;
         Ok(true)
     }
@@ -352,6 +371,96 @@ mod tests {
         bytes.truncate(bytes.len() - 3);
         fs::write(&path, &bytes).unwrap();
         assert!(matches!(cache.load(key), Err(CacheError::Truncated)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_plan_tears_the_armed_write_into_a_typed_load_error() {
+        use crate::fault::{CacheTear, FaultPlan};
+        let dir = tmp_dir("fault-tear");
+        // Tear the second write at byte 17 (inside the key field).
+        let plan = Arc::new(FaultPlan::new().with_cache_tear(CacheTear {
+            write_index: 1,
+            keep_bytes: 17,
+        }));
+        let cache = ResultCache::open(&dir)
+            .unwrap()
+            .with_fault(Arc::clone(&plan));
+        cache.store(1, &figures()).unwrap();
+        cache.store(2, &figures()).unwrap();
+        cache.store(3, &figures()).unwrap();
+        assert!(plan.cache_tear_fired());
+        assert!(cache.load(1).unwrap().is_some(), "write 0 untouched");
+        assert!(cache.load(2).is_err(), "write 1 torn → typed error");
+        assert!(cache.load(3).unwrap().is_some(), "fault fires once");
+        // Recovery: evict and re-store through the same (already fired)
+        // faulted handle — the repair lands intact.
+        cache.remove(2).unwrap();
+        assert!(cache.store(2, &figures()).unwrap());
+        assert_eq!(cache.load(2).unwrap().unwrap(), figures());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_discovery_of_a_damaged_entry_recovers_on_both_threads() {
+        // Two workers hit the same torn `.cell` at once.  Both must recover
+        // — evict (remove tolerates the other thread having unlinked first)
+        // and recompute — without panicking or clobbering each other.
+        let dir = tmp_dir("concurrent-evict");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = 0x5A5A_5A5A_5A5A_5A5A;
+        cache.store(key, &figures()).unwrap();
+        let path = dir.join(format!("{key:016x}.cell"));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let barrier = std::sync::Barrier::new(2);
+        let damage_seen = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cache = cache.clone();
+                    let barrier = &barrier;
+                    let damage_seen = &damage_seen;
+                    s.spawn(move || {
+                        barrier.wait();
+                        // The executor's damaged-entry protocol: typed error
+                        // → evict → recompute → store.  A thread that loses
+                        // the race may instead see the peer's repair, or a
+                        // clean miss because the peer evicted first — a miss
+                        // means "recompute", same as damage.
+                        match cache.load(key) {
+                            Ok(Some(f)) => return f,
+                            Ok(None) => {}
+                            Err(_) => {
+                                damage_seen.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        cache.remove(key).expect("evict tolerates races");
+                        cache.remove(key).expect("double-evict is harmless");
+                        let _ = cache.store(key, &figures()).expect("repair");
+                        // The peer may still be mid evict→store; the final
+                        // mutation on the entry is always a store, so a
+                        // bounded retry converges on the repaired bytes.
+                        loop {
+                            if let Some(f) = cache.load(key).expect("post-repair load") {
+                                return f;
+                            }
+                            std::thread::yield_now();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("no panic"), figures());
+            }
+        });
+        assert!(
+            damage_seen.load(Ordering::Relaxed) >= 1,
+            "at least one thread hit the torn entry"
+        );
+        assert_eq!(cache.entry_count().unwrap(), 1);
+        assert_eq!(cache.load(key).unwrap().unwrap(), figures());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -3,23 +3,64 @@
 //! result cache, streaming cells to a callback as they finish.
 
 use crate::cache::ResultCache;
+use crate::fault::FaultPlan;
 use crate::job::SweepJob;
 use crate::report::{SweepCell, SweepReport};
 use crate::spec::SweepSpec;
 use icfp_isa::{ArenaSource, TraceSource};
 use icfp_sim::{CellFigures, SimConfig, Simulator};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
+/// How many times a panicking cell is retried before being recorded as a
+/// typed failed cell (so one latent bug on one grid point costs that point,
+/// not the sweep).
+pub const DEFAULT_PANIC_RETRIES: u32 = 2;
+
 /// Executor options beyond the spec itself.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecOptions<'a> {
     /// Worker threads (0 or 1 = serial, in the calling thread).
     pub threads: usize,
     /// Persistent result cache to serve and populate, if any.
     pub cache: Option<&'a ResultCache>,
+    /// Retries for a panicking cell before it is recorded as failed
+    /// ([`DEFAULT_PANIC_RETRIES`] by default; 0 = fail on first panic).
+    pub panic_retries: u32,
+    /// Deterministic fault-injection plan (tests only; `None` in
+    /// production).
+    pub fault: Option<&'a FaultPlan>,
+    /// Cooperative cancellation: when set, workers stop pulling new groups
+    /// and the sweep returns a "cancelled" error instead of a report.  Used
+    /// by the server's graceful-drain path; in-flight cells still finish
+    /// (and land in the cache).
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl Default for ExecOptions<'_> {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 0,
+            cache: None,
+            panic_retries: DEFAULT_PANIC_RETRIES,
+            fault: None,
+            cancel: None,
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload as the panic message it carries.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
 }
 
 /// Counters describing how a sweep's cells were produced.
@@ -228,10 +269,13 @@ fn run_cached_group(
             let _ = cache.remove(key);
         }
     }
+    let leader_cell = leader.run_with_source(&**trace);
+    // Tally the miss only after the compute succeeds: a panicking attempt
+    // unwinds past this point, so a retry never double-counts and the
+    // hits + misses pair always totals the cell count.
     tallies
         .misses
         .fetch_add(group.jobs.len() as u64, Ordering::Relaxed);
-    let leader_cell = leader.run_with_source(&**trace);
     let figures = CellFigures {
         instructions: leader_cell.instructions,
         cycles: leader_cell.cycles,
@@ -268,7 +312,7 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, String
         spec,
         &ExecOptions {
             threads,
-            cache: None,
+            ..ExecOptions::default()
         },
         |_| {},
     )
@@ -317,28 +361,70 @@ pub fn run_sweep_streamed(
     let mut cells: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
     let tallies = Tallies::default();
 
-    let run_group = |k: usize| -> (bool, Vec<(usize, SweepCell)>) {
+    let run_group_once = |k: usize| -> (bool, Vec<(usize, SweepCell)>) {
         let group = &groups[k];
+        // Executor fault seam: an armed job panics here, inside the
+        // catch_unwind scope below — indistinguishable from a latent
+        // timing-model bug tripping on this grid point.
+        if let Some(plan) = opts.fault {
+            for &j in &group.jobs {
+                if let Some(msg) = plan.injected_panic(j) {
+                    panic!("{msg}");
+                }
+            }
+        }
         let leader = &jobs[group.jobs[0]];
         let trace = &traces[leader.workload.as_str()];
         if let Some(cache) = opts.cache {
             run_cached_group(&jobs, group, trace, cache, &tallies)
         } else {
-            // No cache: every cell is computed, so it counts as a miss (the
-            // hits/misses pair always totals the cell count).
+            let batch = if spec.warm_fork {
+                run_fork_group(&jobs, group, trace)
+            } else {
+                vec![(leader.index, leader.run_with_source(&**trace))]
+            };
+            // No cache: every computed cell counts as a miss (the
+            // hits/misses pair always totals the cell count).  Tallied
+            // after the compute so a panicking attempt never double-counts.
             tallies
                 .misses
                 .fetch_add(group.jobs.len() as u64, Ordering::Relaxed);
-            if spec.warm_fork {
-                (false, run_fork_group(&jobs, group, trace))
-            } else {
-                (false, vec![(leader.index, leader.run_with_source(&**trace))])
-            }
+            (false, batch)
         }
     };
 
+    // Crash-safe wrapper: a panicking group is retried up to
+    // `panic_retries` times, then recorded as typed *failed cells* — the
+    // sweep completes and reports the hole instead of unwinding a worker
+    // and poisoning the whole run.
+    let run_group = |k: usize| -> (bool, Vec<(usize, SweepCell)>) {
+        let mut reason = String::new();
+        for _ in 0..=opts.panic_retries {
+            match catch_unwind(AssertUnwindSafe(|| run_group_once(k))) {
+                Ok(done) => return done,
+                Err(payload) => reason = panic_reason(payload),
+            }
+        }
+        let group = &groups[k];
+        // Failed cells were still *computed attempts*, not cache hits.
+        tallies
+            .misses
+            .fetch_add(group.jobs.len() as u64, Ordering::Relaxed);
+        let cells = group
+            .jobs
+            .iter()
+            .map(|&j| (j, jobs[j].failed_cell(&reason)))
+            .collect();
+        (false, cells)
+    };
+
+    let cancelled = || opts.cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+
     if workers == 1 {
         for k in 0..num_groups {
+            if cancelled() {
+                break;
+            }
             let (cached, batch) = run_group(k);
             for (idx, cell) in batch {
                 on_cell(CellEvent {
@@ -357,7 +443,11 @@ pub fn run_sweep_streamed(
                 let tx = tx.clone();
                 let next = &next;
                 let run_group = &run_group;
+                let cancelled = &cancelled;
                 scope.spawn(move || loop {
+                    if cancelled() {
+                        break;
+                    }
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= num_groups {
                         break;
@@ -383,6 +473,14 @@ pub fn run_sweep_streamed(
         });
     }
 
+    // A cancelled sweep leaves holes: report the cancellation as a typed
+    // error instead of panicking on them.  (Absent cancellation every group
+    // posts exactly one batch, failed or not, so the report is complete.)
+    let done = cells.iter().filter(|c| c.is_some()).count();
+    if done < n {
+        return Err(format!("sweep cancelled after {done}/{n} cells"));
+    }
+
     Ok(SweepOutcome {
         report: SweepReport {
             threads: workers,
@@ -393,7 +491,7 @@ pub fn run_sweep_streamed(
             workloads: spec.workloads.clone(),
             cells: cells
                 .into_iter()
-                .map(|c| c.expect("every job posts exactly one cell"))
+                .map(|c| c.expect("completeness checked above"))
                 .collect(),
         },
         cache: tallies.snapshot(),
@@ -403,6 +501,7 @@ pub fn run_sweep_streamed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::PanicJob;
     use crate::testutil::tiny_spec;
     use icfp_core::CoreModel;
     use std::fs;
@@ -544,6 +643,7 @@ mod tests {
         let opts = ExecOptions {
             threads: 1,
             cache: Some(&cache),
+            ..ExecOptions::default()
         };
 
         let mut events = 0usize;
@@ -579,6 +679,7 @@ mod tests {
             &ExecOptions {
                 threads: 8,
                 cache: Some(&cache),
+                ..ExecOptions::default()
             },
             |_| {},
         )
@@ -609,6 +710,7 @@ mod tests {
         let opts = ExecOptions {
             threads: 1,
             cache: Some(&cache),
+            ..ExecOptions::default()
         };
         let cold = run_sweep_streamed(&spec, &opts, |_| {}).unwrap();
         assert_eq!(cold.report.cells.len(), 2);
@@ -651,6 +753,7 @@ mod tests {
         let opts = ExecOptions {
             threads: 1,
             cache: Some(&cache),
+            ..ExecOptions::default()
         };
         let cold = run_sweep_streamed(&spec, &opts, |_| {}).unwrap();
         assert_eq!(cold.cache.stored, 1);
@@ -677,5 +780,110 @@ mod tests {
         assert_eq!(third.cache.hits, 1);
         assert_eq!(third.report, redo.report);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A 2-cell grid small enough for fault tests.
+    fn two_cell_spec() -> SweepSpec {
+        let mut spec = tiny_spec();
+        spec.models = vec![CoreModel::InOrder];
+        spec.slice_buffer_entries = vec![128];
+        spec.l2_hit_latencies = vec![20];
+        spec.workloads = vec!["branchy".into(), "pointer-chase".into()];
+        spec
+    }
+
+    #[test]
+    fn a_panicking_cell_is_retried_and_the_report_matches_fault_free() {
+        let spec = two_cell_spec();
+        let clean = run_sweep(&spec, 1).unwrap();
+        // Job 1 panics twice; the default retry budget absorbs both.
+        let plan = FaultPlan::new().with_panic_job(PanicJob {
+            job_index: 1,
+            attempts: 2,
+        });
+        let faulted = run_sweep_streamed(
+            &spec,
+            &ExecOptions {
+                threads: 1,
+                fault: Some(&plan),
+                ..ExecOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(plan.panics_raised(), 2);
+        assert!(faulted.report.cells.iter().all(|c| c.failed.is_none()));
+        // Digest equality covers every deterministic field; the advisory
+        // host-time figures legitimately differ between runs.
+        assert_eq!(faulted.report.digest(), clean.digest());
+        assert_eq!(
+            faulted.cache.hits + faulted.cache.misses,
+            clean.cells.len() as u64,
+            "retries must not double-count tallies"
+        );
+    }
+
+    #[test]
+    fn an_exhausted_panicking_cell_is_recorded_as_failed_not_fatal() {
+        let spec = two_cell_spec();
+        let clean = run_sweep(&spec, 1).unwrap();
+        let plan = FaultPlan::new().with_panic_job(PanicJob {
+            job_index: 0,
+            attempts: u32::MAX,
+        });
+        let outcome = run_sweep_streamed(
+            &spec,
+            &ExecOptions {
+                threads: 1,
+                panic_retries: 1,
+                fault: Some(&plan),
+                ..ExecOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        let [failed, ok] = &outcome.report.cells[..] else {
+            panic!("two cells")
+        };
+        let reason = failed.failed.as_deref().expect("job 0 exhausted retries");
+        assert!(reason.contains("injected fault"), "{reason:?}");
+        assert_eq!(failed.cycles, 0);
+        assert_eq!(failed.state_digest, 0);
+        assert!(ok.failed.is_none(), "other cells unaffected");
+        assert_eq!(ok.cycles, clean.cells[1].cycles);
+        // The failure is digested — a holed report can't impersonate a
+        // complete one — and survives the JSON round trip.
+        assert_ne!(outcome.report.digest(), clean.digest());
+        let json = outcome.report.to_json();
+        assert!(json.contains("\"failed\": \"injected fault"), "{json}");
+        let back = crate::schema::parse(&json).expect("parse");
+        assert_eq!(back.cells[0].failed, outcome.report.cells[0].failed);
+        assert_eq!(crate::schema::to_json(&back), json);
+        // The matrix shows the hole.
+        assert!(outcome.report.render_matrix().unwrap().contains("fail"));
+        // Accounting stays whole: the failed cell counts as a miss.
+        assert_eq!(
+            outcome.cache.hits + outcome.cache.misses,
+            outcome.report.cells.len() as u64
+        );
+    }
+
+    #[test]
+    fn a_cancelled_sweep_is_a_typed_error_not_a_panic() {
+        let flag = AtomicBool::new(true);
+        for threads in [1, 4] {
+            let err = run_sweep_streamed(
+                &tiny_spec(),
+                &ExecOptions {
+                    threads,
+                    cancel: Some(&flag),
+                    ..ExecOptions::default()
+                },
+                |_| {},
+            )
+            .expect_err("pre-cancelled sweep cannot complete");
+            assert!(err.contains("cancelled"), "{err}");
+            assert!(err.contains("0/32"), "{err}");
+        }
     }
 }

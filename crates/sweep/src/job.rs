@@ -80,6 +80,31 @@ impl SweepJob {
             host_seconds: figures.host_seconds,
             mips: figures.mips,
             state_digest: figures.state_digest,
+            failed: None,
+        }
+    }
+
+    /// Builds a *failed* cell for this job: every figure zeroed, the
+    /// (sanitized) panic reason recorded.  Emitted when the job's worker
+    /// panicked on every allowed attempt — the sweep completes and reports
+    /// the hole instead of aborting.
+    pub(crate) fn failed_cell(&self, reason: &str) -> SweepCell {
+        SweepCell {
+            model: self.model.name().to_string(),
+            workload: self.workload.clone(),
+            slice_buffer_entries: self.config.slice_buffer_entries,
+            mshr_count: self.config.mem.max_outstanding_misses,
+            l2_hit_latency: self.config.mem.l2_hit_latency,
+            seed: self.seed,
+            instructions: 0,
+            cycles: 0,
+            ipc: 0.0,
+            l1d_mpki: 0.0,
+            l2_mpki: 0.0,
+            host_seconds: 0.0,
+            mips: 0.0,
+            state_digest: 0,
+            failed: Some(crate::report::sanitize_reason(reason)),
         }
     }
 

@@ -60,6 +60,7 @@
 
 pub mod cache;
 pub mod executor;
+pub mod fault;
 pub mod job;
 pub mod report;
 pub mod schema;
@@ -70,11 +71,15 @@ pub use cache::{CacheError, ResultCache};
 pub use executor::{
     run_sweep, run_sweep_streamed, CacheStats, CellEvent, ExecOptions, SweepOutcome,
 };
+pub use fault::{CacheTear, FaultPlan, FrameAction, FrameFault, PanicJob};
 pub use job::SweepJob;
 pub use report::{ReportError, SweepCell, SweepReport};
 pub use schema::SchemaError;
 pub use spec::SweepSpec;
-pub use wire::{ServeOptions, SubmitOutcome, WireError};
+pub use wire::{
+    backoff_delay, serve, submit_with, AcceptOptions, RetryPolicy, ServeOptions, ServeSummary,
+    SubmitOutcome, WireError,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {

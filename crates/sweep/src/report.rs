@@ -40,11 +40,19 @@ pub struct SweepCell {
     pub mips: f64,
     /// Digest of the final architectural state.
     pub state_digest: u64,
+    /// `Some(reason)` if the cell's worker panicked on every allowed
+    /// attempt: the cell is *recorded as failed* (figures zeroed) instead of
+    /// aborting the sweep.  `None` for every successfully computed cell.
+    pub failed: Option<String>,
 }
 
 impl SweepCell {
     /// Folds the cell's *deterministic* fields (timing-model outputs, not
-    /// host timing) into an FNV-1a accumulator.
+    /// host timing) into an FNV-1a accumulator.  A failed cell additionally
+    /// folds its failure marker, so a report with a failed cell can never
+    /// collide with a fully successful one.  Successful cells fold exactly
+    /// the bytes they always did — digests of fault-free sweeps are
+    /// unchanged across this field's introduction.
     pub(crate) fn fold_digest(&self, h: &mut Fnv1a) {
         h.write(self.model.as_bytes());
         h.write(self.workload.as_bytes());
@@ -59,7 +67,26 @@ impl SweepCell {
         ] {
             h.write_u64(v);
         }
+        if let Some(reason) = &self.failed {
+            h.write(b"failed");
+            h.write(reason.as_bytes());
+        }
     }
+}
+
+/// Flattens a panic reason for embedding in reports and JSON documents:
+/// quotes, backslashes and control characters (all of which the flat schema
+/// writer must never emit inside a string) become plain substitutes.
+pub(crate) fn sanitize_reason(reason: &str) -> String {
+    reason
+        .chars()
+        .map(|c| match c {
+            '"' => '\'',
+            '\\' => '/',
+            c if c.is_control() => ' ',
+            c => c,
+        })
+        .collect()
 }
 
 /// Typed failures rendering a [`SweepReport`] — a report whose cells
@@ -157,16 +184,27 @@ impl SweepReport {
     /// header doesn't list (possible only for hand-assembled or hand-edited
     /// reports — [`crate::run_sweep`] always produces a consistent header).
     pub fn render_matrix(&self) -> Result<String, ReportError> {
+        /// One matrix slot: absent, a computed IPC, or a failed cell.
+        enum Slot {
+            Empty,
+            Ipc(f64),
+            Failed,
+        }
         let workloads: Vec<&str> = self.workloads.iter().map(|w| w.as_str()).collect();
         let col = workloads.iter().map(|w| w.len()).max().unwrap_or(0).max(7);
-        let mut rows: Vec<(String, Vec<Option<f64>>)> = Vec::new();
+        let mut rows: Vec<(String, Vec<Slot>)> = Vec::new();
         for (k, c) in self.cells.iter().enumerate() {
             let label = format!(
                 "{:<10} sb={:<4} mshr={:<3} l2={:<3}",
                 c.model, c.slice_buffer_entries, c.mshr_count, c.l2_hit_latency
             );
             if rows.last().map(|(l, _)| l.as_str()) != Some(label.as_str()) {
-                rows.push((label, vec![None; workloads.len()]));
+                rows.push((
+                    label,
+                    std::iter::repeat_with(|| Slot::Empty)
+                        .take(workloads.len())
+                        .collect(),
+                ));
             }
             let wl = workloads
                 .iter()
@@ -176,7 +214,11 @@ impl SweepReport {
                     workload: c.workload.clone(),
                 })?;
             let at = rows.len() - 1;
-            rows[at].1[wl] = Some(c.ipc);
+            rows[at].1[wl] = if c.failed.is_some() {
+                Slot::Failed
+            } else {
+                Slot::Ipc(c.ipc)
+            };
         }
         let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         let mut s = String::new();
@@ -189,10 +231,13 @@ impl SweepReport {
             let _ = write!(s, "{label:<label_w$}");
             for v in vals {
                 match v {
-                    Some(ipc) => {
+                    Slot::Ipc(ipc) => {
                         let _ = write!(s, "  {ipc:>col$.3}");
                     }
-                    None => {
+                    Slot::Failed => {
+                        let _ = write!(s, "  {:>col$}", "fail");
+                    }
+                    Slot::Empty => {
                         let _ = write!(s, "  {:>col$}", "-");
                     }
                 }

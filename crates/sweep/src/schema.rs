@@ -113,6 +113,14 @@ pub fn to_json(report: &SweepReport) -> String {
             c.mips,
             c.state_digest
         );
+        if let Some(reason) = &c.failed {
+            // Only failed cells carry the field, so fault-free documents are
+            // byte-identical to pre-failure-era ones.  Reasons are sanitized
+            // at recording time (no quotes/backslashes/control characters),
+            // matching the parser's no-escape string extraction.
+            s.truncate(s.len() - 1);
+            let _ = write!(s, ", \"failed\": {reason:?}}}");
+        }
         s.push_str(if k + 1 == report.cells.len() { "\n" } else { ",\n" });
     }
     s.push_str("  ],\n");
@@ -293,6 +301,7 @@ fn parse_cell(line: &str, lineno: usize) -> Result<SweepCell, SchemaError> {
         host_seconds: f64_field(line, "host_seconds").ok_or(malformed("cell host_seconds"))?,
         mips: f64_field(line, "mips").ok_or(malformed("cell mips"))?,
         state_digest: hex_field(line, "state_digest").ok_or(malformed("cell state_digest"))?,
+        failed: str_field(line, "failed"),
     })
 }
 

@@ -31,7 +31,8 @@
 //! always a typed [`WireError`] on both sides, never a panic: a hostile
 //! peer cannot take the server down.
 
-use crate::executor::{run_sweep_streamed, ExecOptions};
+use crate::executor::{run_sweep_streamed, ExecOptions, DEFAULT_PANIC_RETRIES};
+use crate::fault::{FaultPlan, FrameAction};
 use crate::report::{SweepCell, SweepReport};
 use crate::spec::SweepSpec;
 use crate::ResultCache;
@@ -39,8 +40,11 @@ use serde::frame::{read_frame, write_frame, FrameError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{BufReader, BufWriter};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// The protocol version string exchanged in `Hello`.
 pub const WIRE_VERSION: &str = "icfp-wire/v1";
@@ -121,6 +125,25 @@ pub enum WireError {
     Server(String),
     /// The spec failed validation before anything was sent.
     Spec(String),
+    /// The peer closed the connection cleanly in the middle of a
+    /// conversation — a crashed or restarting server.  Retriable: a fresh
+    /// reconnect + re-submit usually succeeds (and already-computed cells
+    /// come back as cache hits).
+    Disconnected,
+}
+
+impl WireError {
+    /// Whether a fresh reconnect + re-submit may succeed: transport-level
+    /// failures (I/O errors, torn or timed-out frames, a peer that vanished
+    /// mid-conversation) are retriable; semantic rejections (invalid spec,
+    /// server-reported errors, protocol violations, undecodable payloads)
+    /// are not — retrying would deterministically fail again.
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(_) | WireError::Frame(_) | WireError::Disconnected
+        )
+    }
 }
 
 impl fmt::Display for WireError {
@@ -132,6 +155,7 @@ impl fmt::Display for WireError {
             WireError::Protocol(e) => write!(f, "protocol violation: {e}"),
             WireError::Server(e) => write!(f, "server error: {e}"),
             WireError::Spec(e) => write!(f, "invalid sweep spec: {e}"),
+            WireError::Disconnected => write!(f, "peer closed mid-conversation"),
         }
     }
 }
@@ -163,10 +187,87 @@ fn recv<T: Deserialize>(r: &mut impl std::io::Read) -> Result<Option<T>, WireErr
     }
 }
 
-/// Reads one message frame, treating peer close as a protocol violation
-/// (used where the conversation is mid-flight and a message is owed).
+/// Reads one message frame, treating peer close as [`WireError::Disconnected`]
+/// (used where the conversation is mid-flight and a message is owed — the
+/// retriable signature of a crashed or restarting peer).
 fn recv_expected<T: Deserialize>(r: &mut impl std::io::Read) -> Result<T, WireError> {
-    recv(r)?.ok_or_else(|| WireError::Protocol("peer closed mid-conversation".into()))
+    recv(r)?.ok_or(WireError::Disconnected)
+}
+
+/// Server-side send through the outbound-frame fault seam: an armed
+/// [`FaultPlan`] can drop or truncate exactly one frame, after which the
+/// injected transport error propagates like a real mid-stream crash and the
+/// connection is severed.
+fn send_srv<T: Serialize>(
+    w: &mut impl std::io::Write,
+    msg: &T,
+    fault: Option<&FaultPlan>,
+) -> Result<(), WireError> {
+    match fault.map_or(FrameAction::Pass, |p| p.next_frame_action()) {
+        FrameAction::Pass => send(w, msg),
+        FrameAction::Drop => Err(WireError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            "injected fault: outbound frame dropped, connection severed",
+        ))),
+        FrameAction::Truncate(k) => {
+            let mut framed = Vec::new();
+            write_frame(&mut framed, &serde::to_bytes(msg))?;
+            let keep = k.min(framed.len().saturating_sub(1)).max(1);
+            w.write_all(&framed[..keep]).map_err(WireError::Io)?;
+            w.flush().map_err(WireError::Io)?;
+            Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "injected fault: outbound frame truncated, connection severed",
+            )))
+        }
+    }
+}
+
+/// Client retry policy: deterministic exponential backoff between
+/// reconnect-and-resubmit attempts, plus the per-stream I/O deadline.
+///
+/// The delay before retry *k* (0-based) is `base_delay_ms << k`, capped at
+/// `max_delay_ms` — a pure function of the policy and the attempt number,
+/// so the schedule is reproducible ([`backoff_delay`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reconnect attempts after the first failure (0 = fail fast).
+    pub retries: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single backoff delay, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Read/write deadline on the client's stream, in milliseconds
+    /// (0 = no deadline).  A server that stalls mid-frame longer than this
+    /// surfaces as a retriable [`FrameError::TimedOut`].
+    pub io_timeout_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 4,
+            base_delay_ms: 100,
+            max_delay_ms: 2_000,
+            io_timeout_ms: 30_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The stream deadline as a `Duration` (`None` when disabled).
+    pub fn io_timeout(&self) -> Option<Duration> {
+        (self.io_timeout_ms > 0).then(|| Duration::from_millis(self.io_timeout_ms))
+    }
+}
+
+/// The deterministic backoff delay before 0-based retry `attempt`:
+/// `base_delay_ms << attempt`, capped at `max_delay_ms`.
+pub fn backoff_delay(policy: &RetryPolicy, attempt: u32) -> Duration {
+    let exp = policy
+        .base_delay_ms
+        .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX).max(1));
+    Duration::from_millis(exp.min(policy.max_delay_ms))
 }
 
 /// The result of one client submission.
@@ -196,8 +297,58 @@ pub fn submit(
     threads: usize,
     mut on_cell: impl FnMut(usize, bool, &SweepCell),
 ) -> Result<SubmitOutcome, WireError> {
+    submit_once(addr, spec, threads, None, &mut on_cell)
+}
+
+/// Submits with reconnect-and-resume: on a retriable failure (I/O error,
+/// torn or timed-out frame, peer vanished mid-stream) the client waits the
+/// policy's deterministic backoff ([`backoff_delay`]), reconnects, and
+/// re-submits the whole spec.  Cells the server already computed come back
+/// as cache hits, so the reassembled report of the successful attempt is
+/// byte-identical to an uninterrupted run.  Non-retriable failures (invalid
+/// spec, server-reported errors, protocol violations) return immediately.
+///
+/// `on_cell` observes the stream of every attempt, so an interrupted
+/// attempt's cells may be seen twice; reassembly uses only the successful
+/// attempt.
+///
+/// # Errors
+///
+/// The last retriable [`WireError`] once `policy.retries` is exhausted, or
+/// the first non-retriable one.
+pub fn submit_with(
+    addr: &str,
+    spec: &SweepSpec,
+    threads: usize,
+    policy: &RetryPolicy,
+    mut on_cell: impl FnMut(usize, bool, &SweepCell),
+) -> Result<SubmitOutcome, WireError> {
+    let mut last = None;
+    for attempt in 0..=policy.retries {
+        if attempt > 0 {
+            std::thread::sleep(backoff_delay(policy, attempt - 1));
+        }
+        match submit_once(addr, spec, threads, policy.io_timeout(), &mut on_cell) {
+            Ok(outcome) => return Ok(outcome),
+            Err(e) if e.is_retriable() => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("loop ran at least once"))
+}
+
+/// One submission attempt over one fresh connection.
+fn submit_once(
+    addr: &str,
+    spec: &SweepSpec,
+    threads: usize,
+    io_timeout: Option<Duration>,
+    on_cell: &mut impl FnMut(usize, bool, &SweepCell),
+) -> Result<SubmitOutcome, WireError> {
     spec.validate().map_err(WireError::Spec)?;
     let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+    stream.set_read_timeout(io_timeout).map_err(WireError::Io)?;
+    stream.set_write_timeout(io_timeout).map_err(WireError::Io)?;
     let mut reader = BufReader::new(stream.try_clone().map_err(WireError::Io)?);
     let mut writer = BufWriter::new(stream);
 
@@ -308,12 +459,52 @@ pub fn submit(
 }
 
 /// Server-side options for a connection.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Default worker threads for submissions that request 0.
     pub threads: usize,
-    /// Result cache directory, if caching is enabled.
+    /// Result cache directory, if caching is enabled (opened per
+    /// submission; [`ServeOptions::cache`] takes precedence when set).
     pub cache_dir: Option<PathBuf>,
+    /// A pre-opened result cache shared across every connection — the
+    /// concurrent [`serve`] loop opens [`ServeOptions::cache_dir`] once
+    /// into this field so all connections share one store.
+    pub cache: Option<Arc<ResultCache>>,
+    /// Read/write deadline on each accepted stream (`None` = no deadline).
+    /// A peer that stalls mid-frame longer than this gets a typed
+    /// [`FrameError::TimedOut`] and its connection reaped — a slow-loris
+    /// client can never hang a server thread.
+    pub io_timeout: Option<Duration>,
+    /// Retries for a panicking cell before it is recorded as a typed failed
+    /// cell ([`crate::executor::ExecOptions::panic_retries`]).
+    pub panic_retries: u32,
+    /// Deterministic fault-injection plan for the outbound-frame and
+    /// executor seams (tests only; `None` in production).
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Cooperative cancellation for in-flight sweeps (graceful drain):
+    /// when set, executors stop pulling new cell groups, in-flight cells
+    /// finish and land in the cache, and the submission ends in a typed
+    /// error frame.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Counter of successfully served submissions, bumped after each `Done`
+    /// frame — [`serve`] arms this so its submission ceiling counts real
+    /// service, never failed handshakes.
+    pub served: Option<Arc<AtomicU64>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: 0,
+            cache_dir: None,
+            cache: None,
+            io_timeout: None,
+            panic_retries: DEFAULT_PANIC_RETRIES,
+            fault: None,
+            cancel: None,
+            served: None,
+        }
+    }
 }
 
 /// Per-connection summary returned by [`handle_conn`].
@@ -337,6 +528,13 @@ pub struct ConnSummary {
 /// Any [`WireError`]; the caller (the `icfp-sweepd` accept loop) logs it
 /// and moves on to the next connection.
 pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary, WireError> {
+    stream
+        .set_read_timeout(opts.io_timeout)
+        .map_err(WireError::Io)?;
+    stream
+        .set_write_timeout(opts.io_timeout)
+        .map_err(WireError::Io)?;
+    let fault = opts.fault.as_deref();
     let mut reader = BufReader::new(stream.try_clone().map_err(WireError::Io)?);
     let mut writer = BufWriter::new(stream);
     let mut summary = ConnSummary::default();
@@ -368,11 +566,12 @@ pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary
             return Err(WireError::Protocol(message));
         }
     }
-    send(
+    send_srv(
         &mut writer,
         &Response::Hello {
             version: WIRE_VERSION.to_string(),
         },
+        fault,
     )?;
 
     // Submission loop.
@@ -406,16 +605,31 @@ pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary
         } else {
             threads as usize
         };
-        let cache = match &opts.cache_dir {
-            Some(dir) => match ResultCache::open(dir) {
-                Ok(c) => Some(c),
-                Err(e) => {
-                    let message = format!("result cache unavailable: {e}");
-                    let _ = send(&mut writer, &Response::Error { message: message.clone() });
-                    return Err(WireError::Protocol(message));
-                }
-            },
-            None => None,
+        // Prefer the pre-opened shared cache; fall back to opening the
+        // configured directory per submission.
+        let opened;
+        let cache: Option<&ResultCache> = if let Some(shared) = &opts.cache {
+            Some(shared)
+        } else {
+            match &opts.cache_dir {
+                Some(dir) => match ResultCache::open(dir) {
+                    Ok(c) => {
+                        // Arm the cache-write fault seam on the fallback
+                        // open too, mirroring [`serve`]'s shared open.
+                        opened = match &opts.fault {
+                            Some(plan) => c.with_fault(Arc::clone(plan)),
+                            None => c,
+                        };
+                        Some(&opened)
+                    }
+                    Err(e) => {
+                        let message = format!("result cache unavailable: {e}");
+                        let _ = send(&mut writer, &Response::Error { message: message.clone() });
+                        return Err(WireError::Protocol(message));
+                    }
+                },
+                None => None,
+            }
         };
 
         // Mirror the executor's thread clamp so the Accepted message (which
@@ -428,31 +642,38 @@ pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary
         .len();
         let workers = requested.clamp(1, num_groups.max(1));
 
-        send(
+        send_srv(
             &mut writer,
             &Response::Accepted {
                 cells: spec.cell_count() as u64,
                 threads: workers as u64,
             },
+            fault,
         )?;
 
         // Stream cells as the executor completes them.  A send failure mid-
         // sweep is recorded and surfaced after the executor returns (the
-        // callback itself must not unwind through the thread pool).
+        // callback itself must not unwind through the thread pool) — the
+        // sweep still completes into the cache, so the client's re-submit
+        // after reconnecting is served as hits.
         let mut send_err: Option<WireError> = None;
         let exec = ExecOptions {
             threads: workers,
-            cache: cache.as_ref(),
+            cache,
+            panic_retries: opts.panic_retries,
+            fault,
+            cancel: opts.cancel.as_deref(),
         };
         let outcome = run_sweep_streamed(&spec, &exec, |event| {
             if send_err.is_none() {
-                if let Err(e) = send(
+                if let Err(e) = send_srv(
                     &mut writer,
                     &Response::Cell {
                         index: event.index as u64,
                         cached: event.cached,
                         cell: event.cell.clone(),
                     },
+                    fault,
                 ) {
                     send_err = Some(e);
                 }
@@ -461,8 +682,8 @@ pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary
         if let Some(e) = send_err {
             return Err(e);
         }
-        // validate() passed, so the executor cannot fail; keep the typed
-        // path anyway.
+        // validate() passed, so the only executor failure left is a
+        // graceful-drain cancellation: answer with a typed Error frame.
         let outcome = match outcome {
             Ok(o) => o,
             Err(e) => {
@@ -470,17 +691,213 @@ pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary
                 return Err(WireError::Protocol(e));
             }
         };
-        send(
+        send_srv(
             &mut writer,
             &Response::Done {
                 report_digest: outcome.report.digest(),
                 hits: outcome.cache.hits,
                 misses: outcome.cache.misses,
             },
+            fault,
         )?;
         summary.submits += 1;
         summary.hits += outcome.cache.hits;
         summary.misses += outcome.cache.misses;
+        if let Some(counter) = &opts.served {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Options for the concurrent [`serve`] accept loop.
+#[derive(Debug, Clone)]
+pub struct AcceptOptions {
+    /// Ceiling on simultaneously served connections; further connections
+    /// queue in the OS accept backlog until a slot frees, so a cache-hit
+    /// submission never waits behind a cold sweep as long as a slot is
+    /// open.
+    pub max_inflight: usize,
+    /// Stop after this many *successfully served submissions* (`None` =
+    /// serve forever).  Connections that fail the handshake or never
+    /// complete a sweep don't count.
+    pub max_submissions: Option<u64>,
+    /// Graceful-shutdown flag (e.g. set by a SIGINT handler): when it goes
+    /// true the loop stops accepting, in-flight connections drain, and
+    /// [`serve`] returns.
+    pub shutdown: Option<Arc<AtomicBool>>,
+}
+
+impl Default for AcceptOptions {
+    fn default() -> Self {
+        AcceptOptions {
+            max_inflight: 4,
+            max_submissions: None,
+            shutdown: None,
+        }
+    }
+}
+
+/// What [`serve`] did before returning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted and handed to a handler thread.
+    pub connections: u64,
+    /// Successfully served submissions across all of them.
+    pub submissions: u64,
+    /// Connections that ended in a typed error (failed handshakes, hostile
+    /// frames, stalled peers, injected faults).
+    pub failed: u64,
+}
+
+/// The concurrent accept loop: thread-per-connection over one shared
+/// executor and result cache, bounded by [`AcceptOptions::max_inflight`].
+///
+/// Each accepted stream gets [`ServeOptions::io_timeout`] deadlines and its
+/// own [`handle_conn`] thread; the loop itself never blocks on a
+/// conversation, so a quick cache-hit submission runs beside a cold sweep.
+/// The loop exits when [`AcceptOptions::max_submissions`] submissions have
+/// been served or [`AcceptOptions::shutdown`] goes true, then *drains*:
+/// every in-flight connection finishes (in-flight cells complete and land
+/// in the cache) before [`serve`] returns.  A blocked `accept` is woken by
+/// a loopback self-connection, so neither exit condition waits for a new
+/// client.
+///
+/// `on_event` receives one human-readable line per lifecycle event (from
+/// handler threads too, hence `Sync`).
+pub fn serve(
+    listener: TcpListener,
+    opts: ServeOptions,
+    accept: AcceptOptions,
+    on_event: impl Fn(String) + Send + Sync,
+) -> ServeSummary {
+    let mut opts = opts;
+    // Open the cache once; every connection shares it.
+    if opts.cache.is_none() {
+        if let Some(dir) = &opts.cache_dir {
+            match ResultCache::open(dir) {
+                Ok(c) => {
+                    // Arm the cache-write fault seam on the shared store.
+                    let c = match &opts.fault {
+                        Some(plan) => c.with_fault(Arc::clone(plan)),
+                        None => c,
+                    };
+                    opts.cache = Some(Arc::new(c));
+                }
+                Err(e) => {
+                    on_event(format!("result cache unavailable, serving uncached: {e}"));
+                    opts.cache_dir = None;
+                }
+            }
+        }
+    }
+    let served = Arc::new(AtomicU64::new(0));
+    opts.served = Some(Arc::clone(&served));
+    let opts = Arc::new(opts);
+
+    let connections = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let inflight = Mutex::new(0usize);
+    let slot_freed = Condvar::new();
+    let local = listener.local_addr().ok();
+    let stop_waker = AtomicBool::new(false);
+
+    let done = || {
+        accept
+            .shutdown
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+            || accept
+                .max_submissions
+                .is_some_and(|n| served.load(Ordering::Relaxed) >= n)
+    };
+    // Wakes a blocked `accept` by self-connecting; the dummy connection is
+    // recognized and dropped by the `done()` re-check after accept.
+    let wake = || {
+        if let Some(addr) = local {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        }
+    };
+
+    std::thread::scope(|scope| {
+        // The shutdown watcher: `accept` cannot observe a flag flipped by a
+        // signal handler (glibc installs SA_RESTART semantics), so poll the
+        // exit conditions and break the accept loop with a self-connection.
+        if accept.shutdown.is_some() {
+            scope.spawn(|| loop {
+                if stop_waker.load(Ordering::Relaxed) {
+                    return;
+                }
+                if done() {
+                    wake();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            });
+        }
+        loop {
+            if done() {
+                break;
+            }
+            {
+                let mut n = inflight.lock().expect("inflight lock");
+                while *n >= accept.max_inflight.max(1) {
+                    n = slot_freed.wait(n).expect("inflight lock");
+                }
+            }
+            if done() {
+                break;
+            }
+            let (stream, peer) = match listener.accept() {
+                Ok(x) => x,
+                Err(e) => {
+                    on_event(format!("accept failed: {e}"));
+                    continue;
+                }
+            };
+            if done() {
+                // The waker's (or a late client's) connection arriving after
+                // an exit condition: drop it and stop accepting.
+                drop(stream);
+                break;
+            }
+            connections.fetch_add(1, Ordering::Relaxed);
+            *inflight.lock().expect("inflight lock") += 1;
+            on_event(format!("connection from {peer}"));
+            let opts = Arc::clone(&opts);
+            let on_event = &on_event;
+            let failed = &failed;
+            let inflight = &inflight;
+            let slot_freed = &slot_freed;
+            let done = &done;
+            let wake = &wake;
+            scope.spawn(move || {
+                match handle_conn(stream, &opts) {
+                    Ok(summary) => on_event(format!(
+                        "connection closed ({} sweeps, {} cache hits, {} computed)",
+                        summary.submits, summary.hits, summary.misses
+                    )),
+                    Err(e) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                        on_event(format!("connection failed: {e}"));
+                    }
+                }
+                *inflight.lock().expect("inflight lock") -= 1;
+                slot_freed.notify_one();
+                // This connection may have pushed the served count to the
+                // ceiling while the accept loop is blocked: wake it.
+                if done() {
+                    wake();
+                }
+            });
+        }
+        stop_waker.store(true, Ordering::Relaxed);
+        // Leaving the scope joins every handler thread: the drain.
+    });
+
+    ServeSummary {
+        connections: connections.load(Ordering::Relaxed),
+        submissions: served.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
     }
 }
 
@@ -553,6 +970,7 @@ mod tests {
         let opts = ServeOptions {
             threads: 2,
             cache_dir: Some(dir.clone()),
+            ..ServeOptions::default()
         };
         let (addr, server) = spawn_server(opts, 2);
         let mut spec = tiny_spec();
@@ -581,6 +999,7 @@ mod tests {
             &crate::ExecOptions {
                 threads: 2,
                 cache: Some(&cache),
+                ..crate::ExecOptions::default()
             },
             |_| {},
         )
@@ -714,5 +1133,274 @@ mod tests {
             Err(WireError::Spec(msg)) => assert!(msg.contains("instruction budget")),
             other => panic!("expected Spec error, got {other:?}"),
         }
+    }
+
+    /// A small 2-cell spec for service-level tests.
+    fn small_spec() -> SweepSpec {
+        let mut spec = tiny_spec();
+        spec.workloads.truncate(1);
+        spec.slice_buffer_entries = vec![128];
+        spec.l2_hit_latencies = vec![20];
+        spec
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("icfp-wire-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            retries: 8,
+            base_delay_ms: 100,
+            max_delay_ms: 1_500,
+            io_timeout_ms: 0,
+        };
+        let delays: Vec<u64> = (0..6)
+            .map(|k| backoff_delay(&policy, k).as_millis() as u64)
+            .collect();
+        assert_eq!(delays, vec![100, 200, 400, 800, 1_500, 1_500]);
+        // Pure function: same inputs, same schedule.
+        assert_eq!(backoff_delay(&policy, 3), backoff_delay(&policy, 3));
+        assert!(policy.io_timeout().is_none());
+        assert_eq!(
+            RetryPolicy::default().io_timeout(),
+            Some(Duration::from_secs(30))
+        );
+    }
+
+    #[test]
+    fn stalled_server_times_out_typed_and_stalled_client_is_reaped() {
+        // Client side: a server that accepts and then never speaks.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let policy = RetryPolicy {
+            retries: 0,
+            base_delay_ms: 1,
+            max_delay_ms: 1,
+            io_timeout_ms: 50,
+        };
+        let spec = small_spec();
+        match submit_with(&addr, &spec, 1, &policy, |_, _, _| {}) {
+            Err(WireError::Frame(FrameError::TimedOut)) => {}
+            other => panic!("expected typed timeout, got {other:?}"),
+        }
+        drop(hold.join());
+
+        // Server side: a client that connects and then stalls mid-frame is
+        // reaped with the same typed error — never a hung server thread.
+        let (addr, server) = spawn_server(
+            ServeOptions {
+                io_timeout: Some(Duration::from_millis(50)),
+                ..ServeOptions::default()
+            },
+            1,
+        );
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let errs = server.join().expect("server thread");
+        assert!(
+            errs[0].as_ref().unwrap_err().contains("deadline"),
+            "stalled peer is a typed timeout: {errs:?}"
+        );
+        drop(stream);
+    }
+
+    #[test]
+    fn client_retries_through_a_server_restart_with_identical_report() {
+        let dir = tmp_dir("retry-resume");
+        let spec = small_spec();
+        let local = run_sweep(&spec, 1).expect("local run");
+
+        // First server: armed to drop an outbound frame mid-stream (the
+        // shape of a crash), then exits.  Its sweep still completes into
+        // the shared cache.
+        let fault = Arc::new(FaultPlan::new().with_frame_fault(crate::fault::FrameFault {
+            // Frame 3 = Hello, Accepted, then mid-cell-stream.
+            frame_index: 3,
+            action: FrameAction::Drop,
+        }));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let opts = ServeOptions {
+            cache_dir: Some(dir.clone()),
+            fault: Some(Arc::clone(&fault)),
+            ..ServeOptions::default()
+        };
+        let first = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            handle_conn(stream, &opts)
+        });
+        // Second server on a new port — "restarted" on the same cache dir.
+        let listener2 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr2 = listener2.local_addr().expect("addr").to_string();
+        let opts2 = ServeOptions {
+            cache_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+        let second = std::thread::spawn(move || {
+            let (stream, _) = listener2.accept().expect("accept");
+            handle_conn(stream, &opts2)
+        });
+
+        // One `submit` against the faulted server fails retriably...
+        let err = submit(&addr, &spec, 1, |_, _, _| {}).expect_err("server severed mid-stream");
+        assert!(err.is_retriable(), "mid-stream sever retriable: {err}");
+        assert!(fault.frame_fault_fired());
+        first.join().expect("first server").expect_err("typed injected error");
+
+        // ...and `submit_with` against the restarted server resumes: the
+        // report is byte-identical to an uninterrupted local run, served
+        // from the cache the interrupted sweep populated.
+        let policy = RetryPolicy {
+            retries: 2,
+            base_delay_ms: 1,
+            max_delay_ms: 5,
+            io_timeout_ms: 30_000,
+        };
+        let outcome =
+            submit_with(&addr2, &spec, 1, &policy, |_, _, _| {}).expect("resumed submit");
+        assert_eq!(outcome.report.digest(), local.digest());
+        assert_eq!(outcome.hits, spec.cell_count() as u64, "resumed from cache");
+        assert_eq!(outcome.misses, 0);
+        second.join().expect("second server").expect("clean close");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_counts_only_served_submissions_toward_the_ceiling() {
+        // Satellite: a connection that fails the handshake must not count
+        // toward --max-conns; only completed submissions do.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            serve(
+                listener,
+                ServeOptions::default(),
+                AcceptOptions {
+                    max_inflight: 2,
+                    max_submissions: Some(1),
+                    shutdown: None,
+                },
+                |_| {},
+            )
+        });
+
+        // Hostile connection: garbage handshake — served, rejected, not
+        // counted.
+        {
+            use std::io::Write as _;
+            let mut stream = TcpStream::connect(&addr).expect("connect");
+            write_frame(&mut stream, b"not a request").expect("frame");
+            stream.flush().expect("flush");
+            let mut reader = BufReader::new(stream);
+            // Wait for the Error reply so the failure is fully processed
+            // before the real submission below.
+            match recv::<Response>(&mut reader).expect("reply") {
+                Some(Response::Error { .. }) => {}
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+
+        // A real submission reaches the ceiling and stops the server.
+        let spec = small_spec();
+        let outcome = submit(&addr, &spec, 1, |_, _, _| {}).expect("submit");
+        assert_eq!(outcome.report.cells.len(), spec.cell_count());
+
+        let summary = server.join().expect("serve returns");
+        assert_eq!(summary.submissions, 1, "only the served submission counts");
+        assert_eq!(summary.failed, 1, "the hostile conn is tallied as failed");
+        assert_eq!(summary.connections, 2);
+    }
+
+    #[test]
+    fn cache_hit_submission_is_not_blocked_behind_an_open_connection() {
+        // Tentpole: thread-per-connection means a held-open connection (or a
+        // long cold sweep) cannot serialize the whole service.  A sequential
+        // accept loop would deadlock this test.
+        let dir = tmp_dir("concurrent");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let opts = ServeOptions {
+            threads: 1,
+            cache_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+        let server = std::thread::spawn(move || {
+            serve(
+                listener,
+                opts,
+                AcceptOptions {
+                    max_inflight: 3,
+                    max_submissions: Some(2),
+                    shutdown: None,
+                },
+                |_| {},
+            )
+        });
+
+        // Occupy one connection slot: handshake, then hold the conversation
+        // open without submitting.
+        let hold = TcpStream::connect(&addr).expect("connect");
+        let mut hold_reader = BufReader::new(hold.try_clone().expect("clone"));
+        let mut hold_writer = BufWriter::new(hold);
+        send(
+            &mut hold_writer,
+            &Request::Hello {
+                version: WIRE_VERSION.into(),
+            },
+        )
+        .expect("hello");
+        assert!(matches!(
+            recv::<Response>(&mut hold_reader).expect("hello back"),
+            Some(Response::Hello { .. })
+        ));
+
+        // Both submissions complete while the first connection stays held.
+        let spec = small_spec();
+        let cold = submit(&addr, &spec, 1, |_, _, _| {}).expect("cold submit");
+        assert_eq!(cold.misses, spec.cell_count() as u64);
+        let warm = submit(&addr, &spec, 1, |_, _, _| {}).expect("warm submit");
+        assert_eq!(warm.hits, spec.cell_count() as u64, "shared cache");
+        assert_eq!(warm.report, cold.report);
+
+        // Release the held slot so the drain can finish.
+        drop(hold_writer);
+        drop(hold_reader);
+        let summary = server.join().expect("serve returns");
+        assert_eq!(summary.submissions, 2);
+        assert_eq!(summary.connections, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_flag_drains_and_stops_the_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let server = std::thread::spawn(move || {
+            serve(
+                listener,
+                ServeOptions::default(),
+                AcceptOptions {
+                    max_inflight: 2,
+                    max_submissions: None,
+                    shutdown: Some(flag),
+                },
+                |_| {},
+            )
+        });
+        // Serve one real submission first.
+        let spec = small_spec();
+        submit(&addr, &spec, 1, |_, _, _| {}).expect("submit");
+        // Raise the flag; the watcher wakes the accept loop and serve
+        // returns after the drain.
+        shutdown.store(true, Ordering::Relaxed);
+        let summary = server.join().expect("serve returns");
+        assert_eq!(summary.submissions, 1);
+        assert_eq!(summary.failed, 0);
     }
 }
