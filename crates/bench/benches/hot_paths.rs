@@ -60,6 +60,8 @@ fn filled_slicebuf(bit_of: impl Fn(usize) -> u8) -> SliceBuffer {
             seq_from_ckpt: k as u64,
             src1_value: Some(1),
             src2_value: None,
+            src1_producer: usize::MAX,
+            src2_producer: usize::MAX,
             store_color: 0,
             poison: PoisonMask::bit(bit_of(k)),
             active: true,
@@ -185,6 +187,135 @@ fn bench_hierarchy_hit_loop() {
     report("hierarchy/l1_hit_load", ns);
 }
 
+fn bench_batched_vs_per_step_engine() {
+    // Rung 2 of the raw-speed ladder: one `step_block` call over the whole
+    // arena versus one virtual `step` call per instruction, back-to-back on
+    // the same trace and model so the dispatch overhead is read directly.
+    use icfp_core::CoreModel;
+    let trace = icfp_workloads::dcache_thrash(5_000, 256 * 1024, 1);
+    let cur = icfp_isa::TraceCursor::from_trace(&trace);
+    let cfg = CoreModel::Icfp.default_config();
+    let batched = time_ns_per_iter(
+        || {
+            let mut e = CoreModel::Icfp.engine(&cfg);
+            let s = cur.arena_slice().expect("arena");
+            while e.step_block(&cur, s, 0, u64::MAX) {}
+            assert!(e.drain(&cur).stats.cycles > 0);
+        },
+        20,
+        3,
+    );
+    let per_step = time_ns_per_iter(
+        || {
+            let mut e = CoreModel::Icfp.engine(&cfg);
+            while e.step(&cur) {}
+            assert!(e.drain(&cur).stats.cycles > 0);
+        },
+        20,
+        3,
+    );
+    report("engine/icfp_5k_step_block(whole-arena)", batched);
+    report("engine/icfp_5k_step(per-inst)", per_step);
+}
+
+fn bench_trace_decode_v1_vs_v2() {
+    // Rung 4 of the raw-speed ladder: full sequential decode of the same
+    // 50k-instruction container in both block encodings (fresh reader per
+    // iteration so every block is a cache miss and the codec dominates).
+    use icfp_isa::{TraceCursor, TraceFile, TraceFileWriter, TraceFormat};
+    let trace = icfp_workloads::dcache_thrash(50_000, 256 * 1024, 1);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    for (label, format) in [("v1", TraceFormat::V1), ("v2", TraceFormat::V2)] {
+        let path = dir.join(format!("icfp-hotpath-decode-{pid}-{label}.trace"));
+        let s = TraceFileWriter::write_trace_as(&path, &trace, 4096, format).expect("write");
+        let ns = time_ns_per_iter(
+            || {
+                let f = TraceFile::open(&path).expect("open");
+                let cur = TraceCursor::new(&f);
+                let mut loads = 0usize;
+                cur.for_each_block_from(0, |_, insts| {
+                    loads += insts.iter().filter(|i| i.is_load()).count();
+                    true
+                });
+                assert!(loads > 0);
+            },
+            20,
+            3,
+        );
+        report(&format!("trace/decode_50k_{label}({}B)", s.bytes), ns);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+fn bench_async_vs_sync_prefetch() {
+    // Rung 3 of the raw-speed ladder: a full streamed simulation over the
+    // same on-disk container with the background decode thread (block k+1
+    // decodes while block k simulates) versus fully-inline decoding.
+    use icfp_isa::{TraceFile, TraceFileWriter, TraceFormat};
+    let trace = icfp_workloads::dcache_thrash(50_000, 256 * 1024, 1);
+    let path = std::env::temp_dir().join(format!(
+        "icfp-hotpath-prefetch-{}.trace",
+        std::process::id()
+    ));
+    TraceFileWriter::write_trace_as(&path, &trace, 4096, TraceFormat::V2).expect("write");
+    for (label, sync) in [("async", false), ("sync", true)] {
+        let ns = time_ns_per_iter(
+            || {
+                let f = if sync {
+                    TraceFile::open_sync(&path).expect("open")
+                } else {
+                    TraceFile::open(&path).expect("open")
+                };
+                let mut sim =
+                    icfp_sim::Simulator::new(icfp_sim::SimConfig::new(icfp_sim::CoreModel::InOrder));
+                let r = sim.run_source(&f);
+                assert!(r.cycles > 0);
+            },
+            5,
+            3,
+        );
+        report(&format!("trace/stream_sim_50k_{label}_prefetch"), ns);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+fn bench_functional_ff_vs_timed() {
+    // Rung 1 of the raw-speed ladder: chewing through the same instructions
+    // with the execute-only functional model versus the full timing model.
+    // The ratio is the warmup speedup `--fast-forward` buys per skipped
+    // instruction.
+    let trace = icfp_workloads::by_name("pointer-chase", 200_000, 1).expect("workload");
+    let cur = icfp_isa::TraceCursor::from_trace(&trace);
+    let n = trace.len();
+    let ff = time_ns_per_iter(
+        || {
+            let warm = icfp_sim::functional_warmup(&cur, n);
+            assert_eq!(warm.instructions, n as u64);
+        },
+        5,
+        3,
+    );
+    let timed = time_ns_per_iter(
+        || {
+            let mut sim = icfp_sim::Simulator::new(icfp_sim::SimConfig::new(
+                icfp_sim::CoreModel::Icfp,
+            ));
+            assert!(sim.run(&trace).cycles > 0);
+        },
+        2,
+        3,
+    );
+    report(
+        &format!("ff/functional_200k({:.0} MIPS)", n as f64 * 1e3 / ff),
+        ff,
+    );
+    report(
+        &format!("ff/timed_icfp_200k({:.1} MIPS)", n as f64 * 1e3 / timed),
+        timed,
+    );
+}
+
 fn bench_end_to_end_icfp() {
     let trace = icfp_workloads::dcache_thrash(5_000, 256 * 1024, 1);
     let ns = time_ns_per_iter(
@@ -207,5 +338,9 @@ fn main() {
     bench_regfile_poison_plane();
     bench_mshr_request_retire();
     bench_hierarchy_hit_loop();
+    bench_batched_vs_per_step_engine();
+    bench_trace_decode_v1_vs_v2();
+    bench_async_vs_sync_prefetch();
+    bench_functional_ff_vs_timed();
     bench_end_to_end_icfp();
 }

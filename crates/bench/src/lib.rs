@@ -153,6 +153,31 @@ pub fn bench_source(core: CoreModel, source: &dyn icfp_isa::TraceSource, reps: u
     }
 }
 
+/// [`bench_trace`] with a functional fast-forward prefix: each repetition
+/// architecturally executes the first `ff` instructions without the timing
+/// model and times the rest from a cold microarchitectural state (0 = fully
+/// cold; see [`icfp_sim::Simulator::run_source_ff`]).
+pub fn bench_trace_ff(core: CoreModel, trace: &icfp_isa::Trace, ff: usize, reps: u32) -> BenchRun {
+    BenchRun {
+        report: icfp_sim::median_run_ff(&SimConfig::new(core), trace, ff, reps),
+        reps: reps.max(1),
+    }
+}
+
+/// [`bench_source_ff`]: [`bench_source`] with a functional fast-forward
+/// prefix (see [`bench_trace_ff`]).
+pub fn bench_source_ff(
+    core: CoreModel,
+    source: &dyn icfp_isa::TraceSource,
+    ff: usize,
+    reps: u32,
+) -> BenchRun {
+    BenchRun {
+        report: icfp_sim::median_run_source_ff(&SimConfig::new(core), source, ff, reps),
+        reps: reps.max(1),
+    }
+}
+
 /// Geometric mean (`exp` of the mean of `ln`); 0 for an empty set.
 fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

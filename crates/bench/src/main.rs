@@ -6,24 +6,36 @@
 //! ```text
 //! icfp-bench [--smoke] [--insts N] [--reps N] [--seed N]
 //!            [--core NAME[,NAME...]] [--workload NAME[,NAME...]]
-//!            [--trace-file PATH[,PATH...]]
+//!            [--trace-file PATH[,PATH...]] [--fast-forward N]
 //!            [--out PATH] [--baseline PATH] [--max-regress-pct P]
 //!            [--sweep] [--warm-fork] [--sweep-slice N[,N...]]
 //!            [--sweep-mshr N[,N...]] [--sweep-l2 N[,N...]] [--threads N]
 //!            [--cache-dir DIR] [--ckpt-smoke] [--figures PATH]
 //! icfp-bench sweep submit --server ADDR [--retries N] [--retry-base-ms MS]
 //!            [--io-timeout-ms MS] [sweep flags as above]
-//! icfp-bench trace convert <in.bbp> <out.trace> [--block-size N] [--name S]
+//! icfp-bench trace convert <in.bbp|in.trace> <out.trace>
+//!            [--block-size N] [--name S] [--format v1|v2]
 //! icfp-bench trace info <file.trace>
 //! ```
 //!
-//! `--trace-file` benches an on-disk `icfp-trace/v1` container alongside (or
-//! instead of, with `--workload none`) the synthetic workloads, streaming it
-//! block by block — trace length is bounded by disk, not RAM.  `trace
-//! convert` imports the `icfp-bbp/v1` basic-block-profile text format into a
-//! container; `trace info` prints and verifies one.  `--figures` renders a
+//! `--trace-file` benches an on-disk `icfp-trace/v1` or `/v2` container
+//! alongside (or instead of, with `--workload none`) the synthetic workloads,
+//! streaming it block by block — trace length is bounded by disk, not RAM.
+//! `trace convert` imports the `icfp-bbp/v1` basic-block-profile text format
+//! into a container, or re-containers an existing trace file (the input is
+//! sniffed); `--format` picks the block encoding, so `convert a.trace b.trace
+//! --format v2` rewrites a v1 container as compressed v2 and back.  `trace
+//! info` prints and verifies one.  `--figures` renders a
 //! `BENCH_sweep.json` into the paper's Figure 6/7-style speedup-over-baseline
 //! tables (per-workload-class geomeans over the in-order model).
+//!
+//! `--fast-forward N` functionally executes the first N instructions of
+//! every benched trace (architectural registers + memory only, no timing
+//! model) and times the remainder from a cold microarchitectural state —
+//! the standard warmup-skipping methodology.  Final architectural state and
+//! state digests equal the cold full run's; cycle counts cover only the
+//! timed region.  With `--sweep` the same flag applies per cell and is part
+//! of each cell's warm-fork and result-cache identity.
 //!
 //! `--smoke` selects a small instruction budget (CI-friendly, a few seconds);
 //! the default "full" mode uses a larger budget for stable MIPS numbers.
@@ -50,7 +62,7 @@
 //! locally, reassembling the streamed cells into the identical report.
 
 use icfp_bench::{
-    bench_source, bench_trace, gate_against_baseline, machine_class, parse_baseline,
+    bench_source_ff, bench_trace_ff, gate_against_baseline, machine_class, parse_baseline,
     render_figures, sweep_det_cells, BenchSession, DetCell,
 };
 use icfp_isa::{TraceFile, TraceFileWriter, DEFAULT_BLOCK_INSTS};
@@ -74,6 +86,7 @@ struct Args {
     max_regress_pct: f64,
     sweep: bool,
     warm_fork: bool,
+    fast_forward: usize,
     ckpt_smoke: bool,
     figures: Option<String>,
     sweep_slice: Vec<usize>,
@@ -113,6 +126,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         max_regress_pct: 20.0,
         sweep: false,
         warm_fork: false,
+        fast_forward: 0,
         ckpt_smoke: false,
         figures: None,
         sweep_slice: vec![64, 128],
@@ -135,6 +149,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--smoke" => a.smoke = true,
             "--sweep" => a.sweep = true,
             "--warm-fork" => a.warm_fork = true,
+            "--fast-forward" => {
+                a.fast_forward = val("--fast-forward")?
+                    .parse()
+                    .map_err(|e| format!("--fast-forward: {e}"))?
+            }
             "--ckpt-smoke" => a.ckpt_smoke = true,
             "--insts" => {
                 a.insts = val("--insts")?
@@ -214,6 +233,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 println!(
                     "usage: icfp-bench [--smoke] [--insts N] [--reps N] [--seed N] \
                      [--core NAMES] [--workload NAMES|none] [--trace-file PATHS] \
+                     [--fast-forward N] \
                      [--out PATH] [--baseline PATH] [--max-regress-pct P] \
                      [--sweep] [--warm-fork] [--sweep-slice NS] [--sweep-mshr NS] \
                      [--sweep-l2 NS] [--threads N] [--cache-dir DIR] \
@@ -224,8 +244,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                      \u{20}      sweep submit exit codes: 2 invalid spec/usage, \
                      3 connect/transport failed, 4 protocol/digest mismatch, \
                      5 server-reported error\n\
-                     \u{20}      icfp-bench trace convert <in.bbp> <out.trace> \
-                     [--block-size N] [--name S]\n\
+                     \u{20}      icfp-bench trace convert <in.bbp|in.trace> <out.trace> \
+                     [--block-size N] [--name S] [--format v1|v2]\n\
                      \u{20}      icfp-bench trace info <file.trace>\n\
                      core models: {}\n\
                      workloads:   {}",
@@ -314,6 +334,7 @@ fn sweep_spec_of(args: &Args) -> SweepSpec {
     spec.l2_hit_latencies = args.sweep_l2.clone();
     spec.reps = args.reps;
     spec.warm_fork = args.warm_fork;
+    spec.fast_forward = args.fast_forward;
     spec
 }
 
@@ -440,11 +461,24 @@ fn run_sweep_submit(args: &Args) {
 
 /// `--ckpt-smoke`: for every (model × standard workload) pair, run the front
 /// half, checkpoint through the full `icfp-ckpt/v1` byte encoding, resume,
-/// and require cycles and state digest to match an uninterrupted run.
+/// and require cycles and state digest to match an uninterrupted run.  With
+/// `--fast-forward N` both runs skip the first N instructions functionally
+/// first, so the round-trip covers checkpoints minted after a warmup skip.
 fn run_ckpt_smoke(args: &Args) {
-    let insts = args.insts.min(5_000);
+    let ff = args.fast_forward;
+    // Bound the *timed* region for CI time; fast-forwarded instructions are
+    // cheap and deliberately uncapped (the CI step skips a million of them).
+    let insts = ff + args.insts.saturating_sub(ff).min(5_000);
     let mut failures = 0u32;
-    println!("ckpt-smoke: insts={insts} seed={:#x}", args.seed);
+    println!(
+        "ckpt-smoke: insts={insts} seed={:#x}{}",
+        args.seed,
+        if ff > 0 {
+            format!(" fast-forward={ff}")
+        } else {
+            String::new()
+        }
+    );
     for model in CoreModel::ALL {
         for wl in icfp_workloads::STANDARD_NAMES {
             let trace = match icfp_workloads::by_name_or_err(wl, insts, args.seed) {
@@ -455,11 +489,17 @@ fn run_ckpt_smoke(args: &Args) {
                 }
             };
             let config = SimConfig::new(model);
-            let reference = Simulator::new(config.clone()).run(&trace);
+            let reference = Simulator::new(config.clone()).run_ff(&trace, ff);
 
             let mut sim = Simulator::new(config);
             sim.load(trace.clone());
-            sim.advance_to_inst(trace.len() / 2);
+            if ff > 0 {
+                sim.fast_forward(ff).expect("fresh loaded engine seeds");
+            }
+            // Checkpoint from the middle of the timed region so the resume
+            // carries both the seeded architectural state and live timing.
+            sim.advance_to_inst(ff + (trace.len() - ff) / 2)
+                .expect("trace was just loaded");
             let ckpt = sim.checkpoint().expect("mid-run checkpoint");
             let bytes = ckpt.to_bytes();
             let ckpt = SimCheckpoint::from_bytes(&bytes).expect("container round-trip");
@@ -493,11 +533,35 @@ fn run_ckpt_smoke(args: &Args) {
     println!("ckpt-smoke: all save->restore->run round-trips bit-identical");
 }
 
+/// Prints the functional fast-forward rate over one cursor: how fast the
+/// execute-only warmup chews through the leading `ff` instructions.
+fn report_ff_rate(label: &str, cursor: &icfp_isa::TraceCursor<'_>, ff: usize) {
+    let t0 = std::time::Instant::now();
+    let warm = icfp_sim::functional_warmup(cursor, ff);
+    let secs = t0.elapsed().as_secs_f64();
+    let mips = if secs > 0.0 {
+        warm.instructions as f64 / secs / 1.0e6
+    } else {
+        0.0
+    };
+    println!(
+        "  [fast-forward] {label}: {} insts functionally in {secs:.3}s ({mips:.1} MIPS)",
+        warm.instructions
+    );
+}
+
 fn run_standard_mode(args: &Args) {
     let mode = if args.smoke { "smoke" } else { "full" };
     println!(
-        "icfp-bench: mode={mode} insts={} reps={} seed={:#x}",
-        args.insts, args.reps, args.seed
+        "icfp-bench: mode={mode} insts={} reps={} seed={:#x}{}",
+        args.insts,
+        args.reps,
+        args.seed,
+        if args.fast_forward > 0 {
+            format!(" fast-forward={}", args.fast_forward)
+        } else {
+            String::new()
+        }
     );
 
     let mut session = BenchSession {
@@ -512,8 +576,11 @@ fn run_standard_mode(args: &Args) {
                 std::process::exit(2);
             }
         };
+        if args.fast_forward > 0 {
+            report_ff_rate(wl, &icfp_isa::TraceCursor::from_trace(&trace), args.fast_forward);
+        }
         for &core in &args.cores {
-            let run = bench_trace(core, &trace, args.reps);
+            let run = bench_trace_ff(core, &trace, args.fast_forward, args.reps);
             println!("  {}", run.report.summary());
             session.runs.push(run);
         }
@@ -529,10 +596,23 @@ fn run_standard_mode(args: &Args) {
             }
         };
         println!("  [trace-file] {}", file.summary());
+        if args.fast_forward > 0 {
+            report_ff_rate(path, &icfp_isa::TraceCursor::new(&file), args.fast_forward);
+        }
         for &core in &args.cores {
-            let run = bench_source(core, &file, args.reps);
+            let run = bench_source_ff(core, &file, args.fast_forward, args.reps);
             println!("  {}", run.report.summary());
             session.runs.push(run);
+        }
+        // The streamed-trace memory story in one line: how many decoded
+        // blocks (and bytes) were ever simultaneously resident across every
+        // run above — the bound that holds however long the trace is.
+        if let Some(r) = icfp_isa::TraceSource::residency(&file) {
+            println!(
+                "  [residency] {path}: peak {} resident blocks, {:.1} KiB decoded high-water",
+                r.peak(),
+                r.peak_bytes() as f64 / 1024.0
+            );
         }
     }
 
@@ -579,6 +659,7 @@ fn run_trace_subcommand(argv: &[String]) {
         Some("convert") => {
             let mut block_size = DEFAULT_BLOCK_INSTS;
             let mut name: Option<String> = None;
+            let mut format = icfp_isa::TraceFormat::V1;
             let mut pos: Vec<&String> = Vec::new();
             let mut it = argv[1..].iter();
             while let Some(a) = it.next() {
@@ -591,12 +672,30 @@ fn run_trace_subcommand(argv: &[String]) {
                         Some(v) => name = Some(v.clone()),
                         None => fail("--name takes a value"),
                     },
+                    "--format" => match it.next().map(|v| icfp_isa::TraceFormat::parse(v)) {
+                        Some(Some(f)) => format = f,
+                        _ => fail("--format takes v1 or v2"),
+                    },
                     _ => pos.push(a),
                 }
             }
             let [input, output] = pos[..] else {
-                fail("convert takes <in.bbp> <out.trace>");
+                fail("convert takes <in.bbp|in.trace> <out.trace>");
             };
+            // An existing container re-containers directly (v1 <-> v2 or a
+            // re-block); anything else is parsed as icfp-bbp/v1 text.
+            if let Ok(src) = TraceFile::open(input) {
+                let from = src.format();
+                match TraceFileWriter::write_source_as(output, &src, block_size, format) {
+                    Ok(s) => println!(
+                        "converted {input} [{from}] -> {output} [{format}]: {} insts in {} \
+                         blocks of {block_size}, digest {:#018x} ({} bytes)",
+                        s.instructions, s.blocks, s.digest, s.bytes
+                    ),
+                    Err(e) => fail(&format!("{output}: {e}")),
+                }
+                return;
+            }
             let text = match std::fs::read_to_string(input) {
                 Ok(t) => t,
                 Err(e) => fail(&format!("{input}: {e}")),
@@ -625,10 +724,11 @@ fn run_trace_subcommand(argv: &[String]) {
             let trace_name = name
                 .or_else(|| program.name.clone())
                 .unwrap_or(stem);
-            let writer = match TraceFileWriter::create(output, &trace_name, block_size) {
-                Ok(w) => w,
-                Err(e) => fail(&format!("{output}: {e}")),
-            };
+            let writer =
+                match TraceFileWriter::create_as(output, &trace_name, block_size, format) {
+                    Ok(w) => w,
+                    Err(e) => fail(&format!("{output}: {e}")),
+                };
             let mut sink = FileSink {
                 writer,
                 error: None,
@@ -639,8 +739,8 @@ fn run_trace_subcommand(argv: &[String]) {
             }
             match sink.writer.finish() {
                 Ok(s) => println!(
-                    "converted {input} -> {output}: {} insts in {} blocks of {block_size}, \
-                     digest {:#018x} ({} bytes)",
+                    "converted {input} -> {output} [{format}]: {} insts in {} blocks of \
+                     {block_size}, digest {:#018x} ({} bytes)",
                     s.instructions, s.blocks, s.digest, s.bytes
                 ),
                 Err(e) => fail(&format!("{output}: {e}")),
@@ -664,7 +764,7 @@ fn run_trace_subcommand(argv: &[String]) {
                 Err(e) => fail(&format!("{path}: {e}")),
             }
         }
-        _ => fail("usage: icfp-bench trace convert <in.bbp> <out.trace> [--block-size N] [--name S] | trace info <file>"),
+        _ => fail("usage: icfp-bench trace convert <in.bbp|in.trace> <out.trace> [--block-size N] [--name S] [--format v1|v2] | trace info <file>"),
     }
 }
 

@@ -70,7 +70,10 @@ fn convert_then_simulate_matches_in_memory_expansion() {
         assert_eq!(from_arena.state_digest, from_file.state_digest, "{model}");
         assert_eq!(from_arena.instructions, from_file.instructions, "{model}");
     }
+    // The MRU cache (4), at most one decode in flight (demand and prefetch
+    // decodes serialize under the cache lock), and the one block the driver
+    // pins while the cache churns past it.
     let peak = file.residency().expect("file source counts").peak();
-    assert!(peak <= 5, "peak resident blocks {peak}");
+    assert!(peak <= 6, "peak resident blocks {peak}");
     let _ = std::fs::remove_file(&path);
 }

@@ -145,16 +145,19 @@ impl BranchPredictor {
     /// mis-predicted (direction or, for taken branches, target).
     pub fn update(&mut self, pc: Addr, taken: bool, target: Addr) -> bool {
         self.stats.predictions += 1;
-        let pred = self.predict(pc);
-        let dir_wrong = pred.taken != taken;
+        // `PpmPredictor::update` reports the direction it would have
+        // predicted before training, so resolving a branch costs one table
+        // walk instead of a separate predict + update pass.
+        let target_pred = self.btb.lookup(pc);
+        let dir_pred = self.ppm.update(pc, taken);
+        let dir_wrong = dir_pred != taken;
         if dir_wrong {
             self.stats.direction_mispredicts += 1;
         }
-        let target_wrong = taken && pred.target != Some(target);
+        let target_wrong = taken && target_pred != Some(target);
         if target_wrong && !dir_wrong {
             self.stats.target_mispredicts += 1;
         }
-        self.ppm.update(pc, taken);
         if taken {
             self.btb.insert(pc, target);
         }

@@ -100,8 +100,34 @@ impl PpmConfig {
         if self.history_lengths.is_empty() {
             return Err("ppm needs at least one tagged history length".into());
         }
+        if self.history_lengths.len() > MAX_TABLES {
+            return Err(format!(
+                "ppm supports at most {MAX_TABLES} tagged history lengths, got {}",
+                self.history_lengths.len()
+            ));
+        }
         Ok(())
     }
+}
+
+/// Upper bound on the number of tagged tables, so per-branch lookups can use
+/// fixed stack arrays instead of heap scratch.  The paper's configuration uses
+/// 3 tables; [`PpmConfig::validate`] rejects geometries above this bound.
+pub const MAX_TABLES: usize = 16;
+
+/// Per-table indices and tags for one branch PC, computed once per lookup.
+///
+/// Index and tag hashing each fold the global history register, so computing
+/// them is the expensive part of a prediction.  `predict` + `update` used to
+/// redo this walk three times per resolved branch; a `Lookup` is computed once
+/// and shared across provider selection, the prediction read, provider
+/// training and mis-prediction allocation.
+struct Lookup {
+    tables: usize,
+    idx: [u32; MAX_TABLES],
+    tag: [u16; MAX_TABLES],
+    /// Longest-history table whose entry tag-matches, if any.
+    provider: Option<usize>,
 }
 
 /// The tag mask for a tag of `tag_bits` bits.  Written with an explicit
@@ -174,32 +200,57 @@ impl PpmPredictor {
         ((pc >> 2) as usize) & ((1 << self.config.base_bits) - 1)
     }
 
-    /// Finds the providing table: the longest-history tagged table whose entry
-    /// tag-matches `pc`.  Returns `None` if only the base table applies.
-    fn provider(&self, pc: Addr) -> Option<usize> {
-        (0..self.tagged.len()).rev().find(|&t| {
-            let e = &self.tagged[t][self.tagged_index(pc, t)];
-            e.valid && e.tag == self.tag_of(pc, t)
-        })
+    /// Computes every table's index and tag for `pc` (one history-fold walk)
+    /// and finds the providing table: the longest-history tagged table whose
+    /// entry tag-matches.
+    fn lookup(&self, pc: Addr) -> Lookup {
+        let tables = self.tagged.len();
+        let mut lk = Lookup {
+            tables,
+            idx: [0; MAX_TABLES],
+            tag: [0; MAX_TABLES],
+            provider: None,
+        };
+        for t in 0..tables {
+            let idx = self.tagged_index(pc, t);
+            let tag = self.tag_of(pc, t);
+            lk.idx[t] = idx as u32;
+            lk.tag[t] = tag;
+            let e = &self.tagged[t][idx];
+            if e.valid && e.tag == tag {
+                // Tables are walked shortest-history first; the last match is
+                // the longest-history provider.
+                lk.provider = Some(t);
+            }
+        }
+        lk
     }
 
-    /// Predicts the direction of the branch at `pc`.
-    pub fn predict(&self, pc: Addr) -> bool {
-        match self.provider(pc) {
-            Some(t) => self.tagged[t][self.tagged_index(pc, t)].counter >= 4,
+    /// Reads the prediction out of an already-computed [`Lookup`].
+    fn predict_from(&self, lk: &Lookup, pc: Addr) -> bool {
+        match lk.provider {
+            Some(t) => self.tagged[t][lk.idx[t] as usize].counter >= 4,
             None => self.base[self.base_index(pc)] >= 2,
         }
     }
 
-    /// Updates the predictor with the resolved direction of the branch at `pc`.
-    pub fn update(&mut self, pc: Addr, taken: bool) {
-        let predicted = self.predict(pc);
-        let provider = self.provider(pc);
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: Addr) -> bool {
+        let lk = self.lookup(pc);
+        self.predict_from(&lk, pc)
+    }
 
-        match provider {
+    /// Updates the predictor with the resolved direction of the branch at
+    /// `pc`, and returns the direction it predicted *before* the update — so
+    /// resolving a branch needs a single table walk, not separate
+    /// `predict` + `update` passes.
+    pub fn update(&mut self, pc: Addr, taken: bool) -> bool {
+        let lk = self.lookup(pc);
+        let predicted = self.predict_from(&lk, pc);
+
+        match lk.provider {
             Some(t) => {
-                let idx = self.tagged_index(pc, t);
-                let e = &mut self.tagged[t][idx];
+                let e = &mut self.tagged[t][lk.idx[t] as usize];
                 e.counter = bump3(e.counter, taken);
                 e.useful = predicted == taken;
             }
@@ -212,14 +263,12 @@ impl PpmPredictor {
         // On a mis-prediction, allocate in a table with longer history than
         // the provider (PPM/TAGE-style allocation).
         if predicted != taken {
-            let start = provider.map(|t| t + 1).unwrap_or(0);
-            for t in start..self.tagged.len() {
-                let idx = self.tagged_index(pc, t);
-                let tag = self.tag_of(pc, t);
-                let e = &mut self.tagged[t][idx];
+            let start = lk.provider.map(|t| t + 1).unwrap_or(0);
+            for t in start..lk.tables {
+                let e = &mut self.tagged[t][lk.idx[t] as usize];
                 if !e.valid || !e.useful {
                     *e = TaggedEntry {
-                        tag,
+                        tag: lk.tag[t],
                         counter: if taken { 4 } else { 3 },
                         useful: false,
                         valid: true,
@@ -230,6 +279,7 @@ impl PpmPredictor {
         }
 
         self.history = (self.history << 1) | u64::from(taken);
+        predicted
     }
 
     /// Number of tagged tables.
@@ -334,6 +384,7 @@ mod tests {
             (|c| c.base_bits = 0, "base_bits"),
             (|c| c.tagged_bits = 40, "tagged_bits"),
             (|c| c.history_lengths.clear(), "history length"),
+            (|c| c.history_lengths = vec![2; MAX_TABLES + 1], "history lengths"),
         ] {
             let mut cfg = PpmConfig::tiny();
             mutate(&mut cfg);
@@ -341,6 +392,21 @@ mod tests {
             assert!(err.contains(what), "{what}: {err}");
             let result = std::panic::catch_unwind(|| PpmPredictor::new(cfg.clone()));
             assert!(result.is_err(), "{what} must be rejected at construction");
+        }
+    }
+
+    #[test]
+    fn update_returns_the_pre_update_prediction() {
+        let mut p = PpmPredictor::new(PpmConfig::tiny());
+        let mut x = 0xdeadbeefu64;
+        for _ in 0..256 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pc = 0x100 + (x % 8) * 4;
+            let taken = x & 2 != 0;
+            let before = p.predict(pc);
+            assert_eq!(p.update(pc, taken), before);
         }
     }
 

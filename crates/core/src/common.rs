@@ -8,7 +8,7 @@
 //! *what they do* around cache misses — which is exactly the paper's point.
 
 use crate::config::CoreConfig;
-use icfp_isa::{exec, Addr, Cycle, DynInst, FunctionalMemory, OpClass, Trace, TraceCursor, Value};
+use icfp_isa::{exec, Addr, Cycle, DynInst, FunctionalMemory, OpClass, Reg, Trace, TraceCursor, Value};
 use icfp_mem::{AccessOutcome, MemError, MemoryHierarchy, MshrId};
 use icfp_pipeline::{
     FetchEngine, IssueSchedule, PoisonMask, RunResult, RunStats, TimedRegFile,
@@ -89,6 +89,20 @@ impl Engine {
         exec::compute(inst, s1, s2, |a| self.arch_mem.read(a))
     }
 
+    /// Installs a functionally fast-forwarded architectural state into this
+    /// (fresh) engine: every register holds its warmed value, ready at cycle
+    /// 0 as if produced before the timed region began, and architectural
+    /// memory is the warmed image.  Timing state — caches, predictors,
+    /// statistics, the issue schedule — stays cold; that is the point of
+    /// functional fast-forward, and why seeded runs match cold runs on final
+    /// architectural state but intentionally not on cycle counts.
+    pub fn seed_arch(&mut self, warm: &exec::ArchState) {
+        for r in Reg::all() {
+            self.rf.write(r, warm.reg(r), 0, 0);
+        }
+        self.arch_mem = warm.mem.clone();
+    }
+
     /// Allocates an issue slot at or after `earliest`, maintaining in-order
     /// issue, and returns the issue cycle.
     pub fn issue_at(&mut self, class: OpClass, earliest: Cycle) -> Cycle {
@@ -166,6 +180,17 @@ impl Engine {
             final_mem,
         }
     }
+}
+
+/// Seeds `eng` from a functional fast-forward state, if one was supplied,
+/// and returns the trace index the timed run starts at (0 when cold).  The
+/// shared prologue of every whole-trace model's
+/// [`crate::Core::run_cursor_from`].
+pub fn seed_start(eng: &mut Engine, warm: Option<&exec::ArchState>, len: usize) -> usize {
+    warm.map_or(0, |w| {
+        eng.seed_arch(w);
+        (w.instructions as usize).min(len)
+    })
 }
 
 /// Runs the architectural golden model over a trace, returning the final

@@ -19,7 +19,7 @@ use crate::multipass::MultipassCore;
 use crate::runahead::RunaheadCore;
 use crate::sltp::SltpCore;
 use crate::Core;
-use icfp_isa::{Cycle, Trace, TraceCursor};
+use icfp_isa::{exec::ArchState, Cycle, DynInst, Trace, TraceCursor};
 use icfp_pipeline::{RunResult, RunStats};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -169,6 +169,55 @@ pub trait CoreEngine: Send {
     /// Panics if called after [`CoreEngine::drain`].
     fn step(&mut self, trace: &TraceCursor<'_>) -> bool;
 
+    /// Advances the engine through a prefetched block of instructions:
+    /// `insts[k]` is the dynamic instruction at trace position `first + k`,
+    /// and the slice must start at (or before) the engine's next unprocessed
+    /// instruction.  An empty slice is valid once the first pass has moved
+    /// past `first` — the engine then drains pending work one unit at a time.
+    ///
+    /// Steps until the slice is consumed, the cycle budget `until` is
+    /// reached, or the run completes; returns `false` once the trace is
+    /// fully retired (same contract as [`CoreEngine::step`]).
+    ///
+    /// The default implementation loops [`CoreEngine::step`]; incremental
+    /// models override it to skip the per-instruction virtual call and
+    /// cursor dispatch — the batched-stepping fast path `icfp-sim` drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`CoreEngine::drain`].
+    fn step_block(
+        &mut self,
+        trace: &TraceCursor<'_>,
+        insts: &[DynInst],
+        first: usize,
+        until: Cycle,
+    ) -> bool {
+        let end = first + insts.len();
+        while self.cycle() < until {
+            if !self.step(trace) {
+                return false;
+            }
+            if self.processed() >= end {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Installs the outcome of a functional fast-forward into a *fresh*
+    /// engine: architectural registers and memory as of trace position
+    /// `warm.instructions`, every timing structure cold, the timed run
+    /// starting there.  The final architectural state (and therefore
+    /// [`CoreEngine::digest`]) of the seeded run equals the cold full run's;
+    /// cycle counts cover only the timed region — that is the point.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the engine has already stepped, been drained, or been
+    /// seeded/restored — a seed replaces the initial state only.
+    fn seed(&mut self, warm: &ArchState) -> Result<(), String>;
+
     /// The current simulated cycle (final cycle count once finished).
     fn cycle(&self) -> Cycle;
 
@@ -248,6 +297,26 @@ impl CoreEngine for IcfpEngine {
             .step(trace)
     }
 
+    fn step_block(
+        &mut self,
+        trace: &TraceCursor<'_>,
+        insts: &[DynInst],
+        first: usize,
+        until: Cycle,
+    ) -> bool {
+        self.machine
+            .as_mut()
+            .expect("CoreEngine::step_block after drain")
+            .step_slice(trace, insts, first, until)
+    }
+
+    fn seed(&mut self, warm: &ArchState) -> Result<(), String> {
+        self.machine
+            .as_mut()
+            .ok_or("cannot seed a drained engine")?
+            .seed(warm)
+    }
+
     fn cycle(&self) -> Cycle {
         self.machine
             .as_ref()
@@ -309,6 +378,9 @@ struct WholeTraceEngine {
     model: CoreModel,
     core: Box<dyn Core + Send>,
     result: Option<RunResult>,
+    /// Functional fast-forward state installed before the run, if any; the
+    /// run's first step hands it to [`Core::run_cursor_from`].
+    seed: Option<ArchState>,
     drained: bool,
     /// Cycle/instruction counts cached at drain time so the accessors stay
     /// valid afterwards (same contract as `IcfpEngine`).
@@ -322,6 +394,7 @@ impl WholeTraceEngine {
             model,
             core,
             result: None,
+            seed: None,
             drained: false,
             final_cycle: 0,
             final_processed: 0,
@@ -330,7 +403,7 @@ impl WholeTraceEngine {
 
     fn run_once(&mut self, trace: &TraceCursor<'_>) {
         if self.result.is_none() {
-            self.result = Some(self.core.run_cursor(trace));
+            self.result = Some(self.core.run_cursor_from(trace, self.seed.as_ref()));
         }
     }
 }
@@ -346,6 +419,14 @@ impl CoreEngine for WholeTraceEngine {
         false
     }
 
+    fn seed(&mut self, warm: &ArchState) -> Result<(), String> {
+        if self.drained || self.result.is_some() || self.seed.is_some() {
+            return Err("functional fast-forward requires a fresh engine".into());
+        }
+        self.seed = Some(warm.clone());
+        Ok(())
+    }
+
     fn cycle(&self) -> Cycle {
         self.result
             .as_ref()
@@ -353,9 +434,17 @@ impl CoreEngine for WholeTraceEngine {
     }
 
     fn processed(&self) -> usize {
-        self.result
+        if let Some(r) = &self.result {
+            return r.stats.instructions as usize;
+        }
+        if self.drained {
+            return self.final_processed;
+        }
+        // Seeded but not yet run: the first pass stands at the seed's trace
+        // position (checkpoints taken here resume there).
+        self.seed
             .as_ref()
-            .map_or(self.final_processed, |r| r.stats.instructions as usize)
+            .map_or(self.final_processed, |s| s.instructions as usize)
     }
 
     fn stats(&self) -> Option<&RunStats> {
@@ -376,14 +465,15 @@ impl CoreEngine for WholeTraceEngine {
         if self.drained {
             return Err("cannot save a drained engine".into());
         }
-        // Whole-trace models have exactly two resumable states: not started
-        // (the core itself is stateless until `run`) and finished-but-not-
-        // drained.  Both are captured by the optional result.
+        // Whole-trace models have exactly three resumable states: not
+        // started (the core itself is stateless until `run`), seeded by a
+        // functional fast-forward but not yet run, and finished-but-not-
+        // drained.  All are captured by the optional result + optional seed.
         Ok(EngineSnapshot {
             model: self.model,
             cycle: self.cycle(),
             processed: self.processed() as u64,
-            bytes: serde::to_bytes(&self.result),
+            bytes: serde::to_bytes(&(self.result.clone(), self.seed.clone())),
         })
     }
 
@@ -394,8 +484,11 @@ impl CoreEngine for WholeTraceEngine {
                 snapshot.model, self.model
             ));
         }
-        self.result = serde::from_bytes(&snapshot.bytes)
-            .map_err(|e| format!("decoding {} snapshot: {e}", self.model))?;
+        let (result, seed): (Option<RunResult>, Option<ArchState>) =
+            serde::from_bytes(&snapshot.bytes)
+                .map_err(|e| format!("decoding {} snapshot: {e}", self.model))?;
+        self.result = result;
+        self.seed = seed;
         self.drained = false;
         self.final_cycle = 0;
         self.final_processed = 0;
@@ -614,6 +707,58 @@ mod tests {
         assert_eq!(resumed.stats, reference.stats);
         assert_eq!(resumed.final_regs, reference.final_regs);
         assert_eq!(resumed.final_mem, reference.final_mem);
+    }
+
+    #[test]
+    fn step_block_matches_per_step_stepping_for_every_model() {
+        // Feed deliberately tiny (7-inst) slices so batched runs cross slice
+        // boundaries mid-episode; results must be bit-identical to the
+        // per-step reference for all models (whole-trace models ignore the
+        // slice and finish on the first call).
+        let t = missy_trace();
+        for m in CoreModel::ALL {
+            let cfg = m.default_config();
+            let reference = run_model(m, &cfg, &t);
+            let c = cur(&t);
+            let s = c.arena_slice().expect("arena-backed cursor");
+            let mut e = m.engine(&cfg);
+            loop {
+                let i = e.processed();
+                let end = (i + 7).min(s.len());
+                let alive = if i >= s.len() {
+                    e.step_block(&c, &[], i, Cycle::MAX)
+                } else {
+                    e.step_block(&c, &s[i..end], i, Cycle::MAX)
+                };
+                if !alive {
+                    break;
+                }
+            }
+            let r = e.drain(&c);
+            assert_eq!(r.stats, reference.stats, "{m} stats diverged");
+            assert_eq!(
+                r.state_digest(),
+                reference.state_digest(),
+                "{m} digest diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn step_block_honours_the_cycle_budget() {
+        let t = missy_trace();
+        let cfg = CoreModel::Icfp.default_config();
+        let c = cur(&t);
+        let s = c.arena_slice().expect("arena-backed cursor");
+        let mut e = CoreModel::Icfp.engine(&cfg);
+        let alive = e.step_block(&c, s, 0, 50);
+        assert!(alive, "a 50-cycle budget cannot finish this trace");
+        assert!(e.cycle() >= 50, "budget reached");
+        assert!(e.processed() < s.len(), "run must be mid-trace");
+        // Lifting the budget finishes the run.
+        while e.step_block(&c, &s[e.processed().min(s.len())..], e.processed(), Cycle::MAX) {}
+        let r = e.drain(&c);
+        assert_eq!(r.stats.instructions, t.len() as u64);
     }
 
     #[test]

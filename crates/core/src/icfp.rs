@@ -21,14 +21,14 @@
 
 use crate::common::Engine;
 use crate::config::CoreConfig;
+use crate::fxmap::FxHashMap;
 use crate::slicebuf::{SliceBuffer, SliceEntry};
 use crate::storebuf::ChainedStoreBuffer;
 use crate::Core;
-use icfp_isa::{exec, Cycle, DynInst, InstSeq, OpClass, TraceCursor, Value};
+use icfp_isa::{exec, exec::ArchState, Cycle, DynInst, InstSeq, OpClass, TraceCursor, Value};
 use icfp_mem::MshrId;
 use icfp_pipeline::{PoisonAllocator, PoisonMask, RunResult};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The iCFP core: a thin [`Core`] wrapper around [`IcfpMachine`].
 #[derive(Debug)]
@@ -49,8 +49,17 @@ impl Core for IcfpCore {
         "icfp"
     }
 
-    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
+    fn run_cursor_from(&mut self, trace: &TraceCursor<'_>, warm: Option<&ArchState>) -> RunResult {
         let mut m = IcfpMachine::new(&self.cfg);
+        if let Some(w) = warm {
+            m.seed(w).expect("a just-created machine accepts a seed");
+        }
+        // Batched first pass: one `step_slice` call per block (arena sources
+        // are a single call).  The trailing step loop is a safety net for
+        // empty traces and any rallies the last block left pending.
+        trace.for_each_block_from(m.processed().min(trace.len()), |first, insts| {
+            m.step_slice(trace, insts, first, Cycle::MAX)
+        });
         while m.step(trace) {}
         m.finish(trace)
     }
@@ -68,12 +77,15 @@ struct PendingRally {
 /// position.  This models the paper's slice-buffer data storage: a rallying
 /// instruction reads "pending from slice" operands from here.
 ///
-/// Backed by a `HashMap` whose capacity is retained across rallies (cleared,
-/// not dropped, at episode boundaries), so steady-state rally passes perform
-/// O(1) lookups and no per-cycle allocation.
+/// Backed by an [`FxHashMap`] (fast non-cryptographic hash — rally passes
+/// probe it up to three times per rallied instruction) whose capacity is
+/// retained across rallies (cleared, not dropped, at episode boundaries), so
+/// steady-state rally passes perform O(1) lookups and no per-cycle
+/// allocation.  The serde codec writes entries sorted by key, so checkpoint
+/// bytes are independent of the hasher.
 #[derive(Debug, Default, Serialize, Deserialize)]
 struct SliceValues {
-    vals: HashMap<usize, (Value, Cycle)>,
+    vals: FxHashMap<usize, (Value, Cycle)>,
 }
 
 impl SliceValues {
@@ -103,14 +115,11 @@ pub struct IcfpMachine {
     palloc: PoisonAllocator,
     /// Misses awaiting their rally, unordered (bounded by MSHR count).
     rallies: Vec<PendingRally>,
-    /// For each sliced instruction: the trace indices that produce its
-    /// poisoned source operands (`usize::MAX` = operand was captured/absent).
-    /// Capacity is retained across episodes.
-    producers: HashMap<usize, (usize, usize)>,
     /// Results of re-executed slice instructions (the slice data storage).
     slice_values: SliceValues,
-    /// Scratch: entries selected for the current rally pass (capacity reused).
-    rally_scratch: Vec<SliceEntry>,
+    /// Scratch: `(physical slot, entry)` pairs selected for the current rally
+    /// pass (capacity reused); the slot gives O(1) retire/re-poison.
+    rally_scratch: Vec<(u32, SliceEntry)>,
     /// Scratch: stores drained from the store buffer this step.
     drain_scratch: Vec<(u64, Value)>,
     /// Next trace index to process.
@@ -133,7 +142,6 @@ impl IcfpMachine {
             ),
             palloc: PoisonAllocator::new(cfg.features.poison_vector_width.clamp(1, 16)),
             rallies: Vec::with_capacity(cfg.mem.max_outstanding_misses),
-            producers: HashMap::new(),
             slice_values: SliceValues::default(),
             rally_scratch: Vec::with_capacity(cfg.slice_buffer_entries),
             drain_scratch: Vec::with_capacity(cfg.store_buffer_entries),
@@ -141,6 +149,25 @@ impl IcfpMachine {
             in_episode: false,
             done: false,
         }
+    }
+
+    /// Installs a functional fast-forward state: architectural registers and
+    /// memory as of trace position `warm.instructions`, timing state cold,
+    /// the first pass resuming there.  Checkpoints taken afterwards carry
+    /// the seed (the machine serializes whole), so FF runs mint ordinary
+    /// `icfp-ckpt/v2` checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the machine has already processed work — a seed replaces the
+    /// *initial* architectural state, not a mid-run one.
+    pub fn seed(&mut self, warm: &ArchState) -> Result<(), String> {
+        if self.i != 0 || self.eng.frontier != 0 || self.in_episode || self.done {
+            return Err("functional fast-forward requires a fresh machine".into());
+        }
+        self.eng.seed_arch(warm);
+        self.i = warm.instructions as usize;
+        Ok(())
     }
 
     /// The current simulated cycle (the in-order issue frontier).
@@ -196,8 +223,61 @@ impl IcfpMachine {
             return false;
         }
         // 3. Process the next dynamic instruction.
-        self.step_inst(trace);
+        let inst = trace.get(self.i);
+        self.step_inst(trace, &inst);
         true
+    }
+
+    /// Batched stepping: advances through `insts` — the dynamic instructions
+    /// at trace positions `first..first + insts.len()` — without
+    /// per-instruction cursor dispatch.  Rally passes still reach older
+    /// instructions through `trace` (random access).  Stops when the fed
+    /// slice is consumed (the caller fetches the next block), the cycle
+    /// budget `until` is reached, or the run completes; returns `false` once
+    /// the trace is fully retired, like [`IcfpMachine::step`].
+    ///
+    /// An empty slice is valid once the first pass has passed `first`: the
+    /// machine then drains pending rallies one unit at a time.
+    pub fn step_slice(
+        &mut self,
+        trace: &TraceCursor<'_>,
+        insts: &[DynInst],
+        first: usize,
+        until: Cycle,
+    ) -> bool {
+        let end = first + insts.len();
+        let len = trace.len();
+        loop {
+            if self.done {
+                return false;
+            }
+            if self.eng.frontier >= until {
+                return true;
+            }
+            if let Some(k) = self.due_rally() {
+                let r = self.rallies.swap_remove(k);
+                self.run_rally(trace, r);
+                continue;
+            }
+            if self.i >= len {
+                if let Some(k) = self.earliest_rally() {
+                    let r = self.rallies.swap_remove(k);
+                    self.eng.frontier = self.eng.frontier.max(r.returns_at);
+                    self.run_rally(trace, r);
+                    continue;
+                }
+                self.retire_all_stores();
+                self.done = true;
+                return false;
+            }
+            if self.i < first || self.i >= end {
+                // Next instruction lies outside the fed slice: hand control
+                // back so the caller can fetch the block that contains it.
+                return true;
+            }
+            let inst = insts[self.i - first];
+            self.step_inst(trace, &inst);
+        }
     }
 
     fn due_rally(&self) -> Option<usize> {
@@ -241,9 +321,10 @@ impl IcfpMachine {
         bit
     }
 
-    /// Records the producers of an instruction's poisoned operands so rallies
-    /// can read them from the slice data storage.
-    fn record_producers(&mut self, inst: &DynInst, trace_idx: usize) {
+    /// The trace indices producing an instruction's poisoned operands
+    /// (`usize::MAX` = operand was captured/absent), stored in the slice
+    /// entry so rallies can read them from the slice data storage.
+    fn producers_for(&self, inst: &DynInst) -> (usize, usize) {
         let prod = |r: Option<icfp_isa::Reg>| -> usize {
             r.map_or(usize::MAX, |r| {
                 if self.eng.rf.poison(r).is_poisoned() {
@@ -253,16 +334,7 @@ impl IcfpMachine {
                 }
             })
         };
-        let p1 = prod(inst.src1);
-        let p2 = prod(inst.src2);
-        self.producers.insert(trace_idx, (p1, p2));
-    }
-
-    fn producers_of(&self, trace_idx: usize) -> (usize, usize) {
-        self.producers
-            .get(&trace_idx)
-            .copied()
-            .unwrap_or((usize::MAX, usize::MAX))
+        (prod(inst.src1), prod(inst.src2))
     }
 
     /// Diverts instruction `i` into the slice buffer.  `extra` carries poison
@@ -278,10 +350,14 @@ impl IcfpMachine {
     /// (Pushing a pre-built entry after such a rally would insert stale poison
     /// bits that no pending miss owns — a deadlock.)
     #[must_use]
-    fn push_slice(&mut self, trace: &TraceCursor<'_>, issue: Cycle, extra: PoisonMask) -> bool {
+    fn push_slice(
+        &mut self,
+        trace: &TraceCursor<'_>,
+        inst: &DynInst,
+        issue: Cycle,
+        extra: PoisonMask,
+    ) -> bool {
         let i = self.i;
-        let inst = trace.get(i);
-        let inst = &inst;
         let seq = i as InstSeq;
         if self.slice.is_full() {
             self.slice.reclaim_head();
@@ -304,7 +380,7 @@ impl IcfpMachine {
         if poison.is_clean() {
             poison = PoisonMask::bit(0);
         }
-        self.record_producers(inst, i);
+        let (src1_producer, src2_producer) = self.producers_for(inst);
         let capture = |r: Option<icfp_isa::Reg>| -> Option<Value> {
             r.and_then(|r| {
                 if self.eng.rf.poison(r).is_clean() {
@@ -319,6 +395,8 @@ impl IcfpMachine {
             seq_from_ckpt: seq,
             src1_value: capture(inst.src1),
             src2_value: capture(inst.src2),
+            src1_producer,
+            src2_producer,
             store_color: self.sbuf.ssn_tail(),
             poison,
             active: true,
@@ -397,11 +475,11 @@ impl IcfpMachine {
         self.eng.rf.release_checkpoint();
     }
 
-    /// Processes one dynamic instruction (first pass).
-    fn step_inst(&mut self, trace: &TraceCursor<'_>) {
+    /// Processes one dynamic instruction (first pass).  `inst` must be the
+    /// instruction at trace position `self.i` — the caller fetches it (from
+    /// the cursor, or from a batched block slice).
+    fn step_inst(&mut self, trace: &TraceCursor<'_>, inst: &DynInst) {
         let i = self.i;
-        let inst = trace.get(i);
-        let inst = &inst;
         let seq = i as InstSeq;
         let l1_lat = self.eng.cfg.mem.l1_hit_latency;
         let policy = self.eng.cfg.advance_policy;
@@ -441,7 +519,7 @@ impl IcfpMachine {
                     return; // self.i unchanged: reprocess now-clean inst
                 }
             }
-            if self.push_slice(trace, issue, PoisonMask::CLEAN) {
+            if self.push_slice(trace, inst, issue, PoisonMask::CLEAN) {
                 self.i += 1;
             }
             return;
@@ -471,7 +549,7 @@ impl IcfpMachine {
                         fwd.excess_hops * self.eng.cfg.chain_hop_penalty;
                     if st.poison.is_poisoned() {
                         // Memory dependence on a poisoned store: slice out.
-                        if self.push_slice(trace, issue, st.poison) {
+                        if self.push_slice(trace, inst, issue, st.poison) {
                             self.i += 1;
                         }
                         return;
@@ -503,7 +581,7 @@ impl IcfpMachine {
                         // push_slice); a failed push means the instruction
                         // re-processes from scratch after the stall rally,
                         // possibly as a plain hit.
-                        if self.push_slice(trace, issue, bit) {
+                        if self.push_slice(trace, inst, issue, bit) {
                             self.i += 1;
                         }
                         return;
@@ -613,7 +691,6 @@ impl IcfpMachine {
                 self.eng.stats.slice_peak.max(self.slice.peak() as u64);
             self.slice.clear();
             self.slice_values.clear();
-            self.producers.clear();
             self.palloc.clear();
             self.eng.rf.release_checkpoint();
         }
@@ -634,19 +711,20 @@ impl IcfpMachine {
         }
 
         self.slice
-            .entries_for_rally_into(select, &mut self.rally_scratch);
+            .rally_select_into(select, &mut self.rally_scratch);
 
         let mut rally_frontier = start;
         let mut rally_end = start;
         for k in 0..self.rally_scratch.len() {
-            let e = self.rally_scratch[k];
+            let (slot, e) = self.rally_scratch[k];
+            let slot = slot as usize;
             let inst = trace.get(e.trace_idx);
             let inst = &inst;
             let seq = e.trace_idx as InstSeq;
             self.eng.stats.rally_instructions += 1;
 
             // Resolve operands: captured side inputs or slice data storage.
-            let (p1, p2) = self.producers_of(e.trace_idx);
+            let (p1, p2) = (e.src1_producer, e.src2_producer);
             let mut vals = [0u64; 2];
             let mut ready = rally_frontier;
             let mut unresolved = PoisonMask::CLEAN;
@@ -679,7 +757,7 @@ impl IcfpMachine {
             if unresolved.is_poisoned() && !self.rallies.is_empty() {
                 // Entry waits for another miss (non-blocking rally).
                 let np = e.poison.without(select).union(unresolved);
-                self.slice.repoison(e.trace_idx, np);
+                self.slice.repoison_at(slot, np);
                 if let Some(dst) = inst.dst {
                     if self.eng.rf.entry(dst).last_writer == Some(seq) {
                         self.eng.rf.poison_write(dst, np, seq);
@@ -702,7 +780,7 @@ impl IcfpMachine {
                             let np = e.poison.without(select).union(st.poison.without(select));
                             let np = if np.is_clean() { pending_bits } else { np };
                             if np.is_poisoned() && !self.rallies.is_empty() {
-                                self.slice.repoison(e.trace_idx, np);
+                                self.slice.repoison_at(slot, np);
                                 continue;
                             }
                             // No other pending miss can resolve it — the store
@@ -730,7 +808,7 @@ impl IcfpMachine {
                                 // new rally instead of blocking this one.
                                 let bit = self.poison_for_miss(m, completes);
                                 let np = e.poison.without(select).union(bit);
-                                self.slice.repoison(e.trace_idx, np);
+                                self.slice.repoison_at(slot, np);
                                 if let Some(dst) = inst.dst {
                                     if self.eng.rf.entry(dst).last_writer == Some(seq) {
                                         self.eng.rf.poison_write(dst, np, seq);
@@ -776,7 +854,7 @@ impl IcfpMachine {
             }
             rally_end = rally_end.max(completes);
             self.eng.note_completion(completes);
-            self.slice.retire(e.trace_idx);
+            self.slice.retire_at(slot);
         }
         self.slice.reclaim_head();
 
@@ -816,7 +894,6 @@ impl Serialize for IcfpMachine {
         self.sbuf.serialize(out);
         self.palloc.serialize(out);
         self.rallies.serialize(out);
-        self.producers.serialize(out);
         self.slice_values.serialize(out);
         self.i.serialize(out);
         self.in_episode.serialize(out);
@@ -837,7 +914,6 @@ impl Deserialize for IcfpMachine {
             sbuf: Deserialize::deserialize(r)?,
             palloc: Deserialize::deserialize(r)?,
             rallies: Deserialize::deserialize(r)?,
-            producers: Deserialize::deserialize(r)?,
             slice_values: Deserialize::deserialize(r)?,
             rally_scratch: Vec::with_capacity(slice_cap),
             drain_scratch: Vec::with_capacity(store_cap),

@@ -5,10 +5,10 @@
 //! miss (not at the miss itself), exactly as the paper describes, because
 //! issue is in order: a stalled instruction blocks everything younger.
 
-use crate::common::Engine;
+use crate::common::{seed_start, Engine};
 use crate::config::CoreConfig;
 use crate::Core;
-use icfp_isa::{Cycle, OpClass, TraceCursor};
+use icfp_isa::{exec::ArchState, Cycle, OpClass, TraceCursor};
 use icfp_pipeline::RunResult;
 use std::collections::VecDeque;
 
@@ -30,16 +30,20 @@ impl Core for InOrderCore {
         "in-order"
     }
 
-    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
+    fn run_cursor_from(&mut self, trace: &TraceCursor<'_>, warm: Option<&ArchState>) -> RunResult {
         let mut eng = Engine::new(&self.cfg);
+        let start = seed_start(&mut eng, warm, trace.len());
         // Outstanding (not yet drained) stores: (drain completion, word addr).
         let mut store_q: VecDeque<(Cycle, u64)> = VecDeque::new();
         let sb_capacity = self.cfg.pipeline.baseline_store_buffer;
         let l1_lat = self.cfg.mem.l1_hit_latency;
 
-        for idx in 0..trace.len() {
-            let inst = trace.get(idx);
-            let inst = &inst;
+        // Walk the trace block by block: the per-instruction work reads a
+        // plain slice, so streamed sources pay the cursor's RefCell dispatch
+        // once per block instead of once per instruction.
+        trace.for_each_block_from(start, |first, insts| {
+            for (off, inst) in insts.iter().enumerate() {
+                let idx = first + off;
             let seq = idx as u64;
             let fetch_ready = eng.fetch.next_issue_ready();
             let mut earliest = fetch_ready.max(eng.src_ready(inst));
@@ -106,7 +110,9 @@ impl Core for InOrderCore {
                     eng.note_completion(completes);
                 }
             }
-        }
+            }
+            true
+        });
         eng.finish(self.name(), trace)
     }
 }

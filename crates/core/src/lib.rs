@@ -47,6 +47,7 @@
 pub mod common;
 pub mod config;
 pub mod engine;
+pub use icfp_isa::fxmap;
 pub mod icfp;
 pub mod inorder;
 pub mod multipass;
@@ -68,7 +69,7 @@ pub use slicebuf::{SliceBuffer, SliceEntry};
 pub use sltp::SltpCore;
 pub use storebuf::{AssocStoreBuffer, ChainedStoreBuffer, LimitedStoreBuffer, RunaheadCache, StoreRedoLog};
 
-use icfp_isa::{Trace, TraceCursor};
+use icfp_isa::{exec::ArchState, Trace, TraceCursor};
 use icfp_pipeline::RunResult;
 
 /// A back-end core model that can execute a trace.
@@ -83,7 +84,18 @@ pub trait Core {
 
     /// Simulates the trace behind the cursor to completion and returns
     /// timing statistics plus the final architectural state.
-    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult;
+    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
+        self.run_cursor_from(trace, None)
+    }
+
+    /// [`Core::run_cursor`] with an optional functional fast-forward seed:
+    /// when `warm` is given, the engine starts with its architectural
+    /// registers and memory (timing state cold) and the timed region covers
+    /// trace positions `warm.instructions..len`.  The final architectural
+    /// state equals the cold run's — architectural execution is
+    /// timing-independent — while cycles cover only the timed region.
+    fn run_cursor_from(&mut self, trace: &TraceCursor<'_>, warm: Option<&ArchState>)
+        -> RunResult;
 
     /// Convenience wrapper over [`Core::run_cursor`] for in-memory traces
     /// (the historical entry point; all deterministic outputs are identical).

@@ -11,7 +11,7 @@
 use crate::config::CoreConfig;
 use crate::runahead::runahead_like_run;
 use crate::Core;
-use icfp_isa::TraceCursor;
+use icfp_isa::{exec::ArchState, TraceCursor};
 use icfp_pipeline::RunResult;
 
 /// The Multipass core.
@@ -33,8 +33,8 @@ impl Core for MultipassCore {
         "multipass"
     }
 
-    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
-        runahead_like_run(&self.cfg, trace, self.name(), true)
+    fn run_cursor_from(&mut self, trace: &TraceCursor<'_>, warm: Option<&ArchState>) -> RunResult {
+        runahead_like_run(&self.cfg, trace, self.name(), true, warm)
     }
 }
 

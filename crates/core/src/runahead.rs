@@ -11,11 +11,11 @@
 //! restarts at the checkpointed instruction.  That wholesale re-execution is
 //! the overhead iCFP and SLTP avoid.
 
-use crate::common::Engine;
+use crate::common::{seed_start, Engine};
 use crate::config::CoreConfig;
 use crate::storebuf::RunaheadCache;
 use crate::Core;
-use icfp_isa::{Cycle, OpClass, TraceCursor};
+use icfp_isa::{exec::ArchState, Cycle, OpClass, TraceCursor};
 use icfp_pipeline::{PoisonMask, RunResult};
 use std::collections::{HashMap, VecDeque};
 
@@ -39,8 +39,8 @@ impl Core for RunaheadCore {
         "runahead"
     }
 
-    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
-        runahead_like_run(&self.cfg, trace, self.name(), false)
+    fn run_cursor_from(&mut self, trace: &TraceCursor<'_>, warm: Option<&ArchState>) -> RunResult {
+        runahead_like_run(&self.cfg, trace, self.name(), false, warm)
     }
 }
 
@@ -61,8 +61,10 @@ pub(crate) fn runahead_like_run(
     trace: &TraceCursor<'_>,
     name: &'static str,
     save_results: bool,
+    warm: Option<&ArchState>,
 ) -> RunResult {
     let mut eng = Engine::new(cfg);
+    let start = seed_start(&mut eng, warm, trace.len());
     let mut store_q: VecDeque<(Cycle, u64)> = VecDeque::new();
     let sb_capacity = cfg.pipeline.baseline_store_buffer;
     let l1_lat = cfg.mem.l1_hit_latency;
@@ -79,7 +81,7 @@ pub(crate) fn runahead_like_run(
     // Multipass's result buffer).
     let mut poisoned_store_seen = false;
 
-    let mut i = 0usize;
+    let mut i = start;
     while i < trace.len() || episode.is_some() {
         // End the advance episode once execution time reaches the trigger's
         // return (or the trace ran out while advancing): restore and

@@ -31,6 +31,13 @@ pub struct SliceEntry {
     pub src1_value: Option<Value>,
     /// Captured value of the second source operand, if it was available.
     pub src2_value: Option<Value>,
+    /// Trace index of the sliced instruction producing the first source
+    /// operand (`usize::MAX` = captured or absent) — the paper's slice-buffer
+    /// dependence pointer, carried in the entry so rallies resolve operands
+    /// without a side table.
+    pub src1_producer: usize,
+    /// Producer of the second source operand (`usize::MAX` = captured/absent).
+    pub src2_producer: usize,
     /// Store colour: SSN of the youngest older store at slice time, used by
     /// rallying loads to ignore younger stores when forwarding.
     pub store_color: u64,
@@ -49,6 +56,8 @@ impl SliceEntry {
             seq_from_ckpt: 0,
             src1_value: None,
             src2_value: None,
+            src1_producer: usize::MAX,
+            src2_producer: usize::MAX,
             store_color: 0,
             poison: PoisonMask::CLEAN,
             active: false,
@@ -228,6 +237,25 @@ impl SliceBuffer {
     /// words with no intersecting lane are skipped with a single compare.
     pub fn entries_for_rally_into(&self, returning: PoisonMask, out: &mut Vec<SliceEntry>) {
         out.clear();
+        self.scan_ring(returning, &mut |_, e| out.push(*e));
+    }
+
+    /// Slot-carrying form of [`SliceBuffer::entries_for_rally_into`]: appends
+    /// `(physical_slot, entry)` pairs to `out` (cleared first).  The slot lets
+    /// the rally pass retire or re-poison the entry it is processing in O(1)
+    /// ([`SliceBuffer::retire_at`] / [`SliceBuffer::repoison_at`]) instead of
+    /// re-finding it by trace index — valid as long as no push or head
+    /// reclamation happens between selection and use (entries never move
+    /// otherwise).
+    pub fn rally_select_into(&self, returning: PoisonMask, out: &mut Vec<(u32, SliceEntry)>) {
+        out.clear();
+        self.scan_ring(returning, &mut |slot, e| out.push((slot as u32, *e)));
+    }
+
+    /// Scans the ring in program order for active entries whose poison
+    /// intersects `returning`, feeding `(physical_slot, entry)` to `sink`.
+    #[inline]
+    fn scan_ring(&self, returning: PoisonMask, sink: &mut impl FnMut(usize, &SliceEntry)) {
         if self.len == 0 || returning.is_clean() {
             return;
         }
@@ -236,9 +264,9 @@ impl SliceBuffer {
         // [0, tail - capacity).  Scan both physical segments in order: within
         // a segment, ascending slot order is program order, and the first
         // segment holds the logically older entries.
-        self.scan_segment(self.head, tail.min(self.capacity), returning, out);
+        self.scan_segment(self.head, tail.min(self.capacity), returning, sink);
         if tail > self.capacity {
-            self.scan_segment(0, tail - self.capacity, returning, out);
+            self.scan_segment(0, tail - self.capacity, returning, sink);
         }
     }
 
@@ -247,7 +275,13 @@ impl SliceBuffer {
     /// broadcast comparand is hoisted and only the two edge words pay for
     /// lane masking; zero words (no intersecting entry among four) are
     /// skipped with a single compare.
-    fn scan_segment(&self, lo: usize, hi: usize, returning: PoisonMask, out: &mut Vec<SliceEntry>) {
+    fn scan_segment(
+        &self,
+        lo: usize,
+        hi: usize,
+        returning: PoisonMask,
+        sink: &mut impl FnMut(usize, &SliceEntry),
+    ) {
         if lo >= hi {
             return;
         }
@@ -278,7 +312,7 @@ impl SliceBuffer {
             while lanes != 0 {
                 let lane = lanes.trailing_zeros() as usize >> 4;
                 lanes &= lanes - 1;
-                out.push(self.slots[base + lane]);
+                sink(base + lane, &self.slots[base + lane]);
             }
         }
     }
@@ -334,6 +368,31 @@ impl SliceBuffer {
         false
     }
 
+    /// O(1) form of [`SliceBuffer::retire`] for a physical slot obtained from
+    /// [`SliceBuffer::rally_select_into`].
+    pub fn retire_at(&mut self, slot: usize) -> bool {
+        let e = &mut self.slots[slot];
+        if e.active {
+            e.active = false;
+            self.active -= 1;
+            self.plane.clear_lane(slot);
+            return true;
+        }
+        false
+    }
+
+    /// O(1) form of [`SliceBuffer::repoison`] for a physical slot obtained
+    /// from [`SliceBuffer::rally_select_into`].
+    pub fn repoison_at(&mut self, slot: usize, poison: PoisonMask) -> bool {
+        let e = &mut self.slots[slot];
+        if e.active {
+            e.poison = poison;
+            self.plane.set(slot, poison);
+            return true;
+        }
+        false
+    }
+
     /// Re-poisons the entry for `trace_idx` in place (it depends on a miss
     /// that is still outstanding); the entry stays active for a later pass.
     pub fn repoison(&mut self, trace_idx: usize, poison: PoisonMask) -> bool {
@@ -371,6 +430,8 @@ mod tests {
             seq_from_ckpt: idx as InstSeq,
             src1_value: Some(1),
             src2_value: None,
+            src1_producer: usize::MAX,
+            src2_producer: usize::MAX,
             store_color: 0,
             poison,
             active: true,
@@ -493,6 +554,41 @@ mod tests {
             }
         }
         assert!(next_idx > 20, "churn should have inserted entries");
+    }
+
+    #[test]
+    fn slot_carrying_selection_matches_and_slot_ops_are_equivalent() {
+        // rally_select_into must pair every selected entry with a physical
+        // slot on which retire_at/repoison_at act exactly like the by-index
+        // forms — including across a ring wrap.
+        let mut sb = SliceBuffer::new(8);
+        for k in 0..6usize {
+            sb.push(entry(k, PoisonMask::bit((k % 2) as u8))).unwrap();
+        }
+        sb.retire(0);
+        sb.retire(1);
+        sb.reclaim_head();
+        sb.push(entry(6, PoisonMask::bit(0))).unwrap();
+        sb.push(entry(7, PoisonMask::bit(0))).unwrap();
+        sb.push(entry(8, PoisonMask::bit(0))).unwrap();
+        sb.push(entry(9, PoisonMask::bit(0))).unwrap(); // wraps
+
+        let mut with_slots = Vec::new();
+        sb.rally_select_into(PoisonMask::bit(0), &mut with_slots);
+        let plain = sb.entries_for_rally(PoisonMask::bit(0));
+        let entries: Vec<SliceEntry> = with_slots.iter().map(|&(_, e)| e).collect();
+        assert_eq!(entries, plain);
+
+        for &(slot, e) in &with_slots {
+            // The slot really addresses this entry.
+            assert_eq!(sb.entry_poison(e.trace_idx), Some(e.poison));
+            assert!(sb.repoison_at(slot as usize, PoisonMask::bit(5)));
+            assert_eq!(sb.entry_poison(e.trace_idx), Some(PoisonMask::bit(5)));
+            assert!(sb.retire_at(slot as usize));
+            assert!(!sb.retire_at(slot as usize), "already retired");
+            assert_eq!(sb.entry_poison(e.trace_idx), None);
+        }
+        assert!(sb.entries_for_rally(PoisonMask::bit(0)).is_empty());
     }
 
     #[test]

@@ -17,12 +17,12 @@
 //!    the whole slice must re-execute successfully in one pass, and a
 //!    dependent miss inside the slice stalls the rally until it returns.
 
-use crate::common::Engine;
+use crate::common::{seed_start, Engine};
 use crate::config::CoreConfig;
 use crate::slicebuf::{SliceBuffer, SliceEntry};
 use crate::storebuf::StoreRedoLog;
 use crate::Core;
-use icfp_isa::{exec, Cycle, OpClass, TraceCursor, Value};
+use icfp_isa::{exec, exec::ArchState, Cycle, OpClass, TraceCursor, Value};
 use icfp_pipeline::{PoisonMask, RunResult};
 use std::collections::HashMap;
 
@@ -50,9 +50,10 @@ impl Core for SltpCore {
         "sltp"
     }
 
-    fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> RunResult {
+    fn run_cursor_from(&mut self, trace: &TraceCursor<'_>, warm: Option<&ArchState>) -> RunResult {
         let cfg = &self.cfg;
         let mut eng = Engine::new(cfg);
+        let start = seed_start(&mut eng, warm, trace.len());
         let l1_lat = cfg.mem.l1_hit_latency;
         let policy = cfg.advance_policy;
         let mut slice = SliceBuffer::new(cfg.slice_buffer_entries);
@@ -62,7 +63,7 @@ impl Core for SltpCore {
         // used for store-to-load forwarding outside advance mode.
         let mut recent_stores: HashMap<u64, Cycle> = HashMap::new();
 
-        let mut i = 0usize;
+        let mut i = start;
         while i < trace.len() || episode.is_some() {
             // A pending rally fires once execution time reaches the trigger's
             // return, or when the trace has run out.
@@ -287,6 +288,10 @@ fn push_slice(
         seq_from_ckpt: seq,
         src1_value: capture(inst.src1),
         src2_value: capture(inst.src2),
+        // SLTP's blocking rally resolves operands through its own register
+        // scratch, not producer pointers.
+        src1_producer: usize::MAX,
+        src2_producer: usize::MAX,
         store_color: 0,
         poison,
         active: true,

@@ -6,19 +6,23 @@
 //! This is the main correctness check for iCFP's slice/rally merge logic and
 //! for the chained store buffer's forwarding behaviour.
 
+use crate::fxmap::FxHashMap;
 use crate::{Addr, DynInst, Op, Reg, Value, NUM_ARCH_REGS};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Sparse functional memory image.
 ///
 /// Addresses are stored at 8-byte granularity (the maximum SimISA access
 /// width); narrower accesses read/write the containing 8-byte word.  Untouched
 /// locations read as a deterministic hash of their address so that loads from
-/// never-written locations still produce reproducible values.
+/// never-written locations still produce reproducible values.  The map uses
+/// the Fx hash ([`crate::fxmap`]): every executed load and store probes it,
+/// so hashing cost is on the functional fast-forward critical path.
+/// Encodings and digests are hasher-independent (serde writes map entries
+/// sorted by key).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FunctionalMemory {
-    words: HashMap<Addr, Value>,
+    words: FxHashMap<Addr, Value>,
 }
 
 /// Deterministic "background" value of an untouched memory word.
@@ -45,7 +49,10 @@ impl FunctionalMemory {
     /// Reads the 8-byte word containing `addr`.
     pub fn read(&self, addr: Addr) -> Value {
         let wa = Self::word_addr(addr);
-        *self.words.get(&wa).unwrap_or(&background_value(wa))
+        self.words
+            .get(&wa)
+            .copied()
+            .unwrap_or_else(|| background_value(wa))
     }
 
     /// Writes the 8-byte word containing `addr`.

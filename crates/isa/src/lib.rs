@@ -29,11 +29,13 @@
 
 pub mod digest;
 pub mod exec;
+pub mod fxmap;
 pub mod inst;
 pub mod reg;
 pub mod source;
 pub mod trace;
 pub mod trace_file;
+mod trace_v2;
 
 pub use digest::{fnv1a, Fnv1a};
 pub use exec::{ArchState, FunctionalMemory};
@@ -44,7 +46,7 @@ pub use source::{
     TraceSourceError, DEFAULT_BLOCK_INSTS,
 };
 pub use trace::{Trace, TraceBuilder, TraceStats};
-pub use trace_file::{TraceFile, TraceFileWriter, TRACE_MAGIC};
+pub use trace_file::{TraceFile, TraceFileWriter, TraceFormat, TRACE_MAGIC, TRACE_MAGIC_V2};
 
 /// A dynamic-instruction sequence number: position in the dynamic stream.
 ///

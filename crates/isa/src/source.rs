@@ -65,7 +65,7 @@ pub enum TraceSourceError {
     },
     /// Filesystem error while reading trace data.
     Io(String),
-    /// The container does not start with the `icfp-trace/v1` magic (wrong
+    /// The container does not start with a known `icfp-trace` magic (wrong
     /// file or a future format version).
     BadMagic,
     /// The container is shorter than its header/index promises.
@@ -92,7 +92,7 @@ impl fmt::Display for TraceSourceError {
             }
             TraceSourceError::Io(e) => write!(f, "trace i/o: {e}"),
             TraceSourceError::BadMagic => {
-                write!(f, "not an icfp-trace/v1 container (bad magic)")
+                write!(f, "not an icfp-trace/v1 or /v2 container (bad magic)")
             }
             TraceSourceError::Truncated => write!(f, "trace container is truncated"),
             TraceSourceError::Corrupt(e) => write!(f, "trace container is corrupt: {e}"),
@@ -117,6 +117,8 @@ impl std::error::Error for TraceSourceError {}
 pub struct Residency {
     live: AtomicUsize,
     peak: AtomicUsize,
+    live_bytes: AtomicUsize,
+    peak_bytes: AtomicUsize,
 }
 
 impl Residency {
@@ -130,26 +132,44 @@ impl Residency {
         self.peak.load(Ordering::Relaxed)
     }
 
-    fn note_alloc(self: &Arc<Self>) -> ResidencyGuard {
+    /// Decoded instruction bytes currently alive (live blocks × their
+    /// in-memory [`DynInst`] size — the actual decoded footprint, not the
+    /// on-disk encoded size).
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously-alive decoded instruction bytes —
+    /// the number to quote for "peak trace memory while streaming".
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    fn note_alloc(self: &Arc<Self>, bytes: usize) -> ResidencyGuard {
         let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak.fetch_max(live, Ordering::Relaxed);
+        let live_bytes = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes.fetch_max(live_bytes, Ordering::Relaxed);
         ResidencyGuard {
             counter: Arc::clone(self),
+            bytes,
         }
     }
 }
 
-/// Drop guard held by each decoded [`TraceBlock`]; decrements the live count
-/// when the block is finally dropped (evicted from every cache and released
-/// by every cursor).
+/// Drop guard held by each decoded [`TraceBlock`]; decrements the live
+/// counts when the block is finally dropped (evicted from every cache and
+/// released by every cursor).
 #[derive(Debug)]
 struct ResidencyGuard {
     counter: Arc<Residency>,
+    bytes: usize,
 }
 
 impl Drop for ResidencyGuard {
     fn drop(&mut self) {
         self.counter.live.fetch_sub(1, Ordering::Relaxed);
+        self.counter.live_bytes.fetch_sub(self.bytes, Ordering::Relaxed);
     }
 }
 
@@ -171,10 +191,11 @@ impl TraceBlock {
     /// (the file reader, generator sources) construct their blocks this way
     /// so tests can assert the peak resident footprint.
     pub fn counted(first: usize, insts: Vec<DynInst>, residency: &Arc<Residency>) -> Self {
+        let bytes = insts.len() * std::mem::size_of::<DynInst>();
         TraceBlock {
             first,
             insts,
-            _guard: Some(residency.note_alloc()),
+            _guard: Some(residency.note_alloc(bytes)),
         }
     }
 
@@ -547,6 +568,70 @@ impl<'a> TraceCursor<'a> {
         state.block = Some(b);
         inst
     }
+
+    /// The whole trace as one contiguous slice, if this cursor reads an
+    /// in-memory arena.  Batched drivers use it to hand an engine the entire
+    /// remaining trace as a single [`icfp_isa::DynInst`] slice; streamed
+    /// cursors return `None` and serve [`TraceCursor::pin_block`] instead.
+    pub fn arena_slice(&self) -> Option<&'a [DynInst]> {
+        self.arena.map(|t| t.as_slice())
+    }
+
+    /// Fetches (and pins as the cursor's current block) the block containing
+    /// dynamic position `idx`, returning a shared handle the caller may hold
+    /// across further cursor use — batched drivers slice it and feed the
+    /// engine block-sized instruction runs without per-instruction cursor
+    /// dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range positions or mid-run source failures, exactly
+    /// like [`TraceCursor::get`].
+    pub fn pin_block(&self, idx: usize) -> Arc<TraceBlock> {
+        let mut state = self.state.borrow_mut();
+        if let Some(b) = &state.block {
+            if idx >= b.first && idx < b.end() {
+                return Arc::clone(b);
+            }
+        }
+        let b = self.fault_block(idx);
+        state.block = Some(Arc::clone(&b));
+        b
+    }
+
+    /// Calls `f` once per block-sized instruction run covering positions
+    /// `[start, len)`, in order: `f(first, insts)` receives the dynamic index
+    /// of `insts[0]`.  Returns early (propagating `false`) if `f` does.
+    ///
+    /// Arena-backed cursors make a single call with the whole remaining
+    /// slice; streamed cursors walk the source's blocks, so the per-
+    /// instruction cost inside `f` is a plain slice iteration either way.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TraceCursor::get`].
+    pub fn for_each_block_from(
+        &self,
+        start: usize,
+        mut f: impl FnMut(usize, &[DynInst]) -> bool,
+    ) -> bool {
+        let len = self.len();
+        if start >= len {
+            return true;
+        }
+        if let Some(s) = self.arena_slice() {
+            return f(start, &s[start..]);
+        }
+        let mut at = start;
+        while at < len {
+            let b = self.pin_block(at);
+            if !f(at, &b.insts()[at - b.first..]) {
+                return false;
+            }
+            at = b.end();
+        }
+        true
+    }
 }
 
 impl fmt::Debug for TraceCursor<'_> {
@@ -624,17 +709,28 @@ mod tests {
 
     #[test]
     fn residency_counts_allocations_and_peaks() {
+        let inst_size = std::mem::size_of::<DynInst>();
         let r = Arc::new(Residency::default());
         let b1 = TraceBlock::counted(0, vec![], &r);
         assert_eq!(r.live(), 1);
+        assert_eq!(r.live_bytes(), 0, "an empty block holds no decoded bytes");
         let b2 = TraceBlock::counted(4, vec![DynInst::nop()], &r);
         assert_eq!(r.live(), 2);
         assert_eq!(r.peak(), 2);
+        assert_eq!(r.live_bytes(), inst_size);
+        let b3 = TraceBlock::counted(5, vec![DynInst::nop(); 3], &r);
+        assert_eq!(r.live(), 3);
+        assert_eq!(r.live_bytes(), 4 * inst_size);
+        assert_eq!(r.peak_bytes(), 4 * inst_size);
+        drop(b3);
+        assert_eq!(r.live_bytes(), inst_size, "bytes fall with their block");
         drop(b1);
         assert_eq!(r.live(), 1);
         drop(b2);
         assert_eq!(r.live(), 0);
-        assert_eq!(r.peak(), 2, "peak is sticky");
+        assert_eq!(r.live_bytes(), 0);
+        assert_eq!(r.peak(), 3, "peak is sticky");
+        assert_eq!(r.peak_bytes(), 4 * inst_size, "byte peak is sticky");
     }
 
     #[test]

@@ -7,10 +7,15 @@
 //! * total issue width per cycle (2),
 //! * integer-port occupancy (2 integer ALU/multiply slots),
 //! * the shared fp/load/store/branch port (1 slot).
+//!
+//! Storage is a fixed ring of per-cycle slot counters sliding forward with
+//! the requests (every caller asks for a cycle at or after the last one
+//! granted, see [`IssueSchedule::issue`]), so allocation is O(1) per
+//! instruction — this sits on the per-instruction hot path of every core
+//! model and used to be a `BTreeMap` probe per issued instruction.
 
 use icfp_isa::{Cycle, OpClass};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct SlotUse {
@@ -19,6 +24,13 @@ struct SlotUse {
     mem_fp_br: u8,
 }
 
+/// Number of per-cycle counters retained.  Only cycles at or after the last
+/// granted cycle can be probed again (issue is in order), so the window just
+/// has to cover one grant's worth of forward probing — the ring slides as the
+/// probe advances, and 64 cycles of lookbehind is far more than the zero the
+/// contract requires.
+const WINDOW: usize = 64;
+
 /// Tracks issue-slot usage per cycle and finds the earliest legal issue cycle
 /// for each instruction.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -26,10 +38,11 @@ pub struct IssueSchedule {
     width: u8,
     int_ports: u8,
     mem_fp_br_ports: u8,
-    used: BTreeMap<Cycle, SlotUse>,
-    /// Cycles strictly before this have been pruned and can no longer accept
-    /// instructions (in-order issue guarantees they never will be asked to).
-    horizon: Cycle,
+    /// Per-cycle counters for cycles `[base, base + WINDOW)`; slot
+    /// `cycle % WINDOW`.  Cycles before `base` are frozen: in-order issue
+    /// guarantees they are never probed again.
+    ring: Vec<SlotUse>,
+    base: Cycle,
 }
 
 impl IssueSchedule {
@@ -44,8 +57,8 @@ impl IssueSchedule {
             width: width as u8,
             int_ports: int_ports as u8,
             mem_fp_br_ports: mem_fp_br_ports as u8,
-            used: BTreeMap::new(),
-            horizon: 0,
+            ring: vec![SlotUse::default(); WINDOW],
+            base: 0,
         }
     }
 
@@ -54,8 +67,14 @@ impl IssueSchedule {
         Self::new(2, 2, 1)
     }
 
+    #[inline]
+    fn slot(&self, cycle: Cycle) -> &SlotUse {
+        &self.ring[(cycle % WINDOW as u64) as usize]
+    }
+
+    #[inline]
     fn has_room(&self, cycle: Cycle, class: OpClass) -> bool {
-        let u = self.used.get(&cycle).copied().unwrap_or_default();
+        let u = self.slot(cycle);
         if u.total >= self.width {
             return false;
         }
@@ -66,38 +85,64 @@ impl IssueSchedule {
         }
     }
 
+    /// Slides the window forward so `cycle` is inside it, clearing the
+    /// counters of the cycles that enter the window.
+    #[inline]
+    fn cover(&mut self, cycle: Cycle) {
+        let end = self.base + WINDOW as u64;
+        if cycle < end {
+            return;
+        }
+        if cycle - end >= WINDOW as u64 {
+            // Far jump: every retained counter falls out of the window.
+            self.ring.iter_mut().for_each(|u| *u = SlotUse::default());
+            self.base = cycle - (WINDOW as u64 - 1);
+        } else {
+            // Slide incrementally, vacating the slots that wrap around.
+            for c in end..=cycle {
+                self.ring[(c % WINDOW as u64) as usize] = SlotUse::default();
+            }
+            self.base = cycle - (WINDOW as u64 - 1);
+        }
+    }
+
     /// Reserves an issue slot for an instruction of class `class` at the
     /// earliest cycle `>= earliest` with room, and returns that cycle.
+    ///
+    /// In-order contract: `earliest` must be at or after the previously
+    /// granted cycle (every core routes requests through a monotonic issue
+    /// frontier).  Requests below the retained window are clamped to it.
     pub fn issue(&mut self, earliest: Cycle, class: OpClass) -> Cycle {
-        let mut cycle = earliest.max(self.horizon);
+        let mut cycle = earliest.max(self.base);
+        self.cover(cycle);
         while !self.has_room(cycle, class) {
             cycle += 1;
+            self.cover(cycle);
         }
-        let u = self.used.entry(cycle).or_default();
+        let u = &mut self.ring[(cycle % WINDOW as u64) as usize];
         u.total += 1;
         if class.uses_int_port() {
             u.int += 1;
         } else {
             u.mem_fp_br += 1;
         }
-        // Prune old cycles occasionally to bound memory.
-        if self.used.len() > 4096 {
-            let keep_from = cycle.saturating_sub(64);
-            self.used = self.used.split_off(&keep_from);
-            self.horizon = self.horizon.max(keep_from);
-        }
         cycle
     }
 
-    /// Number of instructions issued at `cycle` so far.
+    /// Number of instructions issued at `cycle`, if it is still inside the
+    /// retained window (cycles that slid out report zero).
     pub fn issued_at(&self, cycle: Cycle) -> usize {
-        self.used.get(&cycle).map(|u| u.total as usize).unwrap_or(0)
+        if cycle >= self.base && cycle < self.base + WINDOW as u64 {
+            self.slot(cycle).total as usize
+        } else {
+            0
+        }
     }
 
     /// Resets the schedule (between runs).
     pub fn reset(&mut self) {
-        self.used.clear();
-        self.horizon = 0;
+        self.ring.iter_mut().for_each(|u| *u = SlotUse::default());
+        self.base = 0;
     }
 }
 
@@ -154,9 +199,32 @@ mod tests {
         for i in 0..10_000u64 {
             s.issue(i, OpClass::IntAlu);
         }
-        // Still works after pruning.
+        // Still works after the window has slid many times over.
         let c = s.issue(10_000, OpClass::IntAlu);
         assert!(c >= 10_000);
+    }
+
+    #[test]
+    fn far_jumps_land_in_a_clean_window() {
+        let mut s = IssueSchedule::paper_default();
+        assert_eq!(s.issue(0, OpClass::IntAlu), 0);
+        // Jump far past the window (several multiples of it): the target
+        // cycle's counters must be vacated, not stale from a previous lap.
+        assert_eq!(s.issue(1_000_003, OpClass::IntAlu), 1_000_003);
+        assert_eq!(s.issue(1_000_003, OpClass::IntAlu), 1_000_003);
+        assert_eq!(s.issue(1_000_003, OpClass::IntAlu), 1_000_004);
+    }
+
+    #[test]
+    fn monotonic_dense_stream_matches_width() {
+        // 2-wide: 1000 int ops from a monotonic frontier occupy exactly 500
+        // cycles regardless of where the window slides.
+        let mut s = IssueSchedule::paper_default();
+        let mut frontier = 0;
+        for _ in 0..1000 {
+            frontier = s.issue(frontier, OpClass::IntAlu);
+        }
+        assert_eq!(frontier, 499);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 
 pub mod frame;
 
@@ -392,8 +392,9 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
 
 /// `HashMap` entries are written sorted by key (hence `K: Ord`) so equal maps
 /// always encode to identical bytes — hasher/iteration order never leaks into
-/// checkpoints or digests.
-impl<K: Serialize + Ord, V: Serialize> Serialize for HashMap<K, V> {
+/// checkpoints or digests.  Generic over the hasher so hot-path maps with
+/// faster hash functions encode identically to the default.
+impl<K: Serialize + Ord, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
     fn serialize(&self, out: &mut Vec<u8>) {
         let mut entries: Vec<(&K, &V)> = self.iter().collect();
         entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
@@ -405,10 +406,15 @@ impl<K: Serialize + Ord, V: Serialize> Serialize for HashMap<K, V> {
     }
 }
 
-impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
     fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
         let n = r.length()?;
-        let mut m = HashMap::with_capacity(n.min(1 << 16));
+        let mut m = HashMap::with_capacity_and_hasher(n.min(1 << 16), S::default());
         for _ in 0..n {
             let k = K::deserialize(r)?;
             let v = V::deserialize(r)?;

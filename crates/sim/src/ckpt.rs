@@ -242,7 +242,7 @@ mod tests {
         let t = trace();
         let mut sim = Simulator::new(SimConfig::new(CoreModel::Icfp));
         sim.load(t.clone());
-        assert!(sim.advance_to_inst(t.len() / 2));
+        assert!(sim.advance_to_inst(t.len() / 2).expect("loaded"));
         (sim.checkpoint().expect("mid-run checkpoint"), t)
     }
 

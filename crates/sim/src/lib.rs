@@ -32,7 +32,7 @@ pub use ckpt::{CkptError, SimCheckpoint};
 pub use icfp_core::{CoreEngine, CoreModel, EngineSnapshot};
 
 use icfp_core::CoreConfig;
-use icfp_isa::{Cycle, Trace, TraceCursor, TraceSource};
+use icfp_isa::{exec::ArchState, Cycle, Trace, TraceCursor, TraceSource};
 use icfp_pipeline::RunResult;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -200,11 +200,51 @@ pub fn median_run(config: &SimConfig, trace: &Trace, reps: u32) -> SimReport {
     median_protocol(reps, || Simulator::new(config.clone()).run(trace))
 }
 
+/// [`median_run`] with a functional fast-forward prefix of `ff` instructions
+/// per repetition (0 = fully cold; see [`Simulator::run_source_ff`]).
+pub fn median_run_ff(config: &SimConfig, trace: &Trace, ff: usize, reps: u32) -> SimReport {
+    median_protocol(reps, || Simulator::new(config.clone()).run_ff(trace, ff))
+}
+
 /// [`median_run`] over any block-based source — the entry point for sweep
 /// columns (one shared `Arc<dyn TraceSource>` per workload) and for
 /// `--trace-file` benches whose traces never fully materialize.
 pub fn median_run_source(config: &SimConfig, source: &dyn TraceSource, reps: u32) -> SimReport {
     median_protocol(reps, || Simulator::new(config.clone()).run_source(source))
+}
+
+/// [`median_run_source`] with a functional fast-forward prefix: each
+/// repetition architecturally executes the first `ff` instructions (no
+/// timing model) and runs the rest timed from a cold microarchitectural
+/// state (0 = fully cold; see [`Simulator::run_source_ff`]).
+pub fn median_run_source_ff(
+    config: &SimConfig,
+    source: &dyn TraceSource,
+    ff: usize,
+    reps: u32,
+) -> SimReport {
+    median_protocol(reps, || {
+        Simulator::new(config.clone()).run_source_ff(source, ff)
+    })
+}
+
+/// Functionally executes the first `n` instructions of the trace behind the
+/// cursor — architectural registers and memory only, no timing model — and
+/// returns the warmed [`ArchState`].  This is pure computation over decoded
+/// blocks (no caches, predictors or issue scheduling), so it proceeds at
+/// functional-simulation speed: two orders of magnitude above timed
+/// simulation.  The warm-up primitive behind [`Simulator::fast_forward`].
+pub fn functional_warmup(trace: &TraceCursor<'_>, n: usize) -> ArchState {
+    let n = n.min(trace.len());
+    let mut st = ArchState::new();
+    trace.for_each_block_from(0, |first, insts| {
+        let take = (n - first).min(insts.len());
+        for inst in &insts[..take] {
+            st.exec(inst);
+        }
+        first + take < n
+    });
+    st
 }
 
 fn median_protocol(reps: u32, mut one_run: impl FnMut() -> SimReport) -> SimReport {
@@ -235,6 +275,55 @@ pub enum StepStatus {
     },
     /// The trace retired; the report is final.
     Done(Box<SimReport>),
+    /// No trace is loaded: [`Simulator::load`] was never called, or a
+    /// previous [`StepStatus::Done`] already unloaded the backend.
+    NotLoaded,
+}
+
+/// Feeds `engine` block-sized instruction slices — the whole remaining arena
+/// for in-memory sources — until the cycle budget `until` is reached,
+/// `inst_limit` first-pass instructions have been processed, or the run
+/// completes.  This is the batched-stepping driver behind every run mode:
+/// one [`CoreEngine::step_block`] call per block replaces one virtual call
+/// plus one cursor fetch per instruction.
+///
+/// The block handle is held here (an `Arc`, not a borrow through the
+/// cursor's interior state), so engines remain free to fault older blocks
+/// through the same cursor mid-slice (iCFP rally passes do).
+///
+/// Returns `true` while the engine still has work.
+fn drive_blocks(
+    engine: &mut Box<dyn CoreEngine>,
+    trace: &TraceCursor<'_>,
+    until: Cycle,
+    inst_limit: usize,
+) -> bool {
+    let len = trace.len();
+    // Whole-trace models walk the cursor themselves and ignore a fed slice;
+    // pinning blocks for them would only raise streamed-source residency.
+    let batched = engine.model().steps_incrementally();
+    loop {
+        if engine.cycle() >= until {
+            return true;
+        }
+        let i = engine.processed();
+        if i >= inst_limit {
+            return true;
+        }
+        let alive = if !batched || i >= len {
+            // First pass complete (or not batchable): one unit at a time.
+            engine.step_block(trace, &[], i, until)
+        } else if let Some(s) = trace.arena_slice() {
+            engine.step_block(trace, &s[i..inst_limit.min(len)], i, until)
+        } else {
+            let b = trace.pin_block(i);
+            let end = inst_limit.min(b.end());
+            engine.step_block(trace, &b.insts()[i - b.first..end - b.first], i, until)
+        };
+        if !alive {
+            return false;
+        }
+    }
 }
 
 enum Backend {
@@ -278,6 +367,12 @@ impl Simulator {
         self.run_cursor(&TraceCursor::from_trace(trace))
     }
 
+    /// [`Simulator::run`] with a functional fast-forward prefix (see
+    /// [`Simulator::run_source_ff`]).
+    pub fn run_ff(&mut self, trace: &Trace, ff: usize) -> SimReport {
+        self.run_cursor_ff(&TraceCursor::from_trace(trace), ff)
+    }
+
     /// Simulates the trace behind any block-based source to completion —
     /// arena-backed sources take the cursor's zero-cost fast path; streamed
     /// sources (trace files, generators) stay bounded to a handful of
@@ -286,10 +381,32 @@ impl Simulator {
         self.run_cursor(&TraceCursor::new(source))
     }
 
+    /// [`Simulator::run_source`] with a functional fast-forward prefix: the
+    /// first `ff` instructions execute architecturally only (registers and
+    /// memory, no timing model); the remainder runs under the timing model
+    /// from a cold microarchitectural state.  The report's final
+    /// architectural state and `state_digest` equal the cold full run's by
+    /// construction; `cycles` covers only the timed region — that asymmetry
+    /// is the fast-forward methodology, not an accident.
+    pub fn run_source_ff(&mut self, source: &dyn TraceSource, ff: usize) -> SimReport {
+        self.run_cursor_ff(&TraceCursor::new(source), ff)
+    }
+
     fn run_cursor(&mut self, trace: &TraceCursor<'_>) -> SimReport {
+        self.run_cursor_ff(trace, 0)
+    }
+
+    fn run_cursor_ff(&mut self, trace: &TraceCursor<'_>, ff: usize) -> SimReport {
         let t0 = Instant::now();
         let mut engine = self.config.core.engine(&self.config.cfg);
-        while engine.step(trace) {}
+        if ff > 0 {
+            let warm = functional_warmup(trace, ff);
+            engine
+                .seed(&warm)
+                .expect("a just-built engine accepts a seed");
+        }
+        let alive = drive_blocks(&mut engine, trace, Cycle::MAX, usize::MAX);
+        debug_assert!(!alive, "an unbounded drive must finish the trace");
         let result = engine.drain(trace);
         SimReport::from_result(result, t0.elapsed().as_secs_f64())
     }
@@ -312,13 +429,44 @@ impl Simulator {
         };
     }
 
+    /// Functionally fast-forwards the loaded run: executes the first `n`
+    /// instructions architecturally (registers and memory only, no timing
+    /// model) and seeds the engine with the warmed state, leaving every
+    /// timing structure — caches, MSHRs, slice buffer — cold.  The run then
+    /// continues under the timing model from instruction `n`, and a
+    /// [`Simulator::checkpoint`] afterwards mints an ordinary
+    /// `icfp-ckpt/v2` checkpoint at that position, so warm-fork members
+    /// inherit the fast-forwarded state for free.  Returns the number of
+    /// instructions skipped (clamped to the trace length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::NotLoaded`] if no trace is loaded, and
+    /// [`CkptError::Engine`] if the engine has already done work —
+    /// fast-forward replaces the *initial* state only.
+    pub fn fast_forward(&mut self, n: usize) -> Result<u64, CkptError> {
+        let Backend::Loaded {
+            engine,
+            source,
+            host_seconds,
+        } = &mut self.backend
+        else {
+            return Err(CkptError::NotLoaded);
+        };
+        let trace = TraceCursor::new(&**source);
+        let t0 = Instant::now();
+        let warm = functional_warmup(&trace, n);
+        engine.seed(&warm).map_err(CkptError::Engine)?;
+        *host_seconds += t0.elapsed().as_secs_f64();
+        Ok(warm.instructions)
+    }
+
     /// Advances the loaded run by (at least) `cycles` simulated cycles, or to
     /// completion, whichever comes first.  Granularity is one instruction /
     /// rally pass, so the machine may overshoot the budget slightly.
     ///
-    /// # Panics
-    ///
-    /// Panics if no trace is loaded.
+    /// Returns [`StepStatus::NotLoaded`] if no trace is loaded (call
+    /// [`Simulator::load`] first) — never panics.
     pub fn step_n(&mut self, cycles: Cycle) -> StepStatus {
         let Backend::Loaded {
             engine,
@@ -326,18 +474,12 @@ impl Simulator {
             host_seconds,
         } = &mut self.backend
         else {
-            panic!("step_n without a loaded trace; call Simulator::load first");
+            return StepStatus::NotLoaded;
         };
         let trace = TraceCursor::new(&**source);
         let t0 = Instant::now();
         let target = engine.cycle().saturating_add(cycles);
-        let mut alive = true;
-        while engine.cycle() < target {
-            if !engine.step(&trace) {
-                alive = false;
-                break;
-            }
-        }
+        let alive = drive_blocks(engine, &trace, target, usize::MAX);
         *host_seconds += t0.elapsed().as_secs_f64();
         if alive {
             return StepStatus::Running {
@@ -367,32 +509,27 @@ impl Simulator {
     /// drains the engine, so a [`Simulator::checkpoint`] can follow — this is
     /// the warm-fork primitive the sweep executor builds on.
     ///
-    /// Returns `true` while the engine still has work (more instructions or
-    /// pending rallies), `false` once fully stepped (still undrained).
+    /// Returns `Ok(true)` while the engine still has work (more instructions
+    /// or pending rallies), `Ok(false)` once fully stepped (still undrained).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no trace is loaded.
-    pub fn advance_to_inst(&mut self, target: usize) -> bool {
+    /// Returns [`CkptError::NotLoaded`] if no trace is loaded (call
+    /// [`Simulator::load`] first) — never panics.
+    pub fn advance_to_inst(&mut self, target: usize) -> Result<bool, CkptError> {
         let Backend::Loaded {
             engine,
             source,
             host_seconds,
         } = &mut self.backend
         else {
-            panic!("advance_to_inst without a loaded trace; call Simulator::load first");
+            return Err(CkptError::NotLoaded);
         };
         let trace = TraceCursor::new(&**source);
         let t0 = Instant::now();
-        let mut alive = true;
-        while engine.processed() < target {
-            if !engine.step(&trace) {
-                alive = false;
-                break;
-            }
-        }
+        let alive = drive_blocks(engine, &trace, Cycle::MAX, target);
         *host_seconds += t0.elapsed().as_secs_f64();
-        alive
+        Ok(alive)
     }
 
     /// Captures the loaded run as a [`SimCheckpoint`]: the engine's complete
@@ -508,6 +645,9 @@ impl Simulator {
         match self.step_n(Cycle::MAX) {
             StepStatus::Done(r) => *r,
             StepStatus::Running { .. } => unreachable!("unbounded budget must finish"),
+            StepStatus::NotLoaded => {
+                panic!("finish_loaded without a loaded trace; call Simulator::load first")
+            }
         }
     }
 
@@ -587,6 +727,7 @@ mod tests {
             match stepped.step_n(100) {
                 StepStatus::Running { .. } => batches += 1,
                 StepStatus::Done(r) => break r,
+                StepStatus::NotLoaded => unreachable!("trace was just loaded"),
             }
             assert!(batches < 10_000, "stepping did not terminate");
         };
@@ -594,6 +735,42 @@ mod tests {
         assert_eq!(report.cycles, full.cycles);
         assert_eq!(report.state_digest, full.state_digest);
         assert!(!stepped.is_loaded());
+    }
+
+    #[test]
+    fn stepping_without_a_loaded_trace_is_a_typed_status_not_a_panic() {
+        let mut sim = Simulator::new(SimConfig::default());
+        assert!(matches!(sim.step_n(100), StepStatus::NotLoaded));
+        assert!(matches!(
+            sim.advance_to_inst(10),
+            Err(CkptError::NotLoaded)
+        ));
+        // A completed run unloads the backend; further stepping reports it.
+        sim.load(small_trace());
+        let StepStatus::Done(_) = sim.step_n(Cycle::MAX) else {
+            panic!("unbounded budget must finish");
+        };
+        assert!(matches!(sim.step_n(100), StepStatus::NotLoaded));
+    }
+
+    #[test]
+    fn step_n_over_a_streamed_source_matches_the_arena_run() {
+        // Small blocks force the batched driver across many block
+        // boundaries; the result must be bit-identical to the arena run.
+        let t = small_trace();
+        let full = Simulator::new(SimConfig::default()).run(&t);
+        let streamed = icfp_isa::ArenaSource::with_block_size(t, 16);
+        let mut sim = Simulator::new(SimConfig::default());
+        sim.load(streamed);
+        let report = loop {
+            match sim.step_n(200) {
+                StepStatus::Running { .. } => {}
+                StepStatus::Done(r) => break r,
+                StepStatus::NotLoaded => unreachable!("trace was just loaded"),
+            }
+        };
+        assert_eq!(report.cycles, full.cycles);
+        assert_eq!(report.state_digest, full.state_digest);
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn interrupted_run(
 ) -> (SimCheckpoint, SimReport) {
     let mut sim = Simulator::new(config.clone());
     sim.load(trace.clone());
-    sim.advance_to_inst(fork_at);
+    sim.advance_to_inst(fork_at).expect("loaded");
     let ck = sim.checkpoint().expect("checkpoint mid-run");
     // Round-trip the container encoding so the test covers the v1 format,
     // not just the in-memory snapshot.
@@ -76,7 +76,7 @@ fn mid_episode_checkpoint_resumes_exactly() {
     for fork_at in (50..trace.len()).step_by(151) {
         let mut sim = Simulator::new(config.clone());
         sim.load(trace.clone());
-        sim.advance_to_inst(fork_at);
+        sim.advance_to_inst(fork_at).expect("loaded");
         let ck = sim.checkpoint().expect("checkpoint");
         // The episode flag is encoded in the snapshot; detect it by resuming
         // and checking live slice statistics via the engine report instead of
@@ -104,7 +104,7 @@ fn checkpoints_from_different_configs_do_not_cross_resume() {
     let trace = icfp_workloads::by_name("branchy", 500, SEED).unwrap();
     let mut sim = Simulator::new(SimConfig::new(CoreModel::Icfp));
     sim.load(trace.clone());
-    sim.advance_to_inst(100);
+    sim.advance_to_inst(100).expect("loaded");
     let mut ck = sim.checkpoint().unwrap();
     // Tamper: claim the checkpoint is for another model while keeping the
     // icfp snapshot bytes. The engine-level model check must reject it.

@@ -1,0 +1,159 @@
+//! Functional fast-forward equivalence: a run whose first N instructions are
+//! executed architecturally (no timing model) must agree with the cold full
+//! run on every final architectural figure — registers, memory, state
+//! digest, instruction count — for every core model, whether the warmed
+//! state is used directly, threaded through a checkpoint, or resumed on
+//! another simulator.  Cycle counts legitimately differ: they cover only the
+//! timed region, which is the fast-forward methodology.
+
+use icfp_isa::TraceCursor;
+use icfp_sim::{functional_warmup, CkptError, CoreModel, SimCheckpoint, SimConfig, Simulator};
+
+const INSTS: usize = 3_000;
+const SEED: u64 = 0xFF_C0DE;
+
+fn trace_for(workload: &str) -> icfp_isa::Trace {
+    icfp_workloads::by_name(workload, INSTS, SEED).expect("standard workload")
+}
+
+#[test]
+fn functional_warmup_clamps_and_counts() {
+    let t = trace_for("pointer-chase");
+    let cur = TraceCursor::from_trace(&t);
+    assert_eq!(functional_warmup(&cur, 0).instructions, 0);
+    assert_eq!(functional_warmup(&cur, 7).instructions, 7);
+    assert_eq!(functional_warmup(&cur, t.len()).instructions, t.len() as u64);
+    // Requests past the end clamp instead of spinning or panicking.
+    assert_eq!(
+        functional_warmup(&cur, t.len() * 3).instructions,
+        t.len() as u64
+    );
+    // Pure function of (trace, n).
+    assert_eq!(functional_warmup(&cur, 100), functional_warmup(&cur, 100));
+}
+
+#[test]
+fn fast_forwarded_runs_match_cold_runs_on_final_architectural_state() {
+    for wl in ["pointer-chase", "streaming"] {
+        let t = trace_for(wl);
+        for model in CoreModel::ALL {
+            let config = SimConfig::new(model);
+            let cold = Simulator::new(config.clone()).run(&t);
+            for ff in [1, t.len() / 3, t.len() / 2 + 17, t.len()] {
+                let warm = Simulator::new(config.clone()).run_ff(&t, ff);
+                assert_eq!(
+                    warm.state_digest, cold.state_digest,
+                    "{model:?}/{wl} ff={ff}: architectural execution is \
+                     timing-independent, digests must agree"
+                );
+                assert_eq!(warm.instructions, cold.instructions);
+                assert_eq!(
+                    warm.result.final_regs, cold.result.final_regs,
+                    "{model:?}/{wl} ff={ff}"
+                );
+                assert_eq!(warm.result.final_mem, cold.result.final_mem);
+                assert!(
+                    warm.cycles <= cold.cycles,
+                    "{model:?}/{wl} ff={ff}: the timed region shrank, cycles \
+                     cannot grow ({} vs {})",
+                    warm.cycles,
+                    cold.cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_forward_zero_is_exactly_the_cold_run() {
+    let t = trace_for("branchy");
+    for model in CoreModel::ALL {
+        let config = SimConfig::new(model);
+        let cold = Simulator::new(config.clone()).run(&t);
+        let ff0 = Simulator::new(config).run_ff(&t, 0);
+        assert_eq!(ff0.cycles, cold.cycles, "{model:?}: ff=0 must not seed");
+        assert_eq!(ff0.state_digest, cold.state_digest);
+        assert_eq!(ff0.instructions, cold.instructions);
+    }
+}
+
+#[test]
+fn checkpoints_minted_after_fast_forward_resume_into_the_cold_digest() {
+    let t = trace_for("pointer-chase");
+    let ff = t.len() / 2;
+    for model in CoreModel::ALL {
+        let config = SimConfig::new(model);
+        let cold = Simulator::new(config.clone()).run(&t);
+
+        let mut sim = Simulator::new(config);
+        sim.load(t.clone());
+        let skipped = sim.fast_forward(ff).expect("fresh loaded engine seeds");
+        assert_eq!(skipped, ff as u64);
+        // Mint the checkpoint at the fast-forward point itself and push it
+        // through the full icfp-ckpt/v2 byte encoding.
+        let ckpt = sim.checkpoint().expect("undrained engine checkpoints");
+        let ckpt = SimCheckpoint::from_bytes(&ckpt.to_bytes()).expect("container round-trip");
+
+        let mut resumed = Simulator::resume(&ckpt, t.clone()).expect("resume own trace");
+        let resumed_report = resumed.finish_loaded();
+        let direct_report = sim.finish_loaded();
+
+        for (label, report) in [("resumed", &resumed_report), ("direct", &direct_report)] {
+            assert_eq!(
+                report.state_digest, cold.state_digest,
+                "{model:?} {label}: digest must equal the cold full run"
+            );
+            assert_eq!(report.instructions, cold.instructions, "{model:?} {label}");
+        }
+        // The fork members replay exactly the leader's timed region.
+        assert_eq!(resumed_report.cycles, direct_report.cycles, "{model:?}");
+    }
+}
+
+#[test]
+fn fast_forward_requires_a_fresh_loaded_engine() {
+    let t = trace_for("streaming");
+    // No trace loaded: typed status, not a panic.
+    let mut idle = Simulator::new(SimConfig::new(CoreModel::Icfp));
+    assert!(matches!(idle.fast_forward(10), Err(CkptError::NotLoaded)));
+    // An engine that has already done timed work refuses a seed.
+    for model in CoreModel::ALL {
+        let mut sim = Simulator::new(SimConfig::new(model));
+        sim.load(t.clone());
+        sim.advance_to_inst(t.len() / 4).expect("loaded");
+        assert!(
+            matches!(sim.fast_forward(10), Err(CkptError::Engine(_))),
+            "{model:?}: seeding mid-run must be rejected"
+        );
+        // The refused seed left the run intact.
+        let report = sim.finish_loaded();
+        let cold = Simulator::new(SimConfig::new(model)).run(&t);
+        assert_eq!(report.cycles, cold.cycles, "{model:?}");
+        assert_eq!(report.state_digest, cold.state_digest);
+    }
+}
+
+#[test]
+fn fast_forward_throughput_dwarfs_timed_simulation() {
+    // The tentpole bar is high double-digit MIPS on real grids; CI machines
+    // vary wildly, so the test asserts the structural property — functional
+    // execution is at least an order of magnitude faster than timed
+    // simulation of a miss-heavy workload — and leaves absolute MIPS to the
+    // bench harness (`icfp-bench --fast-forward`).
+    let t = icfp_workloads::by_name("pointer-chase", 200_000, SEED).expect("workload");
+    let cur = TraceCursor::from_trace(&t);
+    let t0 = std::time::Instant::now();
+    let warm = functional_warmup(&cur, t.len());
+    let ff_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(warm.instructions, t.len() as u64);
+
+    let t1 = std::time::Instant::now();
+    let _ = Simulator::new(SimConfig::new(CoreModel::Icfp)).run(&t);
+    let timed_secs = t1.elapsed().as_secs_f64();
+    let ff_mips = warm.instructions as f64 / ff_secs / 1.0e6;
+    assert!(
+        ff_secs * 10.0 < timed_secs,
+        "functional warmup took {ff_secs:.4}s ({ff_mips:.1} MIPS) vs \
+         {timed_secs:.4}s timed — less than 10x apart"
+    );
+}

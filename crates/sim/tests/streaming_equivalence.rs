@@ -36,9 +36,11 @@ fn streamed_and_arena_runs_are_bit_identical_for_all_models_and_workloads() {
             assert_eq!(a.result.final_mem, s.result.final_mem);
         }
         // Streaming held only a bounded number of blocks resident even
-        // though five models replayed the whole trace.
+        // though five models replayed the whole trace: the source's MRU
+        // cache plus the one block the batched driver pins as the active
+        // slice (rally faults can evict it from the cache while pinned).
         let peak = streamed.residency().expect("streamed source counts").peak();
-        assert!(peak <= 4, "{}: peak resident blocks {peak}", spec.name);
+        assert!(peak <= 5, "{}: peak resident blocks {peak}", spec.name);
     }
 }
 
@@ -56,7 +58,7 @@ fn mid_block_checkpoint_from_streamed_source_resumes_digest_identical() {
             let streamed: Arc<dyn TraceSource> = spec.source(INSTS, SEED, BLOCK).into();
             let mut sim = Simulator::new(config.clone());
             sim.load(Arc::clone(&streamed));
-            sim.advance_to_inst(fork_at);
+            sim.advance_to_inst(fork_at).expect("loaded");
             let ckpt = sim.checkpoint().expect("mid-block checkpoint");
             assert_eq!(ckpt.block_size, BLOCK as u64);
 
@@ -88,7 +90,7 @@ fn resume_block_digest_mismatch_is_rejected() {
     let streamed: Arc<dyn TraceSource> = spec.source(INSTS, SEED, BLOCK).into();
     let mut sim = Simulator::new(SimConfig::new(CoreModel::Icfp));
     sim.load(Arc::clone(&streamed));
-    sim.advance_to_inst(BLOCK * 2 + 7);
+    sim.advance_to_inst(BLOCK * 2 + 7).expect("loaded");
     let mut ckpt = sim.checkpoint().expect("checkpoint");
     ckpt.resume_block_digest ^= 1;
     let fresh: Arc<dyn TraceSource> = spec.source(INSTS, SEED, BLOCK).into();
@@ -113,6 +115,7 @@ fn batched_stepping_streams_through_block_boundaries() {
         match sim.step_n(250) {
             icfp_sim::StepStatus::Running { .. } => {}
             icfp_sim::StepStatus::Done(r) => break r,
+            icfp_sim::StepStatus::NotLoaded => unreachable!("trace was just loaded"),
         }
     };
     assert_eq!(report.cycles, reference.cycles);

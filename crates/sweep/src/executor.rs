@@ -190,7 +190,15 @@ fn run_fork_group(
     let mut sim = Simulator::new(SimConfig::with_config(leader.model, leader.config.clone()));
     sim.load(Arc::clone(trace));
     let t0 = std::time::Instant::now();
-    sim.advance_to_inst(trace.len() / 2);
+    if leader.fast_forward > 0 {
+        // The group's fast-forward depth is part of its fork key, so every
+        // member wants exactly this warmed state — seed it once, before the
+        // timed advance, and the checkpoint hands it to every member.
+        sim.fast_forward(leader.fast_forward)
+            .expect("leader engine was just loaded and has done no work");
+    }
+    sim.advance_to_inst((trace.len() / 2).max(leader.fast_forward))
+        .expect("leader trace was just loaded");
     let front_seconds = t0.elapsed().as_secs_f64();
     let ckpt = sim
         .checkpoint()
@@ -605,6 +613,48 @@ mod tests {
         assert_deterministically_equal(&cold, &warm_serial);
         assert_deterministically_equal(&cold, &warm_pooled);
         assert_deterministically_equal(&warm_serial, &warm_pooled);
+    }
+
+    #[test]
+    fn fast_forward_sweeps_keep_digests_shrink_cycles_and_key_separately() {
+        let base_spec = tiny_spec();
+        let ff_spec = {
+            let mut s = tiny_spec();
+            s.fast_forward = 300; // half of the 600-inst budget
+            s
+        };
+        let base = run_sweep(&base_spec, 1).unwrap();
+        let ff = run_sweep(&ff_spec, 1).unwrap();
+        assert_eq!(base.cells.len(), ff.cells.len());
+        for (b, f) in base.cells.iter().zip(&ff.cells) {
+            // Architectural execution is timing-independent: skipping the
+            // timing model for the first half must not move the final state.
+            assert_eq!(b.state_digest, f.state_digest, "{} {}", b.model, b.workload);
+            assert_eq!(b.instructions, f.instructions);
+            // The timed region shrank; cycles cannot grow.
+            assert!(f.cycles <= b.cycles, "{} {}", f.model, f.workload);
+        }
+        // Warm-forked fast-forward cells agree with cold-path ones on every
+        // deterministic field — the leader seeds once and every member
+        // inherits the warmed state through the checkpoint.
+        let ff_forked = {
+            let mut s = ff_spec.clone();
+            s.warm_fork = true;
+            run_sweep(&s, 1).unwrap()
+        };
+        assert_deterministically_equal(&ff, &ff_forked);
+
+        // Fast-forward is part of the cell identity: different depths never
+        // share a warm-fork checkpoint or a result-cache entry.
+        let j0 = base_spec.expand();
+        let j1 = ff_spec.expand();
+        assert_ne!(j0[0].fork_key(), j1[0].fork_key());
+        assert_ne!(j0[0].cache_key(0xD1CE), j1[0].cache_key(0xD1CE));
+
+        // A fast-forward that leaves no timed region is rejected up front.
+        let mut bad = tiny_spec();
+        bad.fast_forward = bad.insts;
+        assert!(bad.validate().unwrap_err().contains("timed region"));
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub struct SweepJob {
     pub seed: u64,
     /// Timing repetitions (median is kept).
     pub reps: u32,
+    /// Functional fast-forward depth in instructions (0 = fully cold; see
+    /// [`crate::SweepSpec::fast_forward`]).
+    pub fast_forward: usize,
 }
 
 impl SweepJob {
@@ -39,7 +42,7 @@ impl SweepJob {
     /// Executes the job against an already generated trace.
     pub fn run_with_trace(&self, trace: &Trace) -> SweepCell {
         let config = SimConfig::with_config(self.model, self.config.clone());
-        let median = icfp_sim::median_run(&config, trace, self.reps);
+        let median = icfp_sim::median_run_ff(&config, trace, self.fast_forward, self.reps);
         self.cell_from_report(&median)
     }
 
@@ -48,7 +51,7 @@ impl SweepJob {
     /// pool).  Deterministic outputs are independent of the backing.
     pub fn run_with_source(&self, source: &dyn TraceSource) -> SweepCell {
         let config = SimConfig::with_config(self.model, self.config.clone());
-        let median = icfp_sim::median_run_source(&config, source, self.reps);
+        let median = icfp_sim::median_run_source_ff(&config, source, self.fast_forward, self.reps);
         self.cell_from_report(&median)
     }
 
@@ -123,15 +126,16 @@ impl SweepJob {
     }
 
     /// The job's *fork key*: two jobs may share one warm-fork checkpoint iff
-    /// their keys are byte-identical — same model, workload, seed and
-    /// instruction budget, and configurations equal after normalizing the
-    /// axes this model never reads.  Keys are the vendored-serde encoding of
-    /// exactly those inputs, so equality is equality of deterministic inputs.
+    /// their keys are byte-identical — same model, workload, seed,
+    /// instruction budget and fast-forward depth, and configurations equal
+    /// after normalizing the axes this model never reads.  Keys are the
+    /// vendored-serde encoding of exactly those inputs, so equality is
+    /// equality of deterministic inputs.
     pub(crate) fn fork_key(&self) -> Vec<u8> {
         serde::to_bytes(&(
             self.model.name().to_string(),
             self.workload.clone(),
-            (self.seed, self.insts as u64),
+            (self.seed, self.insts as u64, self.fast_forward as u64),
             serde::to_bytes(&self.normalized_config()),
         ))
     }
@@ -140,7 +144,9 @@ impl SweepJob {
     /// store: an FNV-1a digest (length-prefixed fields, see
     /// [`Fnv1a::write_field`]) of everything the cell's deterministic outputs
     /// depend on — container version, model, normalized configuration bytes,
-    /// the trace's content digest, and the instruction budget.  Labels that
+    /// the trace's content digest, the instruction budget and the
+    /// fast-forward depth (which moves the cold-start boundary and therefore
+    /// every timing figure).  Labels that
     /// don't feed the simulation (the workload *name*, the seed — both
     /// already folded into the trace digest's content) are deliberately
     /// excluded, so renamed-but-identical columns share entries; the replayed
@@ -152,6 +158,7 @@ impl SweepJob {
         h.write_field(&serde::to_bytes(&self.normalized_config()));
         h.write_u64(trace_digest);
         h.write_u64(self.insts as u64);
+        h.write_u64(self.fast_forward as u64);
         h.finish()
     }
 }

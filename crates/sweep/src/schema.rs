@@ -124,7 +124,28 @@ pub fn to_json(report: &SweepReport) -> String {
         s.push_str(if k + 1 == report.cells.len() { "\n" } else { ",\n" });
     }
     s.push_str("  ],\n");
-    let _ = writeln!(s, "  \"aggregate_mips\": {:.3}", report.aggregate_mips());
+    // The aggregate is derived from the *rendered* per-cell host seconds
+    // (re-parsed from their 6-decimal form above), not the unrounded values,
+    // so the document is a fixed point of parse -> render: re-rendering a
+    // parsed report reproduces it byte for byte even when host_seconds
+    // rounding would nudge the unrounded aggregate across a 3-decimal
+    // boundary.
+    let inst: u64 = report.cells.iter().map(|c| c.instructions).sum();
+    let secs: f64 = report
+        .cells
+        .iter()
+        .map(|c| {
+            format!("{:.6}", c.host_seconds)
+                .parse::<f64>()
+                .expect("a {:.6}-formatted float always parses")
+        })
+        .sum();
+    let aggregate = if secs > 0.0 {
+        inst as f64 / secs / 1.0e6
+    } else {
+        0.0
+    };
+    let _ = writeln!(s, "  \"aggregate_mips\": {aggregate:.3}");
     s.push_str("}\n");
     s
 }

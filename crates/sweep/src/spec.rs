@@ -36,6 +36,14 @@ pub struct SweepSpec {
     pub seed: u64,
     /// Timing repetitions per cell (the median host time is reported).
     pub reps: u32,
+    /// Functional fast-forward: every cell architecturally executes this many
+    /// leading instructions without the timing model (registers + memory
+    /// only) and times the remainder from a cold microarchitectural state
+    /// (0 = fully cold).  Part of every cell's deterministic identity: it is
+    /// folded into both the warm-fork key and the result-cache key, so cells
+    /// with different fast-forward depths never share a checkpoint or a cache
+    /// entry.
+    pub fast_forward: usize,
     /// Warm-fork execution: fork groups of equivalent cells resume from one
     /// checkpoint per group instead of re-simulating from cycle zero (see the
     /// crate docs).  Deterministic outputs are unchanged; host-time figures
@@ -56,6 +64,7 @@ impl SweepSpec {
             insts,
             seed,
             reps: 1,
+            fast_forward: 0,
             warm_fork: false,
         }
     }
@@ -89,6 +98,12 @@ impl SweepSpec {
         }
         if self.insts == 0 {
             return Err("sweep spec has a zero instruction budget".into());
+        }
+        if self.fast_forward >= self.insts {
+            return Err(format!(
+                "fast-forward ({}) must leave a timed region (insts = {})",
+                self.fast_forward, self.insts
+            ));
         }
         for w in &self.workloads {
             icfp_workloads::by_name_or_err(w, 1, 0)?;
@@ -125,6 +140,7 @@ impl SweepSpec {
                                 insts: self.insts,
                                 seed: self.workload_seed(workload),
                                 reps: self.reps.max(1),
+                                fast_forward: self.fast_forward,
                             });
                         }
                     }

@@ -56,6 +56,7 @@ fn main() {
                 println!("  ... batch {batches}: cycle {cycle}, {processed} insts processed");
             }
             StepStatus::Done(report) => break report,
+            StepStatus::NotLoaded => unreachable!("trace was just loaded"),
         }
     };
     println!(
