@@ -11,8 +11,10 @@
 //!            [--sweep] [--warm-fork] [--sweep-slice N[,N...]]
 //!            [--sweep-mshr N[,N...]] [--sweep-l2 N[,N...]] [--threads N]
 //!            [--cache-dir DIR] [--ckpt-smoke] [--figures PATH]
-//! icfp-bench sweep submit --server ADDR [--retries N] [--retry-base-ms MS]
+//! icfp-bench sweep submit (--server ADDR | --workers A,B[,..]) [--shards N]
+//!            [--stream-columns] [--retries N] [--retry-base-ms MS]
 //!            [--io-timeout-ms MS] [sweep flags as above]
+//! icfp-bench sweep plan [--shards N] [--workers A,B] [sweep flags as above]
 //! icfp-bench trace convert <in.bbp|in.trace> <out.trace>
 //!            [--block-size N] [--name S] [--format v1|v2]
 //! icfp-bench trace info <file.trace>
@@ -58,8 +60,21 @@
 //! `--cache-dir DIR` gives `--sweep` a persistent `icfp-cache/v1` result
 //! store: repeated or overlapping grids are served from disk, with reports
 //! byte-identical to cold runs.  `sweep submit --server ADDR` sends the same
-//! grid to a running `icfp-sweepd` over `icfp-wire/v1` instead of executing
+//! grid to a running `icfp-sweepd` over `icfp-wire/v2` instead of executing
 //! locally, reassembling the streamed cells into the identical report.
+//!
+//! `sweep submit --workers A,B[,..]` distributes the grid instead: the
+//! shard planner splits it by workload column, each shard (a spec slice
+//! plus per-column trace *digests*, never trace bytes) goes to one
+//! `icfp-sweepd --worker`, and the streamed cells merge deterministically —
+//! the report is digest-identical to a serial local run, even when a worker
+//! dies mid-shard and its shard is reassigned.  `--shards N` overrides the
+//! one-shard-per-worker default; `--stream-columns` backs every workload
+//! column with a resumable streamed source instead of a materialized arena
+//! (columns past the executor's budget threshold stream automatically).
+//! `sweep plan` prints the shard assignment — cells per shard, per-column
+//! trace digests, inert-axis cache sharing — without executing anything,
+//! and exits 2 on an invalid spec.
 
 use icfp_bench::{
     bench_source_ff, bench_trace_ff, gate_against_baseline, machine_class, parse_baseline,
@@ -68,8 +83,8 @@ use icfp_bench::{
 use icfp_isa::{TraceFile, TraceFileWriter, DEFAULT_BLOCK_INSTS};
 use icfp_sim::{CoreModel, SimCheckpoint, SimConfig, Simulator};
 use icfp_sweep::{
-    run_sweep_streamed, CacheStats, ExecOptions, ResultCache, RetryPolicy, SweepReport, SweepSpec,
-    WireError,
+    plan_shards, CacheStats, ExecBackend, LocalBackend, RemoteBackend, RetryPolicy, SweepReport,
+    SweepSpec, WireError,
 };
 use icfp_workloads::TraceSink;
 
@@ -95,6 +110,9 @@ struct Args {
     threads: usize,
     cache_dir: Option<String>,
     server: Option<String>,
+    workers: Vec<String>,
+    shards: usize,
+    stream_columns: bool,
     retries: u32,
     retry_base_ms: u64,
     io_timeout_ms: u64,
@@ -135,6 +153,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         threads: 0,
         cache_dir: None,
         server: None,
+        workers: Vec::new(),
+        shards: 0,
+        stream_columns: false,
         retries: RetryPolicy::default().retries,
         retry_base_ms: RetryPolicy::default().base_delay_ms,
         io_timeout_ms: RetryPolicy::default().io_timeout_ms,
@@ -214,6 +235,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--cache-dir" => a.cache_dir = Some(val("--cache-dir")?),
             "--server" => a.server = Some(val("--server")?),
+            "--workers" => {
+                a.workers = val("--workers")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--shards" => {
+                a.shards = val("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--stream-columns" => a.stream_columns = true,
             "--retries" => {
                 a.retries = val("--retries")?
                     .parse()
@@ -238,11 +272,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                      [--sweep] [--warm-fork] [--sweep-slice NS] [--sweep-mshr NS] \
                      [--sweep-l2 NS] [--threads N] [--cache-dir DIR] \
                      [--ckpt-smoke] [--figures PATH]\n\
-                     \u{20}      icfp-bench sweep submit --server ADDR \
-                     [--retries N] [--retry-base-ms MS] [--io-timeout-ms MS] \
+                     \u{20}      icfp-bench sweep submit (--server ADDR | --workers A,B) \
+                     [--shards N] [--stream-columns] [--retries N] \
+                     [--retry-base-ms MS] [--io-timeout-ms MS] [sweep flags as above]\n\
+                     \u{20}      icfp-bench sweep plan [--shards N] [--workers A,B] \
                      [sweep flags as above]\n\
                      \u{20}      sweep submit exit codes: 2 invalid spec/usage, \
-                     3 connect/transport failed, 4 protocol/digest mismatch, \
+                     3 connect/transport failed, 4 protocol/version/digest mismatch, \
                      5 server-reported error\n\
                      \u{20}      icfp-bench trace convert <in.bbp|in.trace> <out.trace> \
                      [--block-size N] [--name S] [--format v1|v2]\n\
@@ -335,6 +371,7 @@ fn sweep_spec_of(args: &Args) -> SweepSpec {
     spec.reps = args.reps;
     spec.warm_fork = args.warm_fork;
     spec.fast_forward = args.fast_forward;
+    spec.streamed = args.stream_columns;
     spec
 }
 
@@ -371,26 +408,19 @@ fn run_sweep_mode(args: &Args) {
         args.threads,
         if args.warm_fork { ", warm-fork" } else { "" }
     );
-    let cache = match args.cache_dir.as_deref().map(ResultCache::open).transpose() {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("icfp-bench: --cache-dir: {e}");
-            std::process::exit(1);
-        }
-    };
-    let opts = ExecOptions {
+    let backend = LocalBackend {
         threads: args.threads,
-        cache: cache.as_ref(),
-        ..ExecOptions::default()
+        cache_dir: args.cache_dir.as_deref().map(Into::into),
+        ..LocalBackend::default()
     };
-    let outcome = match run_sweep_streamed(&spec, &opts, |_| {}) {
+    let outcome = match backend.run(&spec) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("icfp-bench: {e}");
             std::process::exit(2);
         }
     };
-    if cache.is_some() {
+    if args.cache_dir.is_some() {
         println!("cache: {}", outcome.cache.summary());
     }
     finish_sweep(args, &outcome.report);
@@ -403,14 +433,15 @@ fn run_sweep_mode(args: &Args) {
 /// * `3` — connect or transport failed after every retry (refused,
 ///   timed out, torn frames, server vanished mid-stream).
 /// * `4` — the conversation itself went wrong: protocol violation,
-///   undecodable payload, or a reassembled-report digest mismatch.
+///   undecodable payload, an incompatible peer (version skew refused at the
+///   handshake), or a reassembled-report digest mismatch.
 /// * `5` — the server answered with a typed error (e.g. it rejected the
 ///   spec, or was draining for shutdown).
 fn wire_exit_code(e: &WireError) -> i32 {
     match e {
         WireError::Spec(_) => 2,
         WireError::Io(_) | WireError::Frame(_) | WireError::Disconnected => 3,
-        WireError::Protocol(_) | WireError::Decode(_) => 4,
+        WireError::Protocol(_) | WireError::Decode(_) | WireError::UnsupportedVersion { .. } => 4,
         WireError::Server(_) => 5,
     }
 }
@@ -422,8 +453,12 @@ fn wire_exit_code(e: &WireError) -> i32 {
 /// (`--retries`, `--retry-base-ms`); failures exit with [`wire_exit_code`]'s
 /// documented codes.
 fn run_sweep_submit(args: &Args) {
+    if !args.workers.is_empty() {
+        run_sweep_distributed(args);
+        return;
+    }
     let Some(server) = args.server.as_deref() else {
-        eprintln!("icfp-bench: sweep submit requires --server ADDR");
+        eprintln!("icfp-bench: sweep submit requires --server ADDR or --workers A,B[,..]");
         std::process::exit(2);
     };
     let spec = sweep_spec_of(args);
@@ -457,6 +492,135 @@ fn run_sweep_submit(args: &Args) {
     };
     println!("streamed {streamed} cells; server cache: {}", stats.summary());
     finish_sweep(args, &outcome.report);
+}
+
+/// `icfp-bench sweep submit --workers A,B[,..]`: distribute the grid across
+/// a pool of `icfp-sweepd --worker` processes through [`RemoteBackend`] —
+/// shard per workload-column slice, digests instead of trace bytes on the
+/// wire, deterministic merge, reassignment when a worker dies.  The final
+/// report is digest-identical to a serial local run of the same spec.
+/// Exit codes: `2` invalid spec (nothing was sent), `3` the distributed run
+/// failed (a shard exhausted every reassignment attempt, or a worker broke
+/// protocol).
+fn run_sweep_distributed(args: &Args) {
+    let spec = sweep_spec_of(args);
+    if let Err(e) = spec.validate() {
+        eprintln!("icfp-bench: sweep submit: {e}");
+        std::process::exit(2);
+    }
+    let backend = RemoteBackend {
+        workers: args.workers.clone(),
+        shards: args.shards,
+        threads: args.threads,
+        policy: RetryPolicy {
+            retries: args.retries,
+            base_delay_ms: args.retry_base_ms,
+            io_timeout_ms: args.io_timeout_ms,
+            ..RetryPolicy::default()
+        },
+    };
+    println!(
+        "sweep submit: {} cells ({} models x {} configs x {} workloads) -> {}",
+        spec.cell_count(),
+        spec.models.len(),
+        spec.slice_buffer_entries.len() * spec.mshr_counts.len() * spec.l2_hit_latencies.len(),
+        spec.workloads.len(),
+        backend.label(),
+    );
+    let mut streamed = 0u64;
+    let outcome = match backend.run_streamed(&spec, &mut |_| streamed += 1) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("icfp-bench: sweep submit: {e}");
+            std::process::exit(3);
+        }
+    };
+    println!(
+        "streamed {streamed} cells; worker caches: {}",
+        outcome.cache.summary()
+    );
+    finish_sweep(args, &outcome.report);
+}
+
+/// `icfp-bench sweep plan`: dry-run the shard planner and print the
+/// assignment — cells per shard, each column's workload and trace digest,
+/// and how far inert-axis canonicalization shrinks the shard's distinct
+/// cache entries — without executing a single cell.  Exits 2 on an invalid
+/// spec, exactly as `sweep submit` would before sending anything.
+fn run_sweep_plan(args: &Args) {
+    let spec = sweep_spec_of(args);
+    let shard_count = match (args.shards, args.workers.len()) {
+        (0, 0) => 1,
+        (0, w) => w,
+        (s, _) => s,
+    };
+    let plan = match plan_shards(&spec, shard_count) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("icfp-bench: sweep plan: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "plan: {} cells ({} models x {} configs x {} workloads) -> {} shard{}{}",
+        spec.cell_count(),
+        spec.models.len(),
+        spec.slice_buffer_entries.len() * spec.mshr_counts.len() * spec.l2_hit_latencies.len(),
+        spec.workloads.len(),
+        plan.len(),
+        if plan.len() == 1 { "" } else { "s" },
+        if spec.streams_columns() {
+            " (streamed columns)"
+        } else {
+            ""
+        },
+    );
+    for shard in &plan {
+        // Distinct cache keys per shard: cells whose configurations differ
+        // only along axes their model never reads canonicalize to one entry.
+        let mut keys: Vec<u64> = shard
+            .spec
+            .expand()
+            .iter()
+            .map(|job| {
+                let digest = shard
+                    .columns
+                    .iter()
+                    .find(|c| c.workload == job.workload)
+                    .map(|c| c.trace_digest)
+                    .unwrap_or(0);
+                job.cache_key(digest)
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let worker = if args.workers.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "  -> {}",
+                args.workers[shard.shard_index as usize % args.workers.len()]
+            )
+        };
+        println!(
+            "shard {}: {} cells, {} distinct cache entries (inert-axis sharing){}",
+            shard.shard_index,
+            shard.cell_count(),
+            keys.len(),
+            worker,
+        );
+        for col in &shard.columns {
+            println!(
+                "  column {:<14} trace digest {:#018x}  {}",
+                col.workload,
+                col.trace_digest,
+                match &col.local_path {
+                    Some(p) => format!("local container {p}"),
+                    None => "regenerated from registry".to_string(),
+                },
+            );
+        }
+    }
 }
 
 /// `--ckpt-smoke`: for every (model × standard workload) pair, run the front
@@ -795,11 +959,16 @@ fn main() {
         return;
     }
     if argv.first().map(String::as_str) == Some("sweep") {
-        if argv.get(1).map(String::as_str) != Some("submit") {
-            eprintln!("icfp-bench: usage: icfp-bench sweep submit --server ADDR [sweep flags]");
+        let verb = argv.get(1).map(String::as_str);
+        if verb != Some("submit") && verb != Some("plan") {
+            eprintln!(
+                "icfp-bench: usage: icfp-bench sweep submit (--server ADDR | --workers A,B) \
+                 [sweep flags] | sweep plan [--shards N] [sweep flags]"
+            );
             std::process::exit(2);
         }
         match parse_args(&argv[2..]) {
+            Ok(a) if verb == Some("plan") => run_sweep_plan(&a),
             Ok(a) => run_sweep_submit(&a),
             Err(e) => {
                 eprintln!("icfp-bench: {e}");

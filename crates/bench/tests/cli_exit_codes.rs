@@ -4,7 +4,7 @@
 //! exit code so scripts can tell "fix the spec" from "retry later" from
 //! "incompatible peer".
 
-use icfp_sweep::wire::{Request, Response, WIRE_VERSION};
+use icfp_sweep::wire::{base_features, Request, Response, WIRE_VERSION};
 use serde::frame::{read_frame, write_frame};
 use serde::{from_bytes, to_bytes, MAX_FRAME_LEN};
 use std::io::{BufReader, BufWriter};
@@ -36,8 +36,9 @@ fn send_resp(w: &mut BufWriter<TcpStream>, resp: &Response) {
     w.flush().expect("flush frame");
 }
 
-/// A one-connection scripted server: accepts, answers Hello, then hands the
-/// streams to `script` for the rest of the conversation.
+/// A one-connection scripted server: accepts, consumes the client's
+/// `Hello2`, then hands the streams to `script` for the rest of the
+/// conversation (starting with the handshake reply).
 fn scripted_server(
     script: impl FnOnce(&mut BufReader<TcpStream>, &mut BufWriter<TcpStream>) + Send + 'static,
 ) -> (String, std::thread::JoinHandle<()>) {
@@ -48,12 +49,23 @@ fn scripted_server(
         let mut r = BufReader::new(stream.try_clone().expect("clone"));
         let mut w = BufWriter::new(stream);
         match recv_req(&mut r) {
-            Request::Hello { version } => assert_eq!(version, WIRE_VERSION),
-            other => panic!("expected Hello, got {other:?}"),
+            Request::Hello2 { version, .. } => assert_eq!(version, WIRE_VERSION),
+            other => panic!("expected Hello2, got {other:?}"),
         }
         script(&mut r, &mut w);
     });
     (addr, handle)
+}
+
+/// The scripted server's side of a successful v2 handshake.
+fn send_hello2(w: &mut BufWriter<TcpStream>) {
+    send_resp(
+        w,
+        &Response::Hello2 {
+            version: WIRE_VERSION.to_string(),
+            features: base_features(),
+        },
+    );
 }
 
 #[test]
@@ -80,12 +92,7 @@ fn a_protocol_violation_exits_4() {
     // The server "accepts" a cell count that cannot match the submitted
     // spec; the client must refuse the conversation, not stream forever.
     let (addr, server) = scripted_server(|r, w| {
-        send_resp(
-            w,
-            &Response::Hello {
-                version: WIRE_VERSION.to_string(),
-            },
-        );
+        send_hello2(w);
         match recv_req(r) {
             Request::Submit { .. } => {}
             other => panic!("expected Submit, got {other:?}"),
@@ -104,8 +111,33 @@ fn a_protocol_violation_exits_4() {
 }
 
 #[test]
-fn a_server_reported_error_exits_5() {
+fn a_pre_v2_server_exits_4_as_an_incompatible_peer() {
+    // A v1 server answers the handshake with the legacy `Hello` — the
+    // client must classify that as version skew (protocol family, exit 4),
+    // not as a transport failure worth retrying.
     let (addr, server) = scripted_server(|_r, w| {
+        send_resp(
+            w,
+            &Response::Hello {
+                version: "icfp-wire/v1".to_string(),
+            },
+        );
+    });
+    let code = submit_status(&["--server", &addr]);
+    server.join().expect("server thread");
+    assert_eq!(code, 4);
+}
+
+#[test]
+fn a_server_reported_error_exits_5() {
+    // The error arrives *after* a completed handshake: a refusal during the
+    // handshake itself is classified as an incompatible peer (exit 4).
+    let (addr, server) = scripted_server(|r, w| {
+        send_hello2(w);
+        match recv_req(r) {
+            Request::Submit { .. } => {}
+            other => panic!("expected Submit, got {other:?}"),
+        }
         send_resp(
             w,
             &Response::Error {

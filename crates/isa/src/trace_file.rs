@@ -526,6 +526,31 @@ impl TraceFile {
         Self::open_impl(path, false)
     }
 
+    /// [`TraceFile::open`] plus a whole-trace content-identity check: the
+    /// container's digest must equal `expected` or the open is refused.
+    /// This is the distributed-sweep path — a worker is handed a trace
+    /// *digest* over the wire, never trace bytes, and must not execute
+    /// against a stale, renamed or regenerated-differently local file that
+    /// happens to sit at the agreed path.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceFile::open`], plus [`TraceSourceError::Corrupt`] naming
+    /// both digests on a mismatch.
+    pub fn open_validated(
+        path: impl AsRef<Path>,
+        expected: u64,
+    ) -> Result<Self, TraceSourceError> {
+        let file = Self::open(path)?;
+        let found = TraceSource::digest(&file);
+        if found != expected {
+            return Err(TraceSourceError::Corrupt(format!(
+                "content digest {found:#018x} does not match the expected {expected:#018x}"
+            )));
+        }
+        Ok(file)
+    }
+
     fn open_impl(path: impl AsRef<Path>, prefetch: bool) -> Result<Self, TraceSourceError> {
         let path = path.as_ref().to_path_buf();
         let mut file = File::open(&path).map_err(|e| io_err(&path, e))?;
@@ -850,6 +875,25 @@ mod tests {
         }
         // Random access back into an earlier block works too.
         assert_eq!(&cur.get(3), t.get(3).unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_validated_binds_the_file_to_its_expected_digest() {
+        let t = sample_trace(20);
+        let path = tmp("validated");
+        TraceFileWriter::write_trace(&path, &t, 16).expect("write");
+        // The right digest opens; any other digest is refused with a typed
+        // error naming both — the worker-side gate for digests-over-the-wire.
+        let f = TraceFile::open_validated(&path, t.digest()).expect("matching digest");
+        assert_eq!(f.len(), t.len());
+        let err = TraceFile::open_validated(&path, t.digest() ^ 1).expect_err("wrong digest");
+        let msg = err.to_string();
+        assert!(msg.contains("does not match"), "{msg}");
+        assert!(
+            msg.contains(&format!("{:#018x}", t.digest())),
+            "names the found digest: {msg}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,301 @@
+//! Execution backends: *where* a sweep runs, behind one seam.
+//!
+//! [`ExecBackend`] abstracts sweep execution so every front end — the
+//! `icfp-bench` CLI, the service, tests — drives grids the same way whether
+//! the cells run on this process's thread pool ([`LocalBackend`]) or across
+//! a fleet of `icfp-sweepd --worker` processes ([`RemoteBackend`]).  Both
+//! produce the same artifact: a [`SweepReport`] whose deterministic content
+//! is byte-identical to a serial in-process run of the same spec — the
+//! executor's thread-count invariance, lifted to N processes.
+//!
+//! The remote backend composes the rest of this crate: the shard planner
+//! ([`crate::plan::plan_shards`]) splits the grid by workload column, each
+//! shard travels as a spec slice plus per-column trace *digests* (never
+//! trace bytes; see [`crate::plan`]), workers stream cells back under
+//! full-grid indices, and a deterministic merge
+//! ([`crate::plan::merge_report`]) reassembles them in expand order — so
+//! shard count, worker count and completion order are all invisible in the
+//! result.  A worker that dies mid-shard (disconnect, missed deadline) has
+//! its shard *reassigned* to the next worker in the pool under the
+//! [`RetryPolicy`]'s deterministic backoff; cells the dead worker already
+//! computed landed in its persistent cache, so reassignment after a restart
+//! is cheap, and a shard's cells only enter the merge once its worker's
+//! digest has verified — a half-streamed attempt contributes nothing.
+
+use crate::executor::{run_sweep_streamed, CacheStats, CellEvent, ExecOptions, SweepOutcome};
+use crate::plan::{merge_report, plan_shards};
+use crate::report::SweepCell;
+use crate::spec::SweepSpec;
+use crate::wire::{backoff_delay, submit_shard, RetryPolicy, ShardOutcome, WireError};
+use crate::ResultCache;
+use std::path::PathBuf;
+use std::sync::mpsc;
+
+/// One place a sweep can execute.  Implementations must uphold the crate's
+/// core contract: for a given spec, the returned report's deterministic
+/// content (cells, digest, JSON document) is byte-identical across
+/// backends, thread counts and scheduling.
+pub trait ExecBackend {
+    /// Human-readable description of where cells run (for logs and CLIs).
+    fn label(&self) -> String;
+
+    /// Executes the sweep, streaming each finished cell to `on_cell` (on
+    /// the calling thread; carry the event's index to reassemble).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description: spec validation, transport failures
+    /// after retries are exhausted, an incomplete merge.
+    fn run_streamed(
+        &self,
+        spec: &SweepSpec,
+        on_cell: &mut dyn FnMut(CellEvent<'_>),
+    ) -> Result<SweepOutcome, String>;
+
+    /// Executes the sweep without observing the stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecBackend::run_streamed`].
+    fn run(&self, spec: &SweepSpec) -> Result<SweepOutcome, String> {
+        self.run_streamed(spec, &mut |_| {})
+    }
+}
+
+/// The in-process backend: the `std::thread` pool executor this crate has
+/// always had, now behind the seam.
+#[derive(Debug, Clone)]
+pub struct LocalBackend {
+    /// Worker threads (0 or 1 = serial, in the calling thread).
+    pub threads: usize,
+    /// Persistent result cache directory, if caching is enabled.
+    pub cache_dir: Option<PathBuf>,
+    /// Retries for a panicking cell before it is recorded as a typed failed
+    /// cell (see [`ExecOptions::panic_retries`]).
+    pub panic_retries: u32,
+}
+
+impl LocalBackend {
+    /// A local backend on `threads` worker threads, no cache.
+    pub fn new(threads: usize) -> Self {
+        LocalBackend {
+            threads,
+            cache_dir: None,
+            panic_retries: crate::executor::DEFAULT_PANIC_RETRIES,
+        }
+    }
+}
+
+impl Default for LocalBackend {
+    fn default() -> Self {
+        LocalBackend::new(0)
+    }
+}
+
+impl ExecBackend for LocalBackend {
+    fn label(&self) -> String {
+        format!("local ({} threads)", self.threads.max(1))
+    }
+
+    fn run_streamed(
+        &self,
+        spec: &SweepSpec,
+        on_cell: &mut dyn FnMut(CellEvent<'_>),
+    ) -> Result<SweepOutcome, String> {
+        let cache = match &self.cache_dir {
+            Some(dir) => {
+                Some(ResultCache::open(dir).map_err(|e| format!("result cache: {e}"))?)
+            }
+            None => None,
+        };
+        run_sweep_streamed(
+            spec,
+            &ExecOptions {
+                threads: self.threads,
+                cache: cache.as_ref(),
+                panic_retries: self.panic_retries,
+                ..ExecOptions::default()
+            },
+            on_cell,
+        )
+    }
+}
+
+/// The distributed backend: a pool of `icfp-sweepd --worker` addresses, a
+/// shard per slice of the workload axis, deterministic merge, reassignment
+/// on worker death.
+#[derive(Debug, Clone)]
+pub struct RemoteBackend {
+    /// Worker addresses (`host:port`), e.g. two `icfp-sweepd --worker`
+    /// processes on loopback.  Shard `k` is first offered to worker
+    /// `k % workers`; each reassignment rotates to the next address.
+    pub workers: Vec<String>,
+    /// Shards to plan (0 = one per worker; always clamped to the workload
+    /// count — columns are the unit of distribution).
+    pub shards: usize,
+    /// Requested worker-side threads per shard (0 = worker default).
+    pub threads: usize,
+    /// Reassignment policy: attempts per shard, deterministic backoff
+    /// between them, per-stream I/O deadline (the "worker died" detector —
+    /// a disconnect surfaces immediately, a hang at the deadline).
+    pub policy: RetryPolicy,
+}
+
+impl RemoteBackend {
+    /// A remote backend over `workers` with default sharding and retry
+    /// policy.
+    pub fn new(workers: Vec<String>) -> Self {
+        RemoteBackend {
+            workers,
+            shards: 0,
+            threads: 0,
+            policy: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What a shard driver thread reports back to the merge loop.
+enum ShardEvent {
+    /// The shard completed and its digest verified: commit these cells.
+    Done(ShardOutcome),
+    /// Every attempt failed; the whole sweep must error.
+    Failed { shard_index: u64, error: String },
+}
+
+impl ExecBackend for RemoteBackend {
+    fn label(&self) -> String {
+        format!("distributed ({} workers)", self.workers.len())
+    }
+
+    fn run_streamed(
+        &self,
+        spec: &SweepSpec,
+        on_cell: &mut dyn FnMut(CellEvent<'_>),
+    ) -> Result<SweepOutcome, String> {
+        if self.workers.is_empty() {
+            return Err("remote backend has no worker addresses".to_string());
+        }
+        let shard_count = if self.shards == 0 {
+            self.workers.len()
+        } else {
+            self.shards
+        };
+        let shards = plan_shards(spec, shard_count)?;
+        let n = spec.cell_count();
+        let mut slots: Vec<Option<SweepCell>> = vec![None; n];
+        let mut stats = CacheStats::default();
+        let mut failures: Vec<String> = Vec::new();
+
+        // One driver thread per shard; the calling thread runs the merge
+        // loop (and the caller's stream callback).  Cells cross the channel
+        // only after submit_shard verified the worker's digest, so a worker
+        // that died mid-stream — whose attempt is being retried elsewhere —
+        // never contributes half a shard.
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<ShardEvent>();
+            for shard in &shards {
+                let tx = tx.clone();
+                let workers = &self.workers;
+                let policy = &self.policy;
+                let threads = self.threads;
+                scope.spawn(move || {
+                    let mut last: Option<WireError> = None;
+                    for attempt in 0..=policy.retries {
+                        if attempt > 0 {
+                            std::thread::sleep(backoff_delay(policy, attempt - 1));
+                        }
+                        // Rotate through the pool: the first attempt lands
+                        // on this shard's home worker, each retry moves to
+                        // the next — that rotation *is* reassignment when a
+                        // worker is gone.
+                        let addr = &workers
+                            [(shard.shard_index as usize + attempt as usize) % workers.len()];
+                        match submit_shard(addr, shard, threads, policy.io_timeout()) {
+                            Ok(outcome) => {
+                                let _ = tx.send(ShardEvent::Done(outcome));
+                                return;
+                            }
+                            Err(e) if e.is_retriable() => last = Some(e),
+                            Err(e) => {
+                                let _ = tx.send(ShardEvent::Failed {
+                                    shard_index: shard.shard_index,
+                                    error: e.to_string(),
+                                });
+                                return;
+                            }
+                        }
+                    }
+                    let _ = tx.send(ShardEvent::Failed {
+                        shard_index: shard.shard_index,
+                        error: last.expect("at least one attempt ran").to_string(),
+                    });
+                });
+            }
+            drop(tx);
+            for event in rx {
+                match event {
+                    ShardEvent::Done(outcome) => {
+                        stats.hits += outcome.hits;
+                        stats.misses += outcome.misses;
+                        for (index, cached, cell) in outcome.cells {
+                            // Shards partition the grid and each commits
+                            // once, so every slot fills exactly once.
+                            debug_assert!(slots[index].is_none());
+                            on_cell(CellEvent {
+                                index,
+                                cached,
+                                cell: &cell,
+                            });
+                            slots[index] = Some(cell);
+                        }
+                    }
+                    ShardEvent::Failed { shard_index, error } => {
+                        failures.push(format!("shard {shard_index}: {error}"));
+                    }
+                }
+            }
+        });
+
+        if !failures.is_empty() {
+            failures.sort();
+            return Err(format!(
+                "distributed sweep failed: {}",
+                failures.join("; ")
+            ));
+        }
+        let report = merge_report(spec, self.workers.len(), slots)?;
+        Ok(SweepOutcome {
+            report,
+            cache: stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_spec;
+
+    #[test]
+    fn local_backend_matches_the_bare_executor() {
+        let spec = tiny_spec();
+        let bare = crate::run_sweep(&spec, 2).unwrap();
+        let backend = LocalBackend::new(2);
+        assert!(backend.label().contains("local"));
+        let mut streamed = 0usize;
+        let outcome = backend
+            .run_streamed(&spec, &mut |_| streamed += 1)
+            .unwrap();
+        assert_eq!(streamed, spec.cell_count());
+        assert_eq!(outcome.report.digest(), bare.digest());
+        assert_eq!(outcome.report.cells.len(), bare.cells.len());
+    }
+
+    #[test]
+    fn remote_backend_refuses_an_empty_pool() {
+        let err = RemoteBackend::new(vec![])
+            .run(&tiny_spec())
+            .unwrap_err();
+        assert!(err.contains("no worker addresses"), "{err}");
+    }
+}

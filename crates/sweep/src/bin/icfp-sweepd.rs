@@ -1,12 +1,21 @@
 //! `icfp-sweepd` — the persistent sweep service.
 //!
-//! Listens on a TCP address, accepts `icfp-wire/v1` connections
+//! Listens on a TCP address, accepts `icfp-wire/v2` connections
 //! (`icfp-bench sweep submit --server ADDR` is the client), executes each
 //! submitted sweep through the shared executor, and streams cells back as
 //! they finish.  With `--cache-dir` the server keeps a persistent
 //! `icfp-cache/v1` result store — opened once and shared by every
 //! connection — so repeated or overlapping grids are served from disk with
 //! reports byte-identical to cold runs.
+//!
+//! With `--worker` the process advertises the `"worker"` capability and is
+//! intended as one member of a distributed pool: a coordinator
+//! (`icfp-bench sweep submit --workers A,B,...`) plans the grid into
+//! shards, submits one shard per connection (spec slice + per-column trace
+//! digests, never trace bytes), and merges the streamed cells
+//! deterministically.  Each worker keeps its *own* `--cache-dir`, so a
+//! worker that is killed and restarted re-serves its finished cells as
+//! cache hits.
 //!
 //! Connections are served concurrently (thread-per-connection, bounded by
 //! `--conn-limit`), each under an `--io-timeout-ms` read/write deadline so
@@ -23,12 +32,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "icfp-sweepd — persistent sweep service (icfp-wire/v1)
+const USAGE: &str = "icfp-sweepd — persistent sweep service (icfp-wire/v2)
 
 USAGE:
     icfp-sweepd [OPTIONS]
 
 OPTIONS:
+    --worker             advertise the \"worker\" capability: this process is
+                         one member of a distributed pool, serving shard
+                         submissions from a coordinator (it still serves
+                         whole-spec submissions too)
     --listen ADDR        address to bind (default 127.0.0.1:7400; use :0 for
                          an ephemeral port)
     --threads N          default worker threads for submissions that request
@@ -63,6 +76,7 @@ struct Args {
     conn_limit: usize,
     io_timeout_ms: u64,
     panic_retries: u32,
+    worker: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         conn_limit: 4,
         io_timeout_ms: 30_000,
         panic_retries: icfp_sweep::executor::DEFAULT_PANIC_RETRIES,
+        worker: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -115,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--panic-retries: {e}"))?
             }
+            "--worker" => args.worker = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -169,8 +185,9 @@ fn main() -> ExitCode {
         }
     }
     eprintln!(
-        "icfp-sweepd: listening on {bound} ({} worker threads, {} concurrent conns, \
+        "icfp-sweepd{}: listening on {bound} ({} worker threads, {} concurrent conns, \
          {} io deadline, cache {})",
+        if args.worker { " [worker]" } else { "" },
         args.threads,
         args.conn_limit,
         if args.io_timeout_ms > 0 {
@@ -209,6 +226,7 @@ fn main() -> ExitCode {
         io_timeout: (args.io_timeout_ms > 0).then(|| Duration::from_millis(args.io_timeout_ms)),
         panic_retries: args.panic_retries,
         cancel: Some(Arc::clone(&shutdown)),
+        worker: args.worker,
         ..ServeOptions::default()
     };
     let accept = AcceptOptions {

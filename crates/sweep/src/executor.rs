@@ -7,7 +7,7 @@ use crate::fault::FaultPlan;
 use crate::job::SweepJob;
 use crate::report::{SweepCell, SweepReport};
 use crate::spec::SweepSpec;
-use icfp_isa::{ArenaSource, TraceSource};
+use icfp_isa::{ArenaSource, TraceSource, DEFAULT_BLOCK_INSTS};
 use icfp_sim::{CellFigures, SimConfig, Simulator};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -21,7 +21,7 @@ use std::sync::Arc;
 pub const DEFAULT_PANIC_RETRIES: u32 = 2;
 
 /// Executor options beyond the spec itself.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct ExecOptions<'a> {
     /// Worker threads (0 or 1 = serial, in the calling thread).
     pub threads: usize,
@@ -38,6 +38,25 @@ pub struct ExecOptions<'a> {
     /// by the server's graceful-drain path; in-flight cells still finish
     /// (and land in the cache).
     pub cancel: Option<&'a AtomicBool>,
+    /// Pre-built trace sources, one per workload column, overriding the
+    /// executor's own construction — the shard-execution path, where a
+    /// worker was handed digests (and possibly local containers) instead of
+    /// registry names.  When set, every workload in the spec must have an
+    /// entry, and workload names are exempt from registry validation.
+    pub columns: Option<&'a HashMap<String, Arc<dyn TraceSource>>>,
+}
+
+impl std::fmt::Debug for ExecOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecOptions")
+            .field("threads", &self.threads)
+            .field("cache", &self.cache.is_some())
+            .field("panic_retries", &self.panic_retries)
+            .field("fault", &self.fault.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("columns", &self.columns.map(|c| c.len()))
+            .finish()
+    }
 }
 
 impl Default for ExecOptions<'_> {
@@ -48,7 +67,27 @@ impl Default for ExecOptions<'_> {
             panic_retries: DEFAULT_PANIC_RETRIES,
             fault: None,
             cancel: None,
+            columns: None,
         }
+    }
+}
+
+/// Builds one workload column's shared trace source the way the executor
+/// would: a materialized arena by default, a resumable streaming generator
+/// (bounded residency) when the spec streams columns
+/// ([`SweepSpec::streams_columns`]).  Deterministic outputs — the trace
+/// digest above all — are identical across backings, so the shard planner,
+/// the worker and the local executor all derive the same column identity
+/// from the same spec.  `None` for a workload name the registry doesn't
+/// know.
+pub fn column_source(spec: &SweepSpec, workload: &str) -> Option<Arc<dyn TraceSource>> {
+    let seed = spec.workload_seed(workload);
+    if spec.streams_columns() {
+        icfp_workloads::source_by_name(workload, spec.insts, seed, DEFAULT_BLOCK_INSTS)
+            .map(|s| Arc::new(s) as Arc<dyn TraceSource>)
+    } else {
+        icfp_workloads::by_name(workload, spec.insts, seed)
+            .map(|t| Arc::new(ArenaSource::new(t)) as Arc<dyn TraceSource>)
     }
 }
 
@@ -343,23 +382,30 @@ pub fn run_sweep_streamed(
     opts: &ExecOptions<'_>,
     mut on_cell: impl FnMut(CellEvent<'_>),
 ) -> Result<SweepOutcome, String> {
-    spec.validate()?;
+    // One trace source per workload column, shared by reference everywhere.
+    // Columns come pre-built on the shard path ([`ExecOptions::columns`],
+    // names exempt from registry validation there); otherwise they are
+    // built here — arenas by default, streamed sources past the budget
+    // threshold.  Cells are backing-independent either way.
+    let mut traces: HashMap<&str, Arc<dyn TraceSource>> = HashMap::new();
+    if let Some(columns) = opts.columns {
+        spec.validate_axes()?;
+        for w in &spec.workloads {
+            let src = columns
+                .get(w)
+                .ok_or_else(|| format!("no trace column supplied for workload {w:?}"))?;
+            traces.entry(w.as_str()).or_insert_with(|| Arc::clone(src));
+        }
+    } else {
+        spec.validate()?;
+        for w in &spec.workloads {
+            traces.entry(w.as_str()).or_insert_with(|| {
+                column_source(spec, w).expect("workload validated by SweepSpec::validate")
+            });
+        }
+    }
     let jobs = spec.expand();
     let n = jobs.len();
-
-    // One trace source per workload column, shared by reference everywhere.
-    // Standard workloads materialize once into an arena (the cursor fast
-    // path); the same map could equally hold streamed sources — cells are
-    // backing-independent.
-    let mut traces: HashMap<&str, Arc<dyn TraceSource>> = HashMap::new();
-    for w in &spec.workloads {
-        traces.entry(w.as_str()).or_insert_with(|| {
-            Arc::new(ArenaSource::new(
-                icfp_workloads::by_name(w, spec.insts, spec.workload_seed(w))
-                    .expect("workload validated by SweepSpec::validate"),
-            ))
-        });
-    }
 
     // Warm-forking and caching share one equivalence relation (the fork
     // key), so either turns grouping on.
@@ -543,6 +589,50 @@ mod tests {
             assert_eq!(cs.ipc, cp.ipc);
             assert_eq!(cs.state_digest, cp.state_digest);
         }
+    }
+
+    #[test]
+    fn streamed_columns_are_digest_identical_and_share_the_cache() {
+        // The streamed flag swaps every column's backing (materialized
+        // arena -> resumable streamed source) without touching what is
+        // simulated, so reports and cache keys must be identical.
+        let arena = tiny_spec();
+        let mut streamed = tiny_spec();
+        streamed.streamed = true;
+        assert!(streamed.streams_columns());
+        let a = run_sweep(&arena, 2).unwrap();
+        let s = run_sweep(&streamed, 2).unwrap();
+        assert_eq!(a.digest(), s.digest());
+
+        // Cache interop: a streamed run against a cache an arena run wrote
+        // is served entirely from disk (the trace digest, and therefore the
+        // cache key, is backing-independent).
+        let dir = tmp_cache("streamed");
+        let cache = ResultCache::open(&dir).unwrap();
+        let cold = run_sweep_streamed(
+            &arena,
+            &ExecOptions {
+                threads: 1,
+                cache: Some(&cache),
+                ..ExecOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        let warm = run_sweep_streamed(
+            &streamed,
+            &ExecOptions {
+                threads: 1,
+                cache: Some(&cache),
+                ..ExecOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(warm.cache.misses, 0);
+        assert_eq!(warm.cache.hits, arena.cell_count() as u64);
+        assert_eq!(warm.report.digest(), cold.report.digest());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     /// Per-cell deterministic fields (everything in the digest) must match.

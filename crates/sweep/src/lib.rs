@@ -26,9 +26,18 @@
 //!   and an aligned text matrix renderer;
 //! * [`schema`] — the one `BENCH_sweep.json` (`icfp-sweep/v2`) emitter and
 //!   parser, shared by the CLI, the server and the baseline gate;
-//! * [`wire`] — the `icfp-wire/v1` protocol: submit a spec to a running
-//!   `icfp-sweepd`, stream cells back as they finish, reassemble a report
-//!   byte-identical to a local run.
+//! * [`wire`] — the capability-negotiated `icfp-wire/v2` protocol: submit a
+//!   spec (or one planned shard) to a running `icfp-sweepd`, stream cells
+//!   back as they finish, reassemble a report byte-identical to a local
+//!   run;
+//! * [`plan`] — [`SweepShard`] and [`plan_shards`]: split a grid by
+//!   workload column into shards that ship a spec slice plus per-column
+//!   trace *digests* (never trace bytes), and [`merge_report`], the
+//!   deterministic merge back into one report;
+//! * [`backend`] — [`ExecBackend`]: one seam over *where* cells run —
+//!   [`LocalBackend`] (this process's pool) or [`RemoteBackend`] (a fleet
+//!   of `icfp-sweepd --worker` processes, with shard reassignment when a
+//!   worker dies).
 //!
 //! ## Shared sources and warm-forking
 //!
@@ -58,27 +67,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod executor;
 pub mod fault;
 pub mod job;
+pub mod plan;
 pub mod report;
 pub mod schema;
 pub mod spec;
 pub mod wire;
 
+pub use backend::{ExecBackend, LocalBackend, RemoteBackend};
 pub use cache::{CacheError, ResultCache};
 pub use executor::{
-    run_sweep, run_sweep_streamed, CacheStats, CellEvent, ExecOptions, SweepOutcome,
+    column_source, run_sweep, run_sweep_streamed, CacheStats, CellEvent, ExecOptions,
+    SweepOutcome,
 };
 pub use fault::{CacheTear, FaultPlan, FrameAction, FrameFault, PanicJob};
 pub use job::SweepJob;
+pub use plan::{merge_report, plan_shards, ColumnSpec, SweepShard};
 pub use report::{ReportError, SweepCell, SweepReport};
 pub use schema::SchemaError;
-pub use spec::SweepSpec;
+pub use spec::{SweepSpec, STREAM_COLUMN_THRESHOLD};
 pub use wire::{
-    backoff_delay, serve, submit_with, AcceptOptions, RetryPolicy, ServeOptions, ServeSummary,
-    SubmitOutcome, WireError,
+    backoff_delay, serve, submit_shard, submit_with, AcceptOptions, RetryPolicy, ServeOptions,
+    ServeSummary, ShardOutcome, SubmitOutcome, WireError,
 };
 
 #[cfg(test)]

@@ -49,7 +49,22 @@ pub struct SweepSpec {
     /// crate docs).  Deterministic outputs are unchanged; host-time figures
     /// measure only the work actually performed.
     pub warm_fork: bool,
+    /// Stream workload columns instead of materializing them: each column is
+    /// backed by a resumable [`icfp_workloads::WorkloadSource`] generator
+    /// (bounded block residency) rather than a whole-trace arena, so columns
+    /// whose instruction budgets dwarf RAM still sweep.  Deterministic
+    /// outputs are backing-independent — digests, cache keys and fork keys
+    /// are identical either way.  Columns also stream automatically once
+    /// [`SweepSpec::insts`] reaches [`STREAM_COLUMN_THRESHOLD`]; see
+    /// [`SweepSpec::streams_columns`].
+    pub streamed: bool,
 }
+
+/// Instruction budget at which workload columns stream automatically even
+/// without [`SweepSpec::streamed`]: past this point a materialized arena's
+/// footprint (tens of bytes per instruction, one arena per column) stops
+/// being a sensible default.
+pub const STREAM_COLUMN_THRESHOLD: usize = 2_000_000;
 
 impl SweepSpec {
     /// A spec over `models` × `workloads` at the paper-default configuration
@@ -66,7 +81,16 @@ impl SweepSpec {
             reps: 1,
             fast_forward: 0,
             warm_fork: false,
+            streamed: false,
         }
+    }
+
+    /// Whether workload columns are backed by a streaming generator instead
+    /// of a materialized arena: explicitly via [`SweepSpec::streamed`], or
+    /// automatically once the instruction budget reaches
+    /// [`STREAM_COLUMN_THRESHOLD`].
+    pub fn streams_columns(&self) -> bool {
+        self.streamed || self.insts >= STREAM_COLUMN_THRESHOLD
     }
 
     /// Number of grid cells the spec expands to.
@@ -84,6 +108,22 @@ impl SweepSpec {
     ///
     /// Returns a human-readable description of the first problem found.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_axes()?;
+        for w in &self.workloads {
+            icfp_workloads::by_name_or_err(w, 1, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Validates everything *except* workload-name resolution — the check a
+    /// shard executor with externally supplied trace columns (see
+    /// [`crate::plan::SweepShard`]) can still apply when its column names are
+    /// not in the registry.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepSpec::validate`].
+    pub fn validate_axes(&self) -> Result<(), String> {
         if self.models.is_empty() {
             return Err("sweep spec has no models".into());
         }
@@ -104,9 +144,6 @@ impl SweepSpec {
                 "fast-forward ({}) must leave a timed region (insts = {})",
                 self.fast_forward, self.insts
             ));
-        }
-        for w in &self.workloads {
-            icfp_workloads::by_name_or_err(w, 1, 0)?;
         }
         Ok(())
     }

@@ -1,4 +1,4 @@
-//! The sweep service wire protocol (`icfp-wire/v1`).
+//! The sweep service wire protocol (`icfp-wire/v2`).
 //!
 //! A client submits a whole [`SweepSpec`] to a running `icfp-sweepd`; the
 //! server expands, validates and executes it (through the shared executor
@@ -17,25 +17,50 @@
 //! ```text
 //! client                          server
 //! ──────────────────────────────────────────────────────────
-//! Hello{version}          ──▶
-//!                         ◀──    Hello{version}
+//! Hello2{version, features} ──▶
+//!                         ◀──    Hello2{version, features}
 //! Submit{spec, threads}   ──▶
 //!                         ◀──    Accepted{cells, threads}
 //!                         ◀──    Cell{index, cached, cell}   (× cells)
 //!                         ◀──    Done{report_digest, hits, misses}
-//! (next Submit, or close)
+//! (next Submit / ShardSubmit, or close)
 //! ```
+//!
+//! ## Capability negotiation and shard submissions
+//!
+//! The v2 handshake carries a feature list besides the version string
+//! ([`base_features`]; workers add `"worker"`), so peers can tell *what* a
+//! server speaks before submitting.  Version skew in either direction is a
+//! typed [`WireError::UnsupportedVersion`], never a decode failure: the v1
+//! `Hello` variant is retained in the [`Request`] enum (vendored-serde
+//! enum encoding is append-only, so v1 frames still decode) and answered
+//! with an `Error` frame naming both versions; a v2 client recognizes a v1
+//! server's `Hello`/`Error` reply the same way.
+//!
+//! Besides whole-spec submissions, a v2 peer with the `"shard"` capability
+//! accepts [`crate::plan::SweepShard`] slices of a grid
+//! (`ShardSubmit` → `Accepted` → `ShardCell` × cells → `ShardDone`) — the
+//! distributed execution path ([`crate::backend::RemoteBackend`]).  A
+//! shard ships per-column trace *digests*, never trace bytes; the worker
+//! regenerates each column from the registry or opens a local container
+//! ([`icfp_isa::TraceFile::open_validated`]) and refuses the shard on any
+//! digest mismatch.  `ShardCell` indices are *full-grid* positions (the
+//! worker translates through the shard's index map), so the coordinator
+//! merges streams from any number of workers without per-shard bookkeeping.
 //!
 //! Anything unexpected — an undecodable frame, a version mismatch, an
 //! invalid spec — is answered with an `Error` frame where possible and is
 //! always a typed [`WireError`] on both sides, never a panic: a hostile
 //! peer cannot take the server down.
 
-use crate::executor::{run_sweep_streamed, ExecOptions, DEFAULT_PANIC_RETRIES};
+use crate::executor::{column_source, run_sweep_streamed, ExecOptions, DEFAULT_PANIC_RETRIES};
 use crate::fault::{FaultPlan, FrameAction};
+use crate::plan::SweepShard;
 use crate::report::{SweepCell, SweepReport};
 use crate::spec::SweepSpec;
 use crate::ResultCache;
+use icfp_isa::{TraceFile, TraceSource};
+use std::collections::HashMap;
 use serde::frame::{read_frame, write_frame, FrameError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -46,24 +71,58 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-/// The protocol version string exchanged in `Hello`.
-pub const WIRE_VERSION: &str = "icfp-wire/v1";
+/// The protocol version string exchanged in the handshake.
+pub const WIRE_VERSION: &str = "icfp-wire/v2";
+
+/// The previous protocol version: whole-spec submissions only, no feature
+/// negotiation.  Retained so skewed peers are *recognized* (and refused
+/// with a typed error) rather than mis-decoded.
+pub const WIRE_VERSION_V1: &str = "icfp-wire/v1";
+
+/// The capability set a client advertises and a plain server grants:
+/// whole-spec submissions (`"sweep"`) and shard submissions (`"shard"`).
+/// Worker-mode servers ([`ServeOptions::worker`]) additionally advertise
+/// `"worker"` — an advisory label; the message set is identical.
+pub fn base_features() -> Vec<String> {
+    vec!["sweep".to_string(), "shard".to_string()]
+}
 
 /// Frame ceiling for this protocol (the transport default).
 pub const MAX_WIRE_FRAME: usize = serde::MAX_FRAME_LEN;
 
 /// Client → server messages.
+///
+/// Variant order is the wire encoding (vendored serde is positional):
+/// **append only**, so frames from older peers keep decoding into the
+/// variants they meant — version skew must surface as a typed refusal, not
+/// a decode failure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
-    /// Protocol handshake; must be the first message on a connection.
+    /// The v1 handshake.  A v2 server decodes it and answers with a typed
+    /// "unsupported version" `Error` frame naming both versions.
     Hello {
-        /// The client's [`WIRE_VERSION`].
+        /// The client's version string.
         version: String,
     },
     /// Run this sweep and stream the cells back.
     Submit {
         /// The full grid to execute.
         spec: SweepSpec,
+        /// Requested worker threads (0 = server default).
+        threads: u64,
+    },
+    /// The v2 handshake; must be the first message on a connection.
+    Hello2 {
+        /// The client's [`WIRE_VERSION`].
+        version: String,
+        /// Capabilities the client intends to use ([`base_features`]).
+        features: Vec<String>,
+    },
+    /// Run one planned shard of a grid and stream its cells back
+    /// (full-grid indices).  Requires the `"shard"` capability.
+    ShardSubmit {
+        /// The shard: sub-spec, index map, per-column trace digests.
+        shard: crate::plan::SweepShard,
         /// Requested worker threads (0 = server default).
         threads: u64,
     },
@@ -107,6 +166,38 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+    /// The v2 handshake reply.
+    Hello2 {
+        /// The server's [`WIRE_VERSION`].
+        version: String,
+        /// Capabilities this server grants ([`base_features`], plus
+        /// `"worker"` in worker mode).
+        features: Vec<String>,
+    },
+    /// One finished cell of a shard submission, streamed in completion
+    /// order and addressed by *full-grid* index (the server translates
+    /// through the shard's index map).
+    ShardCell {
+        /// The cell's position in the **full** grid's expand order.
+        index: u64,
+        /// Whether it was served from the worker's result cache.
+        cached: bool,
+        /// The cell itself.
+        cell: SweepCell,
+    },
+    /// The shard finished; no more cells follow for this submission.
+    ShardDone {
+        /// Echo of the submitted [`crate::plan::SweepShard::shard_index`].
+        shard_index: u64,
+        /// Digest of the shard's own sub-report ([`SweepReport::digest`]
+        /// over the sub-spec), so the client can verify the slice before
+        /// the coordinator commits it to the merge.
+        report_digest: u64,
+        /// Cells served from the worker's result cache.
+        hits: u64,
+        /// Cells the worker computed.
+        misses: u64,
+    },
 }
 
 /// Typed failures on either side of the wire.
@@ -130,6 +221,16 @@ pub enum WireError {
     /// reconnect + re-submit usually succeeds (and already-computed cells
     /// come back as cache hits).
     Disconnected,
+    /// The peers speak different protocol versions — detected at the
+    /// handshake, in either direction, before any submission.  Not
+    /// retriable: the same peer will refuse again.
+    UnsupportedVersion {
+        /// The version this side speaks.
+        ours: String,
+        /// The version the peer announced (best-effort for pre-v2 peers,
+        /// whose refusals carry no structured version field).
+        theirs: String,
+    },
 }
 
 impl WireError {
@@ -156,6 +257,9 @@ impl fmt::Display for WireError {
             WireError::Server(e) => write!(f, "server error: {e}"),
             WireError::Spec(e) => write!(f, "invalid sweep spec: {e}"),
             WireError::Disconnected => write!(f, "peer closed mid-conversation"),
+            WireError::UnsupportedVersion { ours, theirs } => {
+                write!(f, "unsupported protocol version: we speak {ours:?}, peer speaks {theirs:?}")
+            }
         }
     }
 }
@@ -337,6 +441,54 @@ pub fn submit_with(
     Err(last.expect("loop ran at least once"))
 }
 
+/// Opens a framed connection to `addr` under the given I/O deadline.
+fn connect_framed(
+    addr: &str,
+    io_timeout: Option<Duration>,
+) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), WireError> {
+    let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+    stream.set_read_timeout(io_timeout).map_err(WireError::Io)?;
+    stream.set_write_timeout(io_timeout).map_err(WireError::Io)?;
+    let reader = BufReader::new(stream.try_clone().map_err(WireError::Io)?);
+    Ok((reader, BufWriter::new(stream)))
+}
+
+/// Performs the client side of the v2 handshake, returning the capability
+/// set the server granted.  A pre-v2 server — which answers the unknown
+/// `Hello2` variant with an `Error` frame or a v1 `Hello` — is a typed
+/// [`WireError::UnsupportedVersion`], never a decode failure.
+fn client_handshake(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+) -> Result<Vec<String>, WireError> {
+    send(
+        writer,
+        &Request::Hello2 {
+            version: WIRE_VERSION.to_string(),
+            features: base_features(),
+        },
+    )?;
+    match recv_expected::<Response>(reader)? {
+        Response::Hello2 { version, features } if version == WIRE_VERSION => Ok(features),
+        Response::Hello2 { version, .. } | Response::Hello { version } => {
+            Err(WireError::UnsupportedVersion {
+                ours: WIRE_VERSION.to_string(),
+                theirs: version,
+            })
+        }
+        // A peer that refuses the handshake outright is a version (or
+        // capability) mismatch by definition — its Error text is the best
+        // version description it gave us.
+        Response::Error { message } => Err(WireError::UnsupportedVersion {
+            ours: WIRE_VERSION.to_string(),
+            theirs: format!("pre-v2 peer ({message})"),
+        }),
+        other => Err(WireError::Protocol(format!(
+            "expected Hello2, got {other:?}"
+        ))),
+    }
+}
+
 /// One submission attempt over one fresh connection.
 fn submit_once(
     addr: &str,
@@ -346,32 +498,8 @@ fn submit_once(
     on_cell: &mut impl FnMut(usize, bool, &SweepCell),
 ) -> Result<SubmitOutcome, WireError> {
     spec.validate().map_err(WireError::Spec)?;
-    let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
-    stream.set_read_timeout(io_timeout).map_err(WireError::Io)?;
-    stream.set_write_timeout(io_timeout).map_err(WireError::Io)?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(WireError::Io)?);
-    let mut writer = BufWriter::new(stream);
-
-    send(
-        &mut writer,
-        &Request::Hello {
-            version: WIRE_VERSION.to_string(),
-        },
-    )?;
-    match recv_expected::<Response>(&mut reader)? {
-        Response::Hello { version } if version == WIRE_VERSION => {}
-        Response::Hello { version } => {
-            return Err(WireError::Protocol(format!(
-                "server speaks {version:?}, client speaks {WIRE_VERSION:?}"
-            )))
-        }
-        Response::Error { message } => return Err(WireError::Server(message)),
-        other => {
-            return Err(WireError::Protocol(format!(
-                "expected Hello, got {other:?}"
-            )))
-        }
-    }
+    let (mut reader, mut writer) = connect_framed(addr, io_timeout)?;
+    client_handshake(&mut reader, &mut writer)?;
 
     send(
         &mut writer,
@@ -458,6 +586,151 @@ fn submit_once(
     }
 }
 
+/// The result of one shard submission: the verified cells (full-grid
+/// indices, completion order) plus the worker's cache counters.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// `(full_grid_index, cached, cell)` for every cell of the shard, in
+    /// the order the worker streamed them.  Only returned once the worker's
+    /// `ShardDone` digest has been verified against the reassembled slice —
+    /// a partially streamed or corrupted shard never leaks cells.
+    pub cells: Vec<(usize, bool, SweepCell)>,
+    /// Cells served from the worker's result cache.
+    pub hits: u64,
+    /// Cells the worker computed.
+    pub misses: u64,
+}
+
+/// Submits one planned shard to a worker at `addr`, collecting its streamed
+/// cells.  `threads` is the requested worker-side thread count (0 = worker
+/// default).  The returned cells carry *full-grid* indices and are verified
+/// two ways before return: every streamed index must belong to the shard's
+/// index map (exactly once), and the reassembled sub-report's digest must
+/// equal the worker's `ShardDone` digest.
+///
+/// # Errors
+///
+/// Any [`WireError`].  Transport-level failures (including a worker that
+/// died mid-shard) are retriable ([`WireError::is_retriable`]) — the
+/// coordinator's cue to reassign the shard to another worker.
+pub fn submit_shard(
+    addr: &str,
+    shard: &crate::plan::SweepShard,
+    threads: usize,
+    io_timeout: Option<Duration>,
+) -> Result<ShardOutcome, WireError> {
+    shard.spec.validate_axes().map_err(WireError::Spec)?;
+    let n = shard.cell_count();
+    if shard.index_map.len() != n {
+        return Err(WireError::Spec(format!(
+            "shard index map has {} entries for a {n}-cell sub-spec",
+            shard.index_map.len()
+        )));
+    }
+    let (mut reader, mut writer) = connect_framed(addr, io_timeout)?;
+    let features = client_handshake(&mut reader, &mut writer)?;
+    if !features.iter().any(|f| f == "shard") {
+        return Err(WireError::Protocol(format!(
+            "peer granted no \"shard\" capability (features: {features:?})"
+        )));
+    }
+
+    send(
+        &mut writer,
+        &Request::ShardSubmit {
+            shard: shard.clone(),
+            threads: threads as u64,
+        },
+    )?;
+    match recv_expected::<Response>(&mut reader)? {
+        Response::Accepted { cells, .. } if cells as usize == n => {}
+        Response::Accepted { cells, .. } => {
+            return Err(WireError::Protocol(format!(
+                "worker accepted {cells} cells for a {n}-cell shard"
+            )))
+        }
+        Response::Error { message } => return Err(WireError::Server(message)),
+        other => {
+            return Err(WireError::Protocol(format!(
+                "expected Accepted, got {other:?}"
+            )))
+        }
+    }
+
+    // Streamed indices are full-grid positions; invert the shard's map to
+    // validate membership and detect duplicates.
+    let sub_of: std::collections::HashMap<u64, usize> = shard
+        .index_map
+        .iter()
+        .enumerate()
+        .map(|(sub, &full)| (full, sub))
+        .collect();
+    let mut slots: Vec<Option<usize>> = vec![None; n]; // sub index -> cells pos
+    let mut cells: Vec<(usize, bool, SweepCell)> = Vec::with_capacity(n);
+    loop {
+        match recv_expected::<Response>(&mut reader)? {
+            Response::ShardCell {
+                index,
+                cached,
+                cell,
+            } => {
+                let sub = *sub_of.get(&index).ok_or_else(|| {
+                    WireError::Protocol(format!("cell index {index} is not in this shard"))
+                })?;
+                if slots[sub].is_some() {
+                    return Err(WireError::Protocol(format!("cell {index} streamed twice")));
+                }
+                slots[sub] = Some(cells.len());
+                cells.push((index as usize, cached, cell));
+            }
+            Response::ShardDone {
+                shard_index,
+                report_digest,
+                hits,
+                misses,
+            } => {
+                if shard_index != shard.shard_index {
+                    return Err(WireError::Protocol(format!(
+                        "worker finished shard {shard_index}, we submitted {}",
+                        shard.shard_index
+                    )));
+                }
+                // Reassemble the slice in sub-spec expand order and verify
+                // its digest against the worker's.
+                let mut sub_cells = Vec::with_capacity(n);
+                for (sub, slot) in slots.iter().enumerate() {
+                    let &pos = slot.as_ref().ok_or_else(|| {
+                        WireError::Protocol(format!(
+                            "worker finished without streaming cell {} (sub index {sub})",
+                            shard.index_map[sub]
+                        ))
+                    })?;
+                    sub_cells.push(Some(cells[pos].2.clone()));
+                }
+                let sub_report = crate::plan::merge_report(&shard.spec, 1, sub_cells)
+                    .map_err(WireError::Protocol)?;
+                let digest = sub_report.digest();
+                if digest != report_digest {
+                    return Err(WireError::Protocol(format!(
+                        "reassembled shard digest {digest:#018x} does not match the worker's {report_digest:#018x}"
+                    )));
+                }
+                return Ok(ShardOutcome {
+                    cells,
+                    hits,
+                    misses,
+                });
+            }
+            Response::Error { message } => return Err(WireError::Server(message)),
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected ShardCell or ShardDone, got {other:?}"
+                )))
+            }
+        }
+    }
+}
+
 /// Server-side options for a connection.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -490,6 +763,10 @@ pub struct ServeOptions {
     /// frame — [`serve`] arms this so its submission ceiling counts real
     /// service, never failed handshakes.
     pub served: Option<Arc<AtomicU64>>,
+    /// Worker mode (`icfp-sweepd --worker`): advertise the `"worker"`
+    /// capability in the handshake.  Advisory — the served message set is
+    /// identical; coordinators use it to label their worker pools.
+    pub worker: bool,
 }
 
 impl Default for ServeOptions {
@@ -503,6 +780,7 @@ impl Default for ServeOptions {
             fault: None,
             cancel: None,
             served: None,
+            worker: false,
         }
     }
 }
@@ -516,6 +794,57 @@ pub struct ConnSummary {
     pub hits: u64,
     /// Total cells computed across them.
     pub misses: u64,
+}
+
+/// Resolves a shard's trace columns on the worker side: a column with a
+/// [`crate::plan::ColumnSpec::local_path`] opens that `icfp-trace/v1|v2`
+/// container; anything else regenerates from the workload registry exactly
+/// as a local executor would.  Every resolved source must match the
+/// planner's content digest — traces never travel on the wire, so the
+/// digest is the *only* thing binding the worker's trace to the
+/// coordinator's, and any mismatch (stale file, skewed registry, wrong
+/// seed) refuses the shard before a single cell runs.
+fn resolve_shard_columns(
+    shard: &SweepShard,
+) -> Result<HashMap<String, Arc<dyn TraceSource>>, String> {
+    shard.spec.validate_axes()?;
+    if shard.index_map.len() != shard.spec.cell_count() {
+        return Err(format!(
+            "shard index map has {} entries for a {}-cell sub-spec",
+            shard.index_map.len(),
+            shard.spec.cell_count()
+        ));
+    }
+    let mut columns: HashMap<String, Arc<dyn TraceSource>> = HashMap::new();
+    for col in &shard.columns {
+        let source: Arc<dyn TraceSource> = match &col.local_path {
+            Some(path) => Arc::new(
+                TraceFile::open_validated(path, col.trace_digest).map_err(|e| {
+                    format!("shard column {:?}: container {path:?}: {e}", col.workload)
+                })?,
+            ),
+            None => column_source(&shard.spec, &col.workload).ok_or_else(|| {
+                format!(
+                    "shard column {:?} is not a registry workload and carries no local container",
+                    col.workload
+                )
+            })?,
+        };
+        let found = source.digest();
+        if found != col.trace_digest {
+            return Err(format!(
+                "shard column {:?}: trace digest {found:#018x} does not match the planner's {:#018x}",
+                col.workload, col.trace_digest
+            ));
+        }
+        columns.insert(col.workload.clone(), source);
+    }
+    for w in &shard.spec.workloads {
+        if !columns.contains_key(w) {
+            return Err(format!("shard carries no trace column for workload {w:?}"));
+        }
+    }
+    Ok(columns)
 }
 
 /// Serves one client connection: handshake, then any number of submissions,
@@ -554,35 +883,45 @@ pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary
         }
     };
     match hello {
-        Request::Hello { ref version } if version == WIRE_VERSION => {}
-        Request::Hello { version } => {
-            let message = format!("server speaks {WIRE_VERSION:?}, client sent {version:?}");
+        Request::Hello2 { ref version, .. } if version == WIRE_VERSION => {}
+        // Version skew — a v1 `Hello`, or a future `Hello2` with a version
+        // we don't speak — gets a typed refusal naming both versions, never
+        // a decode failure or a confusing protocol error.
+        Request::Hello { version } | Request::Hello2 { version, .. } => {
+            let message =
+                format!("server speaks {WIRE_VERSION:?}, client sent {version:?}");
             let _ = send(&mut writer, &Response::Error { message: message.clone() });
-            return Err(WireError::Protocol(message));
+            return Err(WireError::UnsupportedVersion {
+                ours: WIRE_VERSION.to_string(),
+                theirs: version,
+            });
         }
         other => {
-            let message = format!("expected Hello first, got {other:?}");
+            let message = format!("expected Hello2 first, got {other:?}");
             let _ = send(&mut writer, &Response::Error { message: message.clone() });
             return Err(WireError::Protocol(message));
         }
     }
+    let mut features = base_features();
+    if opts.worker {
+        features.push("worker".to_string());
+    }
     send_srv(
         &mut writer,
-        &Response::Hello {
+        &Response::Hello2 {
             version: WIRE_VERSION.to_string(),
+            features,
         },
         fault,
     )?;
 
-    // Submission loop.
+    // Submission loop: whole specs (`Submit`) and grid slices
+    // (`ShardSubmit`) share the executor, the cache and the streaming
+    // machinery; shards additionally carry pre-resolved trace columns and
+    // translate cell indices back to full-grid positions.
     loop {
-        let (spec, threads) = match recv::<Request>(&mut reader) {
-            Ok(Some(Request::Submit { spec, threads })) => (spec, threads),
-            Ok(Some(other)) => {
-                let message = format!("expected Submit, got {other:?}");
-                let _ = send(&mut writer, &Response::Error { message: message.clone() });
-                return Err(WireError::Protocol(message));
-            }
+        let req = match recv::<Request>(&mut reader) {
+            Ok(Some(req)) => req,
             Ok(None) => return Ok(summary),
             Err(e) => {
                 let _ = send(
@@ -594,12 +933,41 @@ pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary
                 return Err(e);
             }
         };
-
-        if let Err(e) = spec.validate() {
-            // An invalid spec fails the submission, not the connection.
-            send(&mut writer, &Response::Error { message: e })?;
-            continue;
-        }
+        let (spec, threads, shard_meta) = match req {
+            Request::Submit { spec, threads } => {
+                if let Err(e) = spec.validate() {
+                    // An invalid spec fails the submission, not the
+                    // connection.
+                    send(&mut writer, &Response::Error { message: e })?;
+                    continue;
+                }
+                (spec, threads, None)
+            }
+            Request::ShardSubmit { shard, threads } => {
+                // A malformed shard — bad axes, unknown column, digest
+                // mismatch — likewise fails the submission only.
+                match resolve_shard_columns(&shard) {
+                    Ok(columns) => {
+                        let crate::plan::SweepShard {
+                            shard_index,
+                            spec,
+                            index_map,
+                            ..
+                        } = shard;
+                        (spec, threads, Some((shard_index, index_map, columns)))
+                    }
+                    Err(e) => {
+                        send(&mut writer, &Response::Error { message: e })?;
+                        continue;
+                    }
+                }
+            }
+            other => {
+                let message = format!("expected Submit or ShardSubmit, got {other:?}");
+                let _ = send(&mut writer, &Response::Error { message: message.clone() });
+                return Err(WireError::Protocol(message));
+            }
+        };
         let requested = if threads == 0 {
             opts.threads.max(1)
         } else {
@@ -663,18 +1031,25 @@ pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary
             panic_retries: opts.panic_retries,
             fault,
             cancel: opts.cancel.as_deref(),
+            columns: shard_meta.as_ref().map(|(_, _, cols)| cols),
         };
         let outcome = run_sweep_streamed(&spec, &exec, |event| {
             if send_err.is_none() {
-                if let Err(e) = send_srv(
-                    &mut writer,
-                    &Response::Cell {
+                // Shard cells go out under their *full-grid* index, so the
+                // coordinator's merge needs no per-shard bookkeeping.
+                let resp = match &shard_meta {
+                    Some((_, index_map, _)) => Response::ShardCell {
+                        index: index_map[event.index],
+                        cached: event.cached,
+                        cell: event.cell.clone(),
+                    },
+                    None => Response::Cell {
                         index: event.index as u64,
                         cached: event.cached,
                         cell: event.cell.clone(),
                     },
-                    fault,
-                ) {
+                };
+                if let Err(e) = send_srv(&mut writer, &resp, fault) {
                     send_err = Some(e);
                 }
             }
@@ -691,15 +1066,20 @@ pub fn handle_conn(stream: TcpStream, opts: &ServeOptions) -> Result<ConnSummary
                 return Err(WireError::Protocol(e));
             }
         };
-        send_srv(
-            &mut writer,
-            &Response::Done {
+        let finish = match &shard_meta {
+            Some((shard_index, _, _)) => Response::ShardDone {
+                shard_index: *shard_index,
                 report_digest: outcome.report.digest(),
                 hits: outcome.cache.hits,
                 misses: outcome.cache.misses,
             },
-            fault,
-        )?;
+            None => Response::Done {
+                report_digest: outcome.report.digest(),
+                hits: outcome.cache.hits,
+                misses: outcome.cache.misses,
+            },
+        };
+        send_srv(&mut writer, &finish, fault)?;
         summary.submits += 1;
         summary.hits += outcome.cache.hits;
         summary.misses += outcome.cache.misses;
@@ -1069,14 +1449,15 @@ mod tests {
         let mut writer = BufWriter::new(stream);
         send(
             &mut writer,
-            &Request::Hello {
+            &Request::Hello2 {
                 version: WIRE_VERSION.into(),
+                features: base_features(),
             },
         )
         .expect("hello");
         assert!(matches!(
             recv::<Response>(&mut reader).expect("hello back"),
-            Some(Response::Hello { .. })
+            Some(Response::Hello2 { .. })
         ));
         let mut bad = tiny_spec();
         bad.workloads = vec!["no-such-workload".into()];
@@ -1133,6 +1514,62 @@ mod tests {
             Err(WireError::Spec(msg)) => assert!(msg.contains("instruction budget")),
             other => panic!("expected Spec error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn version_skew_is_a_typed_refusal_in_both_directions() {
+        // A v1 client against this (v2) server: the old Hello variant still
+        // decodes (append-only enum encoding) and is answered with an Error
+        // frame naming both versions, and a typed error server-side.
+        let (addr, server) = spawn_server(ServeOptions::default(), 1);
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        send(
+            &mut stream,
+            &Request::Hello {
+                version: WIRE_VERSION_V1.into(),
+            },
+        )
+        .expect("send v1 hello");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        match recv::<Response>(&mut reader).expect("reply") {
+            Some(Response::Error { message }) => {
+                assert!(message.contains(WIRE_VERSION_V1), "{message}");
+                assert!(message.contains(WIRE_VERSION), "{message}");
+            }
+            other => panic!("expected Error frame, got {other:?}"),
+        }
+        let err = server.join().expect("join").remove(0).unwrap_err();
+        assert!(err.contains("unsupported protocol version"), "{err}");
+
+        // A v2 client against a v1-style server (answers the handshake with
+        // the old Hello): typed UnsupportedVersion, not retriable, never a
+        // decode failure.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let v1_server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = BufWriter::new(stream);
+            let _hello: Request = recv_expected(&mut reader).expect("Hello2 decodes");
+            send(
+                &mut writer,
+                &Response::Hello {
+                    version: WIRE_VERSION_V1.into(),
+                },
+            )
+            .expect("reply v1 hello");
+        });
+        let err =
+            submit(&addr, &small_spec(), 1, |_, _, _| {}).expect_err("skewed peer refused");
+        assert!(!err.is_retriable(), "version skew retries cannot succeed");
+        match err {
+            WireError::UnsupportedVersion { ours, theirs } => {
+                assert_eq!(ours, WIRE_VERSION);
+                assert_eq!(theirs, WIRE_VERSION_V1);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        v1_server.join().expect("v1 server thread");
     }
 
     /// A small 2-cell spec for service-level tests.
@@ -1348,14 +1785,15 @@ mod tests {
         let mut hold_writer = BufWriter::new(hold);
         send(
             &mut hold_writer,
-            &Request::Hello {
+            &Request::Hello2 {
                 version: WIRE_VERSION.into(),
+                features: base_features(),
             },
         )
         .expect("hello");
         assert!(matches!(
             recv::<Response>(&mut hold_reader).expect("hello back"),
-            Some(Response::Hello { .. })
+            Some(Response::Hello2 { .. })
         ));
 
         // Both submissions complete while the first connection stays held.
